@@ -1,0 +1,294 @@
+//! Neural-network building blocks used by GHN-2 and the MLP regressor.
+
+use crate::tape::{ParamId, ParamStore, Tape, Var};
+use pddl_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Affine layer `y = x·W + b`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Linear {
+    pub w: ParamId,
+    pub b: ParamId,
+    pub in_dim: usize,
+    pub out_dim: usize,
+}
+
+impl Linear {
+    pub fn new(
+        ps: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let w = ps.register_xavier(format!("{name}.w"), in_dim, out_dim, rng);
+        let b = ps.register_bias(format!("{name}.b"), out_dim);
+        Self { w, b, in_dim, out_dim }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let w = tape.param(self.w);
+        let b = tape.param(self.b);
+        tape.affine(x, w, b)
+    }
+}
+
+/// Activation choices for [`Mlp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    Relu,
+    Tanh,
+    Sigmoid,
+    /// No nonlinearity (used on output layers).
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::Relu => tape.relu(x),
+            Activation::Tanh => tape.tanh(x),
+            Activation::Sigmoid => tape.sigmoid(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// Multi-layer perceptron with a hidden activation and linear output.
+///
+/// The GHN message function MLP(·) from Eq. (3)/(4) of the paper and the
+/// decoder heads are instances of this type.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mlp {
+    pub layers: Vec<Linear>,
+    pub hidden_act: Activation,
+}
+
+impl Mlp {
+    /// `dims = [in, h1, ..., out]`; requires at least one layer.
+    pub fn new(
+        ps: &mut ParamStore,
+        name: &str,
+        dims: &[usize],
+        hidden_act: Activation,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least [in, out] dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(ps, &format!("{name}.l{i}"), w[0], w[1], rng))
+            .collect();
+        Self { layers, hidden_act }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, mut x: Var) -> Var {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(tape, x);
+            if i < last {
+                x = self.hidden_act.apply(tape, x);
+            }
+        }
+        x
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].out_dim
+    }
+}
+
+/// Gated Recurrent Unit cell, the state-update function of the GatedGNN
+/// (Eq. (3) of the paper: `h_v^{t+1} = GRU(h_v^t, m_v^t)`).
+///
+/// Convention: the *message* is the input `x`, the node state is `h`:
+/// ```text
+/// z  = σ(x·Wz + h·Uz + bz)        update gate
+/// r  = σ(x·Wr + h·Ur + br)        reset gate
+/// ĥ  = tanh(x·Wh + (r ⊙ h)·Uh + bh)
+/// h' = (1 − z) ⊙ h + z ⊙ ĥ
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GruCell {
+    pub wz: ParamId,
+    pub uz: ParamId,
+    pub bz: ParamId,
+    pub wr: ParamId,
+    pub ur: ParamId,
+    pub br: ParamId,
+    pub wh: ParamId,
+    pub uh: ParamId,
+    pub bh: ParamId,
+    pub input_dim: usize,
+    pub state_dim: usize,
+}
+
+impl GruCell {
+    pub fn new(
+        ps: &mut ParamStore,
+        name: &str,
+        input_dim: usize,
+        state_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let mut reg = |n: &str, i: usize, o: usize, rng: &mut Rng| {
+            ps.register_xavier(format!("{name}.{n}"), i, o, rng)
+        };
+        let wz = reg("wz", input_dim, state_dim, rng);
+        let uz = reg("uz", state_dim, state_dim, rng);
+        let wr = reg("wr", input_dim, state_dim, rng);
+        let ur = reg("ur", state_dim, state_dim, rng);
+        let wh = reg("wh", input_dim, state_dim, rng);
+        let uh = reg("uh", state_dim, state_dim, rng);
+        let bz = ps.register_bias(format!("{name}.bz"), state_dim);
+        let br = ps.register_bias(format!("{name}.br"), state_dim);
+        let bh = ps.register_bias(format!("{name}.bh"), state_dim);
+        Self { wz, uz, bz, wr, ur, br, wh, uh, bh, input_dim, state_dim }
+    }
+
+    /// One GRU step over a batch of rows: `x` is `n × input_dim`, `h` is
+    /// `n × state_dim`; returns the new `n × state_dim` state.
+    pub fn forward(&self, tape: &mut Tape, x: Var, h: Var) -> Var {
+        let wz = tape.param(self.wz);
+        let uz = tape.param(self.uz);
+        let bz = tape.param(self.bz);
+        let xwz = tape.matmul(x, wz);
+        let huz = tape.matmul(h, uz);
+        let zs = tape.add(xwz, huz);
+        let zs = tape.add_bias(zs, bz);
+        let z = tape.sigmoid(zs);
+
+        let wr = tape.param(self.wr);
+        let ur = tape.param(self.ur);
+        let br = tape.param(self.br);
+        let xwr = tape.matmul(x, wr);
+        let hur = tape.matmul(h, ur);
+        let rs = tape.add(xwr, hur);
+        let rs = tape.add_bias(rs, br);
+        let r = tape.sigmoid(rs);
+
+        let wh = tape.param(self.wh);
+        let uh = tape.param(self.uh);
+        let bh = tape.param(self.bh);
+        let rh = tape.mul(r, h);
+        let xwh = tape.matmul(x, wh);
+        let rhuh = tape.matmul(rh, uh);
+        let hs = tape.add(xwh, rhuh);
+        let hs = tape.add_bias(hs, bh);
+        let hhat = tape.tanh(hs);
+
+        // h' = h + z ⊙ (ĥ − h)  (algebraically identical to the canonical
+        // form, one fewer elementwise op)
+        let diff = tape.sub(hhat, h);
+        let zdiff = tape.mul(z, diff);
+        tape.add(h, zdiff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::gradient_check;
+    use pddl_tensor::Matrix;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = Rng::new(1);
+        let mut ps = ParamStore::new();
+        let lin = Linear::new(&mut ps, "l", 4, 7, &mut rng);
+        let mut tape = Tape::new(&ps);
+        let x = tape.constant(Matrix::zeros(3, 4));
+        let y = lin.forward(&mut tape, x);
+        assert_eq!(tape.shape(y), (3, 7));
+    }
+
+    #[test]
+    fn mlp_forward_and_dims() {
+        let mut rng = Rng::new(2);
+        let mut ps = ParamStore::new();
+        let mlp = Mlp::new(&mut ps, "m", &[5, 8, 3], Activation::Relu, &mut rng);
+        assert_eq!(mlp.in_dim(), 5);
+        assert_eq!(mlp.out_dim(), 3);
+        let mut tape = Tape::new(&ps);
+        let x = tape.constant(Matrix::ones(2, 5));
+        let y = mlp.forward(&mut tape, x);
+        assert_eq!(tape.shape(y), (2, 3));
+    }
+
+    #[test]
+    fn mlp_gradcheck() {
+        let mut rng = Rng::new(3);
+        let mut ps = ParamStore::new();
+        let mlp = Mlp::new(&mut ps, "m", &[3, 5, 2], Activation::Tanh, &mut rng);
+        let x = Matrix::rand_normal(4, 3, 1.0, &mut rng);
+        let t = Matrix::rand_normal(4, 2, 1.0, &mut rng);
+        let err = gradient_check(
+            &mut ps,
+            |tape| {
+                let xv = tape.constant(x.clone());
+                let y = mlp.forward(tape, xv);
+                let tv = tape.constant(t.clone());
+                tape.mse_loss(y, tv)
+            },
+            8,
+        );
+        assert!(err < 3e-2, "err={err}");
+    }
+
+    #[test]
+    fn gru_state_shape_preserved() {
+        let mut rng = Rng::new(4);
+        let mut ps = ParamStore::new();
+        let gru = GruCell::new(&mut ps, "g", 6, 10, &mut rng);
+        let mut tape = Tape::new(&ps);
+        let x = tape.constant(Matrix::ones(3, 6));
+        let h = tape.constant(Matrix::zeros(3, 10));
+        let h2 = gru.forward(&mut tape, x, h);
+        assert_eq!(tape.shape(h2), (3, 10));
+    }
+
+    #[test]
+    fn gru_gradcheck() {
+        let mut rng = Rng::new(5);
+        let mut ps = ParamStore::new();
+        let gru = GruCell::new(&mut ps, "g", 3, 4, &mut rng);
+        let x = Matrix::rand_normal(2, 3, 1.0, &mut rng);
+        let h0 = Matrix::rand_normal(2, 4, 0.5, &mut rng);
+        let t = Matrix::rand_normal(2, 4, 0.5, &mut rng);
+        let err = gradient_check(
+            &mut ps,
+            |tape| {
+                let xv = tape.constant(x.clone());
+                let hv = tape.constant(h0.clone());
+                let h1 = gru.forward(tape, xv, hv);
+                // Two chained steps exercise reuse of the same parameters.
+                let h2 = gru.forward(tape, xv, h1);
+                let tv = tape.constant(t.clone());
+                tape.mse_loss(h2, tv)
+            },
+            6,
+        );
+        assert!(err < 4e-2, "err={err}");
+    }
+
+    #[test]
+    fn gru_zero_update_gate_keeps_state() {
+        // With z≈0 (Wz,Uz,bz ≈ large negative), h' should stay close to h.
+        let mut rng = Rng::new(6);
+        let mut ps = ParamStore::new();
+        let gru = GruCell::new(&mut ps, "g", 2, 3, &mut rng);
+        // Force the update-gate bias very negative.
+        ps.get_mut(gru.bz).map_inplace(|_| -20.0);
+        let mut tape = Tape::new(&ps);
+        let x = tape.constant(Matrix::ones(1, 2));
+        let h = tape.constant(Matrix::from_rows(&[&[0.3, -0.7, 0.9]]));
+        let h2 = gru.forward(&mut tape, x, h);
+        let before = tape.value(h).clone();
+        let after = tape.value(h2).clone();
+        assert!((&after - &before).max_abs() < 1e-4);
+    }
+}

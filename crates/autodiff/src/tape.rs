@@ -1,0 +1,984 @@
+//! The tape: parameter store, recorded operations, and the backward pass.
+
+use pddl_tensor::{Matrix, Rng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Handle to a persistent trainable parameter in a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// Handle to a value on a [`Tape`]. Valid only for the tape that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// Owns the trainable parameters of a model across forward passes.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    values: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter with an initial value; the name is for
+    /// diagnostics only and need not be unique.
+    pub fn register(&mut self, name: impl Into<String>, init: Matrix) -> ParamId {
+        self.values.push(init);
+        self.names.push(name.into());
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Xavier-initialized `fan_in × fan_out` weight.
+    pub fn register_xavier(
+        &mut self,
+        name: impl Into<String>,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut Rng,
+    ) -> ParamId {
+        self.register(name, Matrix::xavier(fan_in, fan_out, rng))
+    }
+
+    /// Zero-initialized `1 × n` bias.
+    pub fn register_bias(&mut self, name: impl Into<String>, n: usize) -> ParamId {
+        self.register(name, Matrix::zeros(1, n))
+    }
+
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterator over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(|m| m.len()).sum()
+    }
+}
+
+/// Gradients of a scalar loss with respect to store parameters.
+#[derive(Clone, Debug, Default)]
+pub struct Gradients {
+    by_param: HashMap<ParamId, Matrix>,
+}
+
+impl Gradients {
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.by_param.get(&id)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&ParamId, &Matrix)> {
+        self.by_param.iter()
+    }
+
+    /// Global L2 norm over all parameter gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.by_param
+            .values()
+            .map(|g| g.sq_norm())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients so the global norm is at most `max_norm`
+    /// (gradient clipping — GHN-2 needs this to avoid explosion on deep
+    /// graphs, mirroring the paper's normalization discussion).
+    pub fn clip_global_norm(&mut self, max_norm: f32) {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in self.by_param.values_mut() {
+                g.map_inplace(|x| x * s);
+            }
+        }
+    }
+}
+
+/// Recorded operation; parents are tape indices.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Leaf constant (inputs, targets); receives no gradient.
+    Const,
+    /// Leaf bound to a store parameter; gradient is routed to the store.
+    Param(ParamId),
+    /// `a + b`, same shape.
+    Add(usize, usize),
+    /// `a - b`, same shape.
+    Sub(usize, usize),
+    /// Elementwise product.
+    Mul(usize, usize),
+    /// `a · b` matrix product.
+    MatMul(usize, usize),
+    /// Adds a `1×n` bias row to every row of `a`.
+    AddBias(usize, usize),
+    /// `alpha * a`.
+    Scale(usize, f32),
+    /// Sigmoid.
+    Sigmoid(usize),
+    /// Tanh.
+    Tanh(usize),
+    /// ReLU.
+    Relu(usize),
+    /// Column-wise concatenation; stores the inputs and their widths.
+    ConcatCols(Vec<usize>),
+    /// Column slice `[start, end)` of parent with original width `w`.
+    SliceCols(usize, usize, usize, usize),
+    /// Row slice `[start, end)` of parent with original height `h`.
+    SliceRows(usize, usize, usize, usize),
+    /// Row-wise (vertical) concatenation; stores inputs and their heights.
+    ConcatRows(Vec<usize>),
+    /// Shape change without data movement; stores the parent's shape.
+    Reshape(usize, usize, usize),
+    /// Mean over all entries → 1×1.
+    Mean(usize),
+    /// Sum over all entries → 1×1.
+    Sum(usize),
+    /// Column-wise mean over rows → 1×n (graph readout / batch mean).
+    MeanRows(usize),
+    /// Mean squared error between parent 0 and parent 1 → 1×1.
+    MseLoss(usize, usize),
+    /// Row-wise L2 normalization: each row divided by its L2 norm (+eps).
+    /// This is the "operation-dependent normalization" primitive GHN-2 uses
+    /// to stabilize message passing.
+    RowL2Norm(usize),
+    /// Row-wise softmax (numerically stabilized by row-max subtraction).
+    SoftmaxRows(usize),
+    /// Mean cross-entropy between row-softmax of parent 0 (logits) and
+    /// one-hot/probability targets in parent 1 → 1×1. Fused so the backward
+    /// pass uses the exact `(softmax(z) − y)/n` gradient.
+    CrossEntropyLoss(usize, usize),
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+}
+
+/// A single forward pass's computation record.
+pub struct Tape<'p> {
+    params: &'p ParamStore,
+    nodes: Vec<Node>,
+}
+
+impl<'p> Tape<'p> {
+    pub fn new(params: &'p ParamStore) -> Self {
+        Self { params, nodes: Vec::with_capacity(256) }
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        self.nodes.push(Node { op, value });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Current value of a variable.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Shape of a variable.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    /// Number of recorded nodes (for capacity diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a constant leaf (no gradient).
+    pub fn constant(&mut self, m: Matrix) -> Var {
+        self.push(Op::Const, m)
+    }
+
+    /// Records a parameter leaf; its gradient lands in [`Gradients`].
+    pub fn param(&mut self, id: ParamId) -> Var {
+        let value = self.params.get(id).clone();
+        self.push(Op::Param(id), value)
+    }
+
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value + &self.nodes[b.0].value;
+        self.push(Op::Add(a.0, b.0), v)
+    }
+
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value - &self.nodes[b.0].value;
+        self.push(Op::Sub(a.0, b.0), v)
+    }
+
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(Op::Mul(a.0, b.0), v)
+    }
+
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(Op::MatMul(a.0, b.0), v)
+    }
+
+    /// `a` (m×n) plus bias row `b` (1×n) broadcast over rows.
+    pub fn add_bias(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.add_row_broadcast(&self.nodes[b.0].value);
+        self.push(Op::AddBias(a.0, b.0), v)
+    }
+
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.nodes[a.0].value.scale(alpha);
+        self.push(Op::Scale(a.0, alpha), v)
+    }
+
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a.0), v)
+    }
+
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.tanh());
+        self.push(Op::Tanh(a.0), v)
+    }
+
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(Op::Relu(a.0), v)
+    }
+
+    /// Column-wise concatenation of variables with equal row counts.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let mats: Vec<&Matrix> = parts.iter().map(|p| &self.nodes[p.0].value).collect();
+        let v = Matrix::hstack(&mats);
+        self.push(Op::ConcatCols(parts.iter().map(|p| p.0).collect()), v)
+    }
+
+    /// Extracts columns `[start, end)`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let src = &self.nodes[a.0].value;
+        let (rows, w) = src.shape();
+        assert!(start <= end && end <= w, "slice_cols out of range");
+        let mut out = Matrix::zeros(rows, end - start);
+        for r in 0..rows {
+            out.row_mut(r).copy_from_slice(&src.row(r)[start..end]);
+        }
+        self.push(Op::SliceCols(a.0, start, end, w), out)
+    }
+
+    /// Extracts rows `[start, end)`.
+    pub fn slice_rows(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let src = &self.nodes[a.0].value;
+        let h = src.rows();
+        assert!(start <= end && end <= h, "slice_rows out of range");
+        let out = src.slice_rows(start, end);
+        self.push(Op::SliceRows(a.0, start, end, h), out)
+    }
+
+    /// Row-wise (vertical) concatenation of variables with equal widths.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        let mats: Vec<&Matrix> = parts.iter().map(|p| &self.nodes[p.0].value).collect();
+        let v = Matrix::vstack(&mats);
+        self.push(Op::ConcatRows(parts.iter().map(|p| p.0).collect()), v)
+    }
+
+    /// Reshapes to `rows × cols` (element count must match); the backward
+    /// pass reshapes the gradient back. Used by hypernetwork decoders that
+    /// emit flat weight vectors.
+    pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
+        let src = &self.nodes[a.0].value;
+        let (orig_r, orig_c) = src.shape();
+        assert_eq!(orig_r * orig_c, rows * cols, "reshape element count mismatch");
+        let out = Matrix::from_vec(rows, cols, src.as_slice().to_vec());
+        self.push(Op::Reshape(a.0, orig_r, orig_c), out)
+    }
+
+    /// Mean over all entries → scalar (1×1).
+    pub fn mean(&mut self, a: Var) -> Var {
+        let v = Matrix::filled(1, 1, self.nodes[a.0].value.mean());
+        self.push(Op::Mean(a.0), v)
+    }
+
+    /// Sum over all entries → scalar (1×1).
+    pub fn sum(&mut self, a: Var) -> Var {
+        let v = Matrix::filled(1, 1, self.nodes[a.0].value.sum());
+        self.push(Op::Sum(a.0), v)
+    }
+
+    /// Column-wise mean over rows → 1×n. Used as the GHN graph readout.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.mean_rows();
+        self.push(Op::MeanRows(a.0), v)
+    }
+
+    /// Mean-squared-error loss between prediction and target → scalar.
+    pub fn mse_loss(&mut self, pred: Var, target: Var) -> Var {
+        let p = &self.nodes[pred.0].value;
+        let t = &self.nodes[target.0].value;
+        assert_eq!(p.shape(), t.shape(), "mse shape mismatch");
+        let diff = p - t;
+        let v = Matrix::filled(1, 1, diff.sq_norm() / p.len() as f32);
+        self.push(Op::MseLoss(pred.0, target.0), v)
+    }
+
+    /// Row-wise L2 normalization (each row scaled to unit norm, eps-guarded).
+    pub fn row_l2_norm(&mut self, a: Var) -> Var {
+        let src = &self.nodes[a.0].value;
+        let mut out = src.clone();
+        for r in 0..out.rows() {
+            let norm = norm_eps(src.row(r));
+            for x in out.row_mut(r) {
+                *x /= norm;
+            }
+        }
+        self.push(Op::RowL2Norm(a.0), out)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let src = &self.nodes[a.0].value;
+        let mut out = src.clone();
+        for r in 0..out.rows() {
+            softmax_row_inplace(out.row_mut(r));
+        }
+        self.push(Op::SoftmaxRows(a.0), out)
+    }
+
+    /// Mean cross-entropy loss `−Σ y log softmax(z) / rows` between logits
+    /// and (one-hot or soft) targets → scalar. The fused backward pass is
+    /// the numerically exact `(softmax(z) − y) / rows`.
+    pub fn cross_entropy_loss(&mut self, logits: Var, targets: Var) -> Var {
+        let z = &self.nodes[logits.0].value;
+        let y = &self.nodes[targets.0].value;
+        assert_eq!(z.shape(), y.shape(), "cross-entropy shape mismatch");
+        let rows = z.rows();
+        let mut total = 0.0f64;
+        for r in 0..rows {
+            let mut p = z.row(r).to_vec();
+            softmax_row_inplace(&mut p);
+            for (pi, &yi) in p.iter().zip(y.row(r)) {
+                if yi != 0.0 {
+                    total -= yi as f64 * (pi.max(1e-12) as f64).ln();
+                }
+            }
+        }
+        let v = Matrix::filled(1, 1, (total / rows.max(1) as f64) as f32);
+        self.push(Op::CrossEntropyLoss(logits.0, targets.0), v)
+    }
+
+    /// Convenience: affine layer `x · w + b` with `b` broadcast.
+    pub fn affine(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let xw = self.matmul(x, w);
+        self.add_bias(xw, b)
+    }
+
+    /// Scalar value of a 1×1 variable.
+    pub fn scalar(&self, v: Var) -> f32 {
+        let m = self.value(v);
+        assert_eq!(m.shape(), (1, 1), "scalar() on non-scalar variable");
+        m[(0, 0)]
+    }
+
+    /// Runs the backward pass from a scalar `loss` (must be 1×1), returning
+    /// gradients for every parameter leaf that participated.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward() requires a scalar loss"
+        );
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Matrix::ones(1, 1));
+        let mut out = Gradients::default();
+
+        for i in (0..self.nodes.len()).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            match &self.nodes[i].op {
+                Op::Const => {}
+                Op::Param(id) => {
+                    out.by_param
+                        .entry(*id)
+                        .and_modify(|acc| acc.add_scaled(&g, 1.0))
+                        .or_insert(g);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, &g);
+                    accumulate(&mut grads, *b, &g);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, &g);
+                    let neg = g.scale(-1.0);
+                    accumulate(&mut grads, *b, &neg);
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.hadamard(&self.nodes[*b].value);
+                    let gb = g.hadamard(&self.nodes[*a].value);
+                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *b, &gb);
+                }
+                Op::MatMul(a, b) => {
+                    // d/dA (A·B) = G · Bᵀ ; d/dB = Aᵀ · G
+                    let ga = g.matmul(&self.nodes[*b].value.transpose());
+                    let gb = self.nodes[*a].value.t_matmul(&g);
+                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *b, &gb);
+                }
+                Op::AddBias(a, b) => {
+                    accumulate(&mut grads, *a, &g);
+                    let gb = g.sum_rows();
+                    accumulate(&mut grads, *b, &gb);
+                }
+                Op::Scale(a, alpha) => {
+                    let ga = g.scale(*alpha);
+                    accumulate(&mut grads, *a, &ga);
+                }
+                Op::Sigmoid(a) => {
+                    // y' = y (1 - y), using the stored output value.
+                    let y = &self.nodes[i].value;
+                    let ga = g.zip(y, |gi, yi| gi * yi * (1.0 - yi));
+                    accumulate(&mut grads, *a, &ga);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga = g.zip(y, |gi, yi| gi * (1.0 - yi * yi));
+                    accumulate(&mut grads, *a, &ga);
+                }
+                Op::Relu(a) => {
+                    let x = &self.nodes[*a].value;
+                    let ga = g.zip(x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                    accumulate(&mut grads, *a, &ga);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut offset = 0;
+                    for &p in parts {
+                        let w = self.nodes[p].value.cols();
+                        let rows = self.nodes[p].value.rows();
+                        let mut gp = Matrix::zeros(rows, w);
+                        for r in 0..rows {
+                            gp.row_mut(r)
+                                .copy_from_slice(&g.row(r)[offset..offset + w]);
+                        }
+                        accumulate(&mut grads, p, &gp);
+                        offset += w;
+                    }
+                }
+                Op::SliceCols(a, start, _end, w) => {
+                    let rows = g.rows();
+                    let mut ga = Matrix::zeros(rows, *w);
+                    for r in 0..rows {
+                        ga.row_mut(r)[*start..*start + g.cols()]
+                            .copy_from_slice(g.row(r));
+                    }
+                    accumulate(&mut grads, *a, &ga);
+                }
+                Op::SliceRows(a, start, _end, h) => {
+                    let cols = g.cols();
+                    let mut ga = Matrix::zeros(*h, cols);
+                    for r in 0..g.rows() {
+                        ga.row_mut(start + r).copy_from_slice(g.row(r));
+                    }
+                    accumulate(&mut grads, *a, &ga);
+                }
+                Op::ConcatRows(parts) => {
+                    let mut offset = 0;
+                    for &p in parts {
+                        let h = self.nodes[p].value.rows();
+                        let gp = g.slice_rows(offset, offset + h);
+                        accumulate(&mut grads, p, &gp);
+                        offset += h;
+                    }
+                }
+                Op::Reshape(a, orig_r, orig_c) => {
+                    let ga = Matrix::from_vec(*orig_r, *orig_c, g.as_slice().to_vec());
+                    accumulate(&mut grads, *a, &ga);
+                }
+                Op::Mean(a) => {
+                    let (r, c) = self.nodes[*a].value.shape();
+                    let ga = Matrix::filled(r, c, g[(0, 0)] / (r * c) as f32);
+                    accumulate(&mut grads, *a, &ga);
+                }
+                Op::Sum(a) => {
+                    let (r, c) = self.nodes[*a].value.shape();
+                    let ga = Matrix::filled(r, c, g[(0, 0)]);
+                    accumulate(&mut grads, *a, &ga);
+                }
+                Op::MeanRows(a) => {
+                    let (r, c) = self.nodes[*a].value.shape();
+                    let mut ga = Matrix::zeros(r, c);
+                    let scale = 1.0 / r as f32;
+                    for row in 0..r {
+                        for (x, &gv) in ga.row_mut(row).iter_mut().zip(g.row(0)) {
+                            *x = gv * scale;
+                        }
+                    }
+                    accumulate(&mut grads, *a, &ga);
+                }
+                Op::MseLoss(p, t) => {
+                    let pv = &self.nodes[*p].value;
+                    let tv = &self.nodes[*t].value;
+                    let scale = 2.0 * g[(0, 0)] / pv.len() as f32;
+                    let gp = pv.zip(tv, |pi, ti| scale * (pi - ti));
+                    accumulate(&mut grads, *p, &gp);
+                    let gt = gp.scale(-1.0);
+                    accumulate(&mut grads, *t, &gt);
+                }
+                Op::SoftmaxRows(a) => {
+                    // dz = (g − (g·y) 1ᵀ) ⊙ y per row, using stored y.
+                    let y = &self.nodes[i].value;
+                    let (r, c) = y.shape();
+                    let mut ga = Matrix::zeros(r, c);
+                    for row in 0..r {
+                        let yr = y.row(row);
+                        let gr = g.row(row);
+                        let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+                        for (j, out) in ga.row_mut(row).iter_mut().enumerate() {
+                            *out = yr[j] * (gr[j] - dot);
+                        }
+                    }
+                    accumulate(&mut grads, *a, &ga);
+                }
+                Op::CrossEntropyLoss(z, t) => {
+                    let zv = &self.nodes[*z].value;
+                    let tv = &self.nodes[*t].value;
+                    let (r, c) = zv.shape();
+                    let scale = g[(0, 0)] / r as f32;
+                    let mut gz = Matrix::zeros(r, c);
+                    for row in 0..r {
+                        let mut p = zv.row(row).to_vec();
+                        softmax_row_inplace(&mut p);
+                        for (j, out) in gz.row_mut(row).iter_mut().enumerate() {
+                            *out = scale * (p[j] - tv.row(row)[j]);
+                        }
+                    }
+                    accumulate(&mut grads, *z, &gz);
+                    // Targets are labels; no gradient flows to them.
+                }
+                Op::RowL2Norm(a) => {
+                    // y = x / ||x||; dy/dx = (I - y yᵀ) / ||x|| per row.
+                    let x = &self.nodes[*a].value;
+                    let y = &self.nodes[i].value;
+                    let (r, c) = x.shape();
+                    let mut ga = Matrix::zeros(r, c);
+                    for row in 0..r {
+                        let norm = norm_eps(x.row(row));
+                        let yr = y.row(row);
+                        let gr = g.row(row);
+                        let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+                        for (j, out) in ga.row_mut(row).iter_mut().enumerate() {
+                            *out = (gr[j] - yr[j] * dot) / norm;
+                        }
+                    }
+                    accumulate(&mut grads, *a, &ga);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Numerically stable in-place row softmax.
+fn softmax_row_inplace(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum.max(1e-12);
+    for x in row.iter_mut() {
+        *x *= inv;
+    }
+}
+
+fn norm_eps(row: &[f32]) -> f32 {
+    (row.iter().map(|x| x * x).sum::<f32>().sqrt()).max(1e-6)
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], idx: usize, g: &Matrix) {
+    match &mut grads[idx] {
+        Some(acc) => acc.add_scaled(g, 1.0),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+/// Finite-difference gradient check for a scalar function of the parameter
+/// store. Returns the relative L2 error between the analytic and numeric
+/// gradient vectors over all probed coordinates:
+/// `‖g_num − g_exact‖ / (‖g_num‖ + ‖g_exact‖ + ε)`.
+///
+/// Aggregating over coordinates makes the check robust to the f32
+/// finite-difference noise that dominates individually tiny gradients; a
+/// genuinely wrong VJP shows up as a large aggregate error.
+///
+/// `f` must rebuild the computation from scratch on each call (the usual
+/// forward-pass closure). Only the first `max_coords` coordinates of each
+/// parameter are probed to keep tests fast.
+pub fn gradient_check(
+    params: &mut ParamStore,
+    f: impl Fn(&mut Tape) -> Var,
+    max_coords: usize,
+) -> f32 {
+    // Analytic gradients.
+    let analytic = {
+        let mut tape = Tape::new(params);
+        let loss = f(&mut tape);
+        tape.backward(loss)
+    };
+    let eps = 1e-2f32;
+    let mut diff_sq = 0.0f64;
+    let mut num_sq = 0.0f64;
+    let mut exact_sq = 0.0f64;
+    for id in params.ids().collect::<Vec<_>>() {
+        let n = params.get(id).len().min(max_coords);
+        for k in 0..n {
+            let orig = params.get(id).as_slice()[k];
+            params.get_mut(id).as_mut_slice()[k] = orig + eps;
+            let lp = {
+                let mut tape = Tape::new(params);
+                let loss = f(&mut tape);
+                tape.scalar(loss)
+            };
+            params.get_mut(id).as_mut_slice()[k] = orig - eps;
+            let lm = {
+                let mut tape = Tape::new(params);
+                let loss = f(&mut tape);
+                tape.scalar(loss)
+            };
+            params.get_mut(id).as_mut_slice()[k] = orig;
+            let numeric = ((lp - lm) / (2.0 * eps)) as f64;
+            let exact = analytic.get(id).map_or(0.0, |g| g.as_slice()[k]) as f64;
+            diff_sq += (numeric - exact) * (numeric - exact);
+            num_sq += numeric * numeric;
+            exact_sq += exact * exact;
+        }
+    }
+    (diff_sq.sqrt() / (num_sq.sqrt() + exact_sq.sqrt() + 1e-8)) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_gradients_match_finite_differences() {
+        let mut rng = Rng::new(1);
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::rand_normal(3, 4, 0.5, &mut rng));
+        let x = Matrix::rand_normal(2, 3, 1.0, &mut rng);
+        let t = Matrix::rand_normal(2, 4, 1.0, &mut rng);
+        let err = gradient_check(
+            &mut ps,
+            |tape| {
+                let xv = tape.constant(x.clone());
+                let wv = tape.param(w);
+                let y = tape.matmul(xv, wv);
+                let tv = tape.constant(t.clone());
+                tape.mse_loss(y, tv)
+            },
+            12,
+        );
+        assert!(err < 2e-2, "gradcheck err={err}");
+    }
+
+    #[test]
+    fn deep_composite_gradients_match() {
+        // Two-layer MLP with tanh + sigmoid + bias + concat + slice.
+        let mut rng = Rng::new(2);
+        let mut ps = ParamStore::new();
+        let w1 = ps.register("w1", Matrix::rand_normal(4, 6, 0.4, &mut rng));
+        let b1 = ps.register("b1", Matrix::rand_normal(1, 6, 0.1, &mut rng));
+        let w2 = ps.register("w2", Matrix::rand_normal(6, 2, 0.4, &mut rng));
+        let x = Matrix::rand_normal(5, 4, 1.0, &mut rng);
+        let t = Matrix::rand_normal(5, 2, 1.0, &mut rng);
+        let err = gradient_check(
+            &mut ps,
+            |tape| {
+                let xv = tape.constant(x.clone());
+                let w1v = tape.param(w1);
+                let b1v = tape.param(b1);
+                let h = tape.affine(xv, w1v, b1v);
+                let h = tape.tanh(h);
+                let left = tape.slice_cols(h, 0, 3);
+                let right = tape.slice_cols(h, 3, 6);
+                let h = tape.concat_cols(&[left, right]);
+                let w2v = tape.param(w2);
+                let y = tape.matmul(h, w2v);
+                let y = tape.sigmoid(y);
+                let tv = tape.constant(t.clone());
+                tape.mse_loss(y, tv)
+            },
+            10,
+        );
+        assert!(err < 3e-2, "gradcheck err={err}");
+    }
+
+    #[test]
+    fn row_l2_norm_gradients_match() {
+        let mut rng = Rng::new(3);
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::rand_normal(3, 5, 0.8, &mut rng));
+        let t = Matrix::rand_normal(3, 5, 0.5, &mut rng);
+        let err = gradient_check(
+            &mut ps,
+            |tape| {
+                let wv = tape.param(w);
+                let y = tape.row_l2_norm(wv);
+                let tv = tape.constant(t.clone());
+                tape.mse_loss(y, tv)
+            },
+            15,
+        );
+        assert!(err < 3e-2, "gradcheck err={err}");
+    }
+
+    #[test]
+    fn relu_mean_rows_gradients_match() {
+        let mut rng = Rng::new(4);
+        let mut ps = ParamStore::new();
+        // Offset away from 0 so finite differences don't straddle the kink.
+        let mut init = Matrix::rand_normal(4, 3, 1.0, &mut rng);
+        init.map_inplace(|x| if x.abs() < 0.05 { 0.2 } else { x });
+        let w = ps.register("w", init);
+        let t = Matrix::rand_normal(1, 3, 0.5, &mut rng);
+        let err = gradient_check(
+            &mut ps,
+            |tape| {
+                let wv = tape.param(w);
+                let y = tape.relu(wv);
+                let y = tape.mean_rows(y);
+                let tv = tape.constant(t.clone());
+                tape.mse_loss(y, tv)
+            },
+            12,
+        );
+        assert!(err < 2e-2, "gradcheck err={err}");
+    }
+
+    #[test]
+    fn parameter_used_twice_accumulates_gradient() {
+        // loss = mean((w + w)²) → dloss/dw = 8w/len; reuse must sum branches.
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::from_rows(&[&[1.0, -2.0]]));
+        let mut tape = Tape::new(&ps);
+        let wv = tape.param(w);
+        let s = tape.add(wv, wv);
+        let sq = tape.mul(s, s);
+        let loss = tape.mean(sq);
+        let grads = tape.backward(loss);
+        let g = grads.get(w).unwrap();
+        assert!((g[(0, 0)] - 4.0).abs() < 1e-5, "{g:?}");
+        assert!((g[(0, 1)] + 8.0).abs() < 1e-5, "{g:?}");
+    }
+
+    #[test]
+    fn constants_receive_no_parameter_gradient() {
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::ones(1, 1));
+        let mut tape = Tape::new(&ps);
+        let c = tape.constant(Matrix::filled(1, 1, 3.0));
+        let sq = tape.mul(c, c);
+        let loss = tape.mean(sq);
+        let grads = tape.backward(loss);
+        assert!(grads.get(w).is_none());
+    }
+
+    #[test]
+    fn clip_global_norm_bounds_gradients() {
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::filled(1, 2, 100.0));
+        let mut tape = Tape::new(&ps);
+        let wv = tape.param(w);
+        let sq = tape.mul(wv, wv);
+        let loss = tape.sum(sq);
+        let mut grads = tape.backward(loss);
+        assert!(grads.global_norm() > 1.0);
+        grads.clip_global_norm(1.0);
+        assert!((grads.global_norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scalar_panics_on_matrix() {
+        let ps = ParamStore::new();
+        let mut tape = Tape::new(&ps);
+        let c = tape.constant(Matrix::zeros(2, 2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tape.scalar(c)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn slice_and_concat_rows_gradcheck() {
+        let mut rng = Rng::new(31);
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::rand_normal(4, 3, 0.7, &mut rng));
+        let t = Matrix::rand_normal(4, 3, 0.5, &mut rng);
+        let err = gradient_check(
+            &mut ps,
+            |tape| {
+                let wv = tape.param(w);
+                // Split into rows, transform one, and reassemble.
+                let r0 = tape.slice_rows(wv, 0, 1);
+                let r1 = tape.slice_rows(wv, 1, 3);
+                let r2 = tape.slice_rows(wv, 3, 4);
+                let r1t = tape.tanh(r1);
+                let back = tape.concat_rows(&[r0, r1t, r2]);
+                let tv = tape.constant(t.clone());
+                tape.mse_loss(back, tv)
+            },
+            12,
+        );
+        assert!(err < 2e-2, "err={err}");
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_gradcheck() {
+        let mut rng = Rng::new(41);
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::rand_normal(3, 4, 1.0, &mut rng));
+        let t = Matrix::rand_normal(3, 4, 0.3, &mut rng);
+        {
+            let mut tape = Tape::new(&ps);
+            let wv = tape.param(w);
+            let y = tape.softmax_rows(wv);
+            let yv = tape.value(y);
+            for r in 0..3 {
+                let s: f32 = yv.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+                assert!(yv.row(r).iter().all(|&p| p > 0.0));
+            }
+        }
+        let err = gradient_check(
+            &mut ps,
+            |tape| {
+                let wv = tape.param(w);
+                let y = tape.softmax_rows(wv);
+                let tv = tape.constant(t.clone());
+                tape.mse_loss(y, tv)
+            },
+            12,
+        );
+        assert!(err < 3e-2, "err={err}");
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck_and_value() {
+        let mut rng = Rng::new(42);
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::rand_normal(4, 3, 1.0, &mut rng));
+        // One-hot targets.
+        let mut y = Matrix::zeros(4, 3);
+        for r in 0..4 {
+            y[(r, r % 3)] = 1.0;
+        }
+        // Value check: uniform logits → loss = ln(3).
+        {
+            let mut tape = Tape::new(&ps);
+            let z = tape.constant(Matrix::zeros(4, 3));
+            let t = tape.constant(y.clone());
+            let loss = tape.cross_entropy_loss(z, t);
+            assert!((tape.scalar(loss) - 3.0f32.ln()).abs() < 1e-5);
+        }
+        let err = gradient_check(
+            &mut ps,
+            |tape| {
+                let wv = tape.param(w);
+                let tv = tape.constant(y.clone());
+                tape.cross_entropy_loss(wv, tv)
+            },
+            12,
+        );
+        assert!(err < 2e-2, "err={err}");
+    }
+
+    #[test]
+    fn cross_entropy_decreases_under_sgd() {
+        use crate::optim::{Optimizer, Sgd};
+        let mut rng = Rng::new(43);
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::rand_normal(6, 3, 0.5, &mut rng));
+        let mut y = Matrix::zeros(6, 3);
+        for r in 0..6 {
+            y[(r, r % 3)] = 1.0;
+        }
+        let mut opt = Sgd::new(0.5);
+        let mut losses = Vec::new();
+        for _ in 0..120 {
+            let (value, grads) = {
+                let mut tape = Tape::new(&ps);
+                let wv = tape.param(w);
+                let tv = tape.constant(y.clone());
+                let loss = tape.cross_entropy_loss(wv, tv);
+                (tape.scalar(loss), tape.backward(loss))
+            };
+            losses.push(value);
+            opt.step(&mut ps, &grads);
+        }
+        assert!(losses.last().unwrap() < &(losses[0] * 0.2), "{losses:?}");
+    }
+
+    #[test]
+    fn reshape_gradcheck() {
+        let mut rng = Rng::new(33);
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::rand_normal(1, 6, 0.7, &mut rng));
+        let x = Matrix::rand_normal(4, 2, 1.0, &mut rng);
+        let t = Matrix::rand_normal(4, 3, 0.5, &mut rng);
+        let err = gradient_check(
+            &mut ps,
+            |tape| {
+                let wv = tape.param(w);
+                let wmat = tape.reshape(wv, 2, 3); // flat weights → matrix
+                let xv = tape.constant(x.clone());
+                let y = tape.matmul(xv, wmat);
+                let tv = tape.constant(t.clone());
+                tape.mse_loss(y, tv)
+            },
+            6,
+        );
+        assert!(err < 2e-2, "err={err}");
+    }
+
+    #[test]
+    fn sub_and_scale_backward() {
+        let mut ps = ParamStore::new();
+        let a = ps.register("a", Matrix::filled(1, 1, 5.0));
+        let b = ps.register("b", Matrix::filled(1, 1, 2.0));
+        // loss = (3a - b)² → d/da = 6(3a-b) = 78, d/db = -2(3a-b) = -26
+        let mut tape = Tape::new(&ps);
+        let av = tape.param(a);
+        let bv = tape.param(b);
+        let a3 = tape.scale(av, 3.0);
+        let d = tape.sub(a3, bv);
+        let sq = tape.mul(d, d);
+        let loss = tape.sum(sq);
+        let grads = tape.backward(loss);
+        assert!((grads.get(a).unwrap()[(0, 0)] - 78.0).abs() < 1e-3);
+        assert!((grads.get(b).unwrap()[(0, 0)] + 26.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property test: gradients of *randomly composed* op chains always match
+//! finite differences. This sweeps the op space far more broadly than the
+//! hand-written unit tests.
+
+use pddl_autodiff::{gradient_check, ParamStore, Tape, Var};
+use pddl_tensor::{Matrix, Rng};
+use proptest::prelude::*;
+
+/// One step in a random chain of shape-preserving ops.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Tanh,
+    Sigmoid,
+    Relu,
+    Scale(i8),
+    RowNorm,
+    MatmulSquare, // multiply by a fixed random square matrix
+    AddConst,
+    MulConst,
+}
+
+fn apply(step: Step, tape: &mut Tape, x: Var, dim: usize, rng: &mut Rng) -> Var {
+    match step {
+        Step::Tanh => tape.tanh(x),
+        Step::Sigmoid => tape.sigmoid(x),
+        Step::Relu => tape.relu(x),
+        Step::Scale(s) => tape.scale(x, s as f32 / 4.0 + 1.5),
+        Step::RowNorm => tape.row_l2_norm(x),
+        Step::MatmulSquare => {
+            let m = tape.constant(Matrix::rand_normal(dim, dim, 0.5, rng));
+            tape.matmul(x, m)
+        }
+        Step::AddConst => {
+            let (r, c) = tape.shape(x);
+            let m = tape.constant(Matrix::rand_normal(r, c, 0.5, rng));
+            tape.add(x, m)
+        }
+        Step::MulConst => {
+            let (r, c) = tape.shape(x);
+            let m = tape.constant(Matrix::rand_normal(r, c, 0.5, rng));
+            tape.mul(x, m)
+        }
+    }
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::Tanh),
+        Just(Step::Sigmoid),
+        Just(Step::Relu),
+        (-4i8..4).prop_map(Step::Scale),
+        Just(Step::RowNorm),
+        Just(Step::MatmulSquare),
+        Just(Step::AddConst),
+        Just(Step::MulConst),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn random_chains_gradcheck(
+        steps in prop::collection::vec(arb_step(), 1..6),
+        seed in any::<u64>(),
+        rows in 1usize..4,
+        dim in 2usize..5,
+    ) {
+        let mut init_rng = Rng::new(seed);
+        // Nudge values away from ReLU kinks so finite differences are clean.
+        let mut init = Matrix::rand_normal(rows, dim, 0.8, &mut init_rng);
+        init.map_inplace(|v| if v.abs() < 0.05 { 0.2 } else { v });
+        let target = Matrix::rand_normal(rows, dim, 0.5, &mut init_rng);
+
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", init);
+        let err = gradient_check(
+            &mut ps,
+            |tape| {
+                // Constants must be identical across re-evaluations: reseed.
+                let mut rng = Rng::new(seed ^ 0xC0);
+                let mut x = tape.param(w);
+                for &s in &steps {
+                    x = apply(s, tape, x, dim, &mut rng);
+                }
+                let t = tape.constant(target.clone());
+                tape.mse_loss(x, t)
+            },
+            8,
+        );
+        prop_assert!(err < 0.08, "chain {:?}: gradcheck err {}", steps, err);
+    }
+}

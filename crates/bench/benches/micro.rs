@@ -1,0 +1,157 @@
+//! Criterion micro-benchmarks for the performance-critical components:
+//! GHN embedding generation (the per-request cost PredictDDL adds over a
+//! black box, §IV-B5), end-to-end inference, the simulator, GEMM, and the
+//! regression fits.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pddl_cluster::{ClusterState, ServerClass};
+use pddl_ddlsim::{SimConfig, Simulator, Workload};
+use pddl_ernest::model::{ErnestModel, ErnestSample};
+use pddl_ghn::train::TrainConfig;
+use pddl_ghn::{Ghn, GhnConfig, GhnTrainer, SynthGenerator};
+use pddl_regress::{Regression, Regressor};
+use pddl_tensor::{Matrix, Rng};
+use pddl_zoo::{build_model, CIFAR10};
+use predictddl::{OfflineTrainer, PredictionRequest};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = Rng::new(1);
+    let a = Matrix::rand_normal(128, 128, 1.0, &mut rng);
+    let b = Matrix::rand_normal(128, 128, 1.0, &mut rng);
+    c.bench_function("gemm_128x128", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+}
+
+fn bench_ghn_embedding(c: &mut Criterion) {
+    let mut rng = Rng::new(2);
+    let ghn = Ghn::new(GhnConfig::default(), &mut rng);
+    let mut group = c.benchmark_group("ghn_embed");
+    for name in ["squeezenet1_1", "resnet18", "resnet50", "densenet121"] {
+        let g = build_model(name, &CIFAR10).unwrap();
+        group.bench_function(name, |bench| {
+            bench.iter(|| black_box(ghn.embed_graph(&g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ghn_sync_vs_sequential(c: &mut Criterion) {
+    // Gauss-Seidel (paper-faithful) vs Jacobi (parallelizable) schedules.
+    let mut rng = Rng::new(9);
+    let ghn = Ghn::new(GhnConfig::default(), &mut rng);
+    let g = build_model("resnet50", &CIFAR10).unwrap();
+    let mut group = c.benchmark_group("ghn_schedule");
+    group.bench_function("sequential_T1", |bench| {
+        bench.iter(|| black_box(ghn.embed_graph(&g)))
+    });
+    group.bench_function("synchronous_4sweeps", |bench| {
+        bench.iter(|| black_box(ghn.embed_graph_sync(&g, 4)))
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    // Small but real system: the per-request path of Fig. 7.
+    let system = OfflineTrainer::tiny().train_full();
+    let req = PredictionRequest::zoo(
+        Workload::new("resnet18", "cifar10", 128, 2),
+        ClusterState::homogeneous(ServerClass::GpuP100, 4),
+    );
+    c.bench_function("predict_end_to_end", |bench| {
+        bench.iter(|| black_box(system.predict(&req).unwrap().seconds))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let sim = Simulator::new(SimConfig::default());
+    let w = Workload::standard("resnet50", "cifar10");
+    let cluster = ClusterState::homogeneous(ServerClass::GpuP100, 8);
+    c.bench_function("simulator_expected_time", |bench| {
+        bench.iter(|| black_box(sim.expected_time(&w, &cluster).unwrap()))
+    });
+}
+
+fn bench_regressors(c: &mut Criterion) {
+    let mut rng = Rng::new(3);
+    let n = 400;
+    let d = 20;
+    let x = Matrix::rand_normal(n, d, 1.0, &mut rng);
+    let y: Vec<f32> = (0..n)
+        .map(|i| x.row(i).iter().sum::<f32>() + 0.1 * rng.normal())
+        .collect();
+    let mut group = c.benchmark_group("regressor_fit");
+    group.sample_size(20);
+    group.bench_function("PR_degree2", |bench| {
+        bench.iter_batched(
+            || Regression::polynomial(2, 1e-3),
+            |mut m| {
+                m.fit(&x, &y);
+                black_box(m.predict(&x)[0])
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("LR", |bench| {
+        bench.iter_batched(
+            Regression::linear,
+            |mut m| {
+                m.fit(&x, &y);
+                black_box(m.predict(&x)[0])
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_ernest_fit(c: &mut Criterion) {
+    let samples: Vec<ErnestSample> = (1..=16)
+        .map(|m| ErnestSample {
+            scale: 1.0,
+            machines: m,
+            time_secs: 100.0 / m as f64 + 2.0 * m as f64,
+        })
+        .collect();
+    c.bench_function("ernest_nnls_fit", |bench| {
+        bench.iter(|| black_box(ErnestModel::fit(&samples).theta[0]))
+    });
+}
+
+fn bench_ghn_training_step(c: &mut Criterion) {
+    // One meta-training epoch over a small synthetic set (the dominant cost
+    // of PredictDDL's one-time offline phase).
+    let mut group = c.benchmark_group("ghn_meta_training");
+    group.sample_size(10);
+    group.bench_function("epoch_16graphs_d8", |bench| {
+        bench.iter_batched(
+            || {
+                let mut rng = Rng::new(4);
+                let ghn = Ghn::new(GhnConfig::tiny(), &mut rng);
+                let mut gen = SynthGenerator::new(CIFAR10, 5);
+                let graphs = gen.sample_many(16);
+                (ghn, graphs)
+            },
+            |(mut ghn, graphs)| {
+                let cfg = TrainConfig { num_graphs: 16, epochs: 1, ..TrainConfig::tiny() };
+                black_box(GhnTrainer::new(cfg).train_on(&mut ghn, &graphs).final_loss)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_ghn_embedding,
+    bench_ghn_sync_vs_sequential,
+    bench_inference,
+    bench_simulator,
+    bench_regressors,
+    bench_ernest_fit,
+    bench_ghn_training_step
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Diagnostic (not a paper figure): upper-bounds achievable accuracy by
+//! replacing the GHN embedding with *oracle* architecture descriptors
+//! (log-FLOPs, log-params, arithmetic intensity, grouped fraction,
+//! branching). If the oracle matches the GHN system's error, the regression
+//! family is the bottleneck; if it is far better, the embedding is.
+
+use pddl_bench::*;
+use pddl_regress::{Regression, Regressor, StandardScaler};
+use pddl_tensor::Matrix;
+use pddl_zoo::ModelSpec;
+use std::collections::HashMap;
+
+fn main() {
+    let records = standard_trace();
+    let (train, test) = split_records(&records, 0.8, 0x916);
+
+    // Oracle per-model features.
+    let mut specs: HashMap<String, ModelSpec> = HashMap::new();
+    for r in records.iter() {
+        let key = format!("{}@{}", r.workload.model, r.workload.dataset);
+        specs.entry(key).or_insert_with(|| {
+            ModelSpec::from_graph(&r.workload.build_graph().unwrap())
+        });
+    }
+    let feat = |r: &pddl_ddlsim::TraceRecord| -> Vec<f32> {
+        let s = &specs[&format!("{}@{}", r.workload.model, r.workload.dataset)];
+        let c = r.cluster();
+        let cf = c.feature_vector();
+        let mut f = vec![
+            (s.flops_per_example.log10() - 7.0) as f32,
+            ((s.params as f64).log10() - 6.5) as f32,
+            (s.arithmetic_intensity().log10()) as f32,
+            s.grouped_flop_fraction as f32,
+            s.branching_fraction as f32,
+            (s.activation_elems as f64).log10() as f32 - 5.0,
+            s.depth as f32 / 100.0,
+        ];
+        f.extend(cf.iter().map(|&v| v as f32));
+        f.push((r.workload.batch_size as f32).log10());
+        f.push(r.workload.epochs as f32 / 10.0);
+        f
+    };
+
+    for (name, mut model) in [
+        ("PR-squares", Regression::polynomial_squares(2, 1e-3)),
+        ("PR-full", Regression::polynomial(2, 1e-3)),
+        ("LR", Regression::linear()),
+    ] {
+        let d = feat(&train[0]).len();
+        let mut x = Matrix::zeros(train.len(), d);
+        let mut y = Vec::new();
+        for (i, r) in train.iter().enumerate() {
+            x.set_row(i, &feat(r));
+            y.push(r.time_secs.log10() as f32);
+        }
+        let scaler = StandardScaler::fit(&x);
+        model.fit(&scaler.transform(&x), &y);
+        let mut ratios = Vec::new();
+        for r in &test {
+            let xr = Matrix::from_vec(1, d, feat(r));
+            let p = 10f64.powf(model.predict(&scaler.transform(&xr))[0] as f64);
+            ratios.push(p / r.time_secs);
+        }
+        println!("oracle {name:<12} mean |ratio-1| = {:.1}%", 100.0 * mean_abs_err(&ratios));
+    }
+}

@@ -1,0 +1,105 @@
+//! Extension experiment: configuration search with CherryPick vs PredictDDL
+//! (the paper's §V-A discussion: CherryPick finds good cloud configs with a
+//! smaller search cost than Ernest but "is sensitive to workload changes
+//! and requires retraining" — i.e. re-probing — for every new workload).
+//!
+//! Task: for each Table II CIFAR-10 workload, find the cluster size
+//! minimizing runtime. CherryPick pays real probe runs per workload;
+//! PredictDDL answers every candidate from one trained model, paying only
+//! milliseconds of inference.
+//!
+//! ```sh
+//! cargo run --release -p pddl-bench --bin exp_config_search
+//! ```
+
+use pddl_bench::*;
+use pddl_cherrypick::search::candidate_grid;
+use pddl_cherrypick::CherryPick;
+use pddl_cluster::ServerClass;
+use pddl_ddlsim::{SimConfig, Simulator, Workload};
+
+fn main() {
+    let records = dataset_trace("cifar10");
+    let (train, _) = split_records(&records, 0.8, 0xCC);
+    let system = train_system(&train, 0xCC);
+    let sim = Simulator::new(SimConfig::default());
+    let candidates = candidate_grid(ServerClass::GpuP100, 20);
+    let cp = CherryPick::default();
+
+    println!("\n=== extension: cluster-size search, CherryPick vs PredictDDL ===\n");
+    print_header(&[
+        "workload",
+        "optimum",
+        "CherryPick",
+        "probes",
+        "probe cost",
+        "PredictDDL",
+    ]);
+
+    let mut cp_regret = 0.0f64;
+    let mut pd_regret = 0.0f64;
+    let mut total_probe_cost = 0.0f64;
+    let mut count = 0usize;
+    for (model, dataset) in table2_workloads() {
+        if dataset != "cifar10" {
+            continue;
+        }
+        let w = Workload::new(model, "cifar10", 128, 10);
+        // Ground-truth optimum.
+        let times: Vec<f64> = candidates
+            .iter()
+            .map(|c| sim.expected_time(&w, &c.cluster()).unwrap())
+            .collect();
+        let (opt_idx, &opt_time) = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+
+        // CherryPick: probes real runs for THIS workload.
+        let out = cp.search(&sim, &w, &candidates, |secs, _| secs);
+        let cp_actual = sim.expected_time(&w, &out.best.cluster()).unwrap();
+
+        // PredictDDL: evaluate every candidate from the trained model.
+        let pd_best = candidates
+            .iter()
+            .min_by(|a, b| {
+                let ta = system
+                    .predict_workload(&w, &a.cluster())
+                    .map(|p| p.seconds)
+                    .unwrap_or(f64::INFINITY);
+                let tb = system
+                    .predict_workload(&w, &b.cluster())
+                    .map(|p| p.seconds)
+                    .unwrap_or(f64::INFINITY);
+                ta.partial_cmp(&tb).unwrap()
+            })
+            .unwrap();
+        let pd_actual = sim.expected_time(&w, &pd_best.cluster()).unwrap();
+
+        println!(
+            "{:<28}{:>11}srv{:>11}srv{:>14}{:>13.0}s{:>11}srv",
+            model,
+            candidates[opt_idx].servers,
+            out.best.servers,
+            out.probes,
+            out.probe_cost_secs,
+            pd_best.servers,
+        );
+        cp_regret += cp_actual / opt_time - 1.0;
+        pd_regret += pd_actual / opt_time - 1.0;
+        total_probe_cost += out.probe_cost_secs;
+        count += 1;
+    }
+    println!(
+        "\nmean regret vs optimum:  CherryPick {:.1}%   PredictDDL {:.1}%",
+        100.0 * cp_regret / count as f64,
+        100.0 * pd_regret / count as f64
+    );
+    println!(
+        "search cost for {count} workloads: CherryPick {total_probe_cost:.0} simulated seconds of probe runs; PredictDDL ~{:.0} ms of inference (model trained once).",
+        count as f64 * 20.0 * 0.2
+    );
+    println!("\nCherryPick is sample-efficient per workload but restarts for every");
+    println!("new DNN; PredictDDL amortizes one model across all of them (§V-A).");
+}

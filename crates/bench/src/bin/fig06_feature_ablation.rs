@@ -1,0 +1,133 @@
+//! Fig. 6: impact of DNN-architecture features on prediction accuracy.
+//!
+//! Compares second-order polynomial regression with different DNN feature
+//! sets: #params, #layers, layers+params, GHN embedding, and
+//! GHN+layers+params (the paper finds GHN alone best: combining adds
+//! duplicate internal representations). Reported as mean Predicted/Actual
+//! ratio per dataset — closer to 1 is better.
+//!
+//! ```sh
+//! cargo run --release -p pddl-bench --bin fig06_feature_ablation
+//! ```
+
+use pddl_bench::*;
+use pddl_ddlsim::TraceRecord;
+use pddl_ghn::train::TrainConfig;
+use pddl_ghn::{Ghn, GhnConfig, GhnTrainer, SynthGenerator};
+use pddl_regress::{Regression, Regressor, StandardScaler};
+use pddl_tensor::{Matrix, Rng};
+use pddl_zoo::{build_model, dataset::dataset_by_name, ModelSpec};
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum FeatSet {
+    Params,
+    Layers,
+    LayersParams,
+    Ghn,
+    GhnPlusAll,
+}
+
+impl FeatSet {
+    fn label(self) -> &'static str {
+        match self {
+            FeatSet::Params => "#params",
+            FeatSet::Layers => "#layers",
+            FeatSet::LayersParams => "layers+params",
+            FeatSet::Ghn => "GHN",
+            FeatSet::GhnPlusAll => "GHN+layers+params",
+        }
+    }
+}
+
+fn main() {
+    println!("=== Fig. 6: DNN feature ablation (PR degree 2, closer to 1 is better) ===\n");
+
+    for dataset in ["cifar10", "tiny-imagenet"] {
+        let records = dataset_trace(dataset);
+        let (train, test) = split_records(&records, 0.8, 0xF6);
+        let ds = dataset_by_name(dataset).unwrap();
+
+        // Per-model descriptors.
+        let mut specs: HashMap<String, ModelSpec> = HashMap::new();
+        for name in pddl_zoo::model_names() {
+            specs.insert(
+                name.to_string(),
+                ModelSpec::from_graph(&build_model(name, ds).unwrap()),
+            );
+        }
+        // One GHN per dataset, meta-trained on its synthetic distribution.
+        eprintln!("[fig06] training GHN for {dataset} ...");
+        let mut rng = Rng::new(0xF6);
+        let mut ghn = Ghn::new(GhnConfig::default(), &mut rng);
+        let mut gen = SynthGenerator::new(ds.clone(), 0xF6);
+        GhnTrainer::new(TrainConfig::default()).train(&mut ghn, &mut gen);
+        let mut embeds: HashMap<String, Vec<f32>> = HashMap::new();
+        for name in pddl_zoo::model_names() {
+            embeds.insert(
+                name.to_string(),
+                ghn.embed_graph(&build_model(name, ds).unwrap()),
+            );
+        }
+
+        let features = |r: &TraceRecord, set: FeatSet| -> Vec<f32> {
+            let s = &specs[&r.workload.model];
+            let mut f: Vec<f32> = match set {
+                FeatSet::Params => vec![((s.params as f64).log10()) as f32],
+                FeatSet::Layers => vec![s.layers as f32 / 10.0],
+                FeatSet::LayersParams => {
+                    vec![s.layers as f32 / 10.0, ((s.params as f64).log10()) as f32]
+                }
+                FeatSet::Ghn => embeds[&r.workload.model].clone(),
+                FeatSet::GhnPlusAll => {
+                    let mut v = embeds[&r.workload.model].clone();
+                    v.push(s.layers as f32 / 10.0);
+                    v.push(((s.params as f64).log10()) as f32);
+                    v
+                }
+            };
+            let cf = r.cluster().feature_vector();
+            f.extend(cf.iter().map(|&v| v as f32));
+            f.push((r.workload.batch_size as f32).log10());
+            f
+        };
+
+        println!("--- {dataset} ---");
+        print_header(&["feature set", "mean ratio", "|ratio-1|"]);
+        for set in [
+            FeatSet::Params,
+            FeatSet::Layers,
+            FeatSet::LayersParams,
+            FeatSet::Ghn,
+            FeatSet::GhnPlusAll,
+        ] {
+            let d = features(&train[0], set).len();
+            let mut x = Matrix::zeros(train.len(), d);
+            let mut y = Vec::new();
+            for (i, r) in train.iter().enumerate() {
+                x.set_row(i, &features(r, set));
+                y.push(r.time_secs.log10() as f32);
+            }
+            let scaler = StandardScaler::fit(&x);
+            let mut model = Regression::polynomial(2, 1e-2);
+            model.fit(&scaler.transform(&x), &y);
+            let ratios: Vec<f64> = test
+                .iter()
+                .map(|r| {
+                    let xr = Matrix::from_vec(1, d, features(r, set));
+                    let p = 10f64.powf(model.predict(&scaler.transform(&xr))[0] as f64);
+                    p / r.time_secs
+                })
+                .collect();
+            println!(
+                "{:<28}{:>14.3}{:>13.1}%",
+                set.label(),
+                mean(&ratios),
+                100.0 * mean_abs_err(&ratios)
+            );
+        }
+        println!();
+    }
+    println!("(paper: GHN 96.4% / 97.4% lower error than #layers / #params;");
+    println!(" combining GHN with layers/params does not improve it)");
+}

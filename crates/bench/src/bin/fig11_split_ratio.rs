@@ -1,0 +1,59 @@
+//! Fig. 11: sensitivity of the prediction error to the train/test split
+//! ratio (50/50, 67/33, 80/20) on five CIFAR-10 workloads.
+//!
+//! The paper observes PredictDDL "performs well on all three split ratios,
+//! but does not improve in accuracy when the size of the train split
+//! increases."
+//!
+//! ```sh
+//! cargo run --release -p pddl-bench --bin fig11_split_ratio
+//! ```
+
+use pddl_bench::*;
+
+const FIG11_WORKLOADS: [&str; 5] = [
+    "efficientnet_b0",
+    "vgg16",
+    "resnet18",
+    "mobilenet_v3_large",
+    "alexnet",
+];
+
+fn main() {
+    let records = dataset_trace("cifar10");
+    println!("=== Fig. 11: train-split sensitivity (CIFAR-10, closer to 1 is better) ===\n");
+    print_header(&["workload", "50/50", "67/33", "80/20"]);
+
+    let splits = [(0.50, "50/50"), (0.67, "67/33"), (0.80, "80/20")];
+    // Train one system per split ratio.
+    let mut per_split = Vec::new();
+    for &(frac, _) in &splits {
+        let (train, test) = split_records(&records, frac, 0xF11);
+        let system = train_system(&train, 0xF11);
+        per_split.push((system, test));
+    }
+
+    let mut grand = vec![Vec::new(); splits.len()];
+    for model in FIG11_WORKLOADS {
+        let mut row = format!("{model:<28}");
+        for (si, (system, test)) in per_split.iter().enumerate() {
+            let ratios = workload_ratios(test, model, "cifar10", |r| {
+                system
+                    .predict_workload(&r.workload, &r.cluster())
+                    .map(|p| p.seconds)
+                    .unwrap_or(f64::NAN)
+            });
+            row += &format!("{:>14.3}", mean(&ratios));
+            grand[si].push(mean_abs_err(&ratios));
+        }
+        println!("{row}");
+    }
+    println!();
+    let mut summary = format!("{:<28}", "mean |ratio-1|");
+    for g in &grand {
+        summary += &format!("{:>13.1}%", 100.0 * mean(g));
+    }
+    println!("{summary}");
+    println!("\n(paper: accuracy is stable across split ratios — more training data");
+    println!(" does not automatically improve unseen-workload accuracy)");
+}

@@ -1,0 +1,52 @@
+//! Fig. 12: impact of the training-cluster size (4, 8, 16 servers) on
+//! PredictDDL's prediction error across the Table II workloads.
+//!
+//! The paper reports errors from 0.1% up to 23.5% across workloads and
+//! sizes, concluding PredictDDL "remains effective irrespective of the
+//! scale of the execution environment."
+//!
+//! ```sh
+//! cargo run --release -p pddl-bench --bin fig12_cluster_size
+//! ```
+
+use pddl_bench::*;
+use pddl_cluster::ClusterState;
+use pddl_ddlsim::{SimConfig, Simulator, Workload};
+
+fn main() {
+    let records = standard_trace();
+    let (train, _) = split_records(&records, 0.8, 0xF12);
+    let system = train_system(&train, 0xF12);
+    let sim = Simulator::new(SimConfig::default());
+
+    println!("\n=== Fig. 12: prediction ratio vs cluster size (closer to 1 is better) ===\n");
+    print_header(&["workload", "4 servers", "8 servers", "16 servers"]);
+
+    let sizes = [4usize, 8, 16];
+    let mut all_errs = Vec::new();
+    for (model, dataset) in table2_workloads() {
+        let class = class_for_dataset(dataset);
+        let mut row = format!("{:<28}", format!("{model}@{dataset}"));
+        for &n in &sizes {
+            let w = Workload::new(model, dataset, 128, 10);
+            let cluster = ClusterState::homogeneous(class, n);
+            let actual = sim.measure(&w, &cluster, 1).expect("simulate");
+            let pred = system
+                .predict_workload(&w, &cluster)
+                .expect("predict")
+                .seconds;
+            let ratio = pred / actual;
+            all_errs.push((ratio - 1.0).abs());
+            row += &format!("{ratio:>14.3}");
+        }
+        println!("{row}");
+    }
+    let min = all_errs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = all_errs.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\nerror range across workloads and sizes: {:.1}% .. {:.1}% (paper: 0.1% .. 23.5%)",
+        100.0 * min,
+        100.0 * max
+    );
+    println!("mean error: {:.1}%", 100.0 * mean(&all_errs));
+}

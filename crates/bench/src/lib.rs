@@ -1,0 +1,175 @@
+//! Shared experiment harness for the figure-reproduction binaries.
+//!
+//! Each `src/bin/figNN_*.rs` binary regenerates one figure of the paper's
+//! evaluation (Section IV). This library holds the common plumbing: the
+//! standard trace, the Table II workload list, pooled-Ernest fitting, and
+//! ratio bookkeeping.
+
+use pddl_cluster::ServerClass;
+use pddl_ddlsim::{generate_trace, TraceConfig, TraceRecord};
+use pddl_ernest::model::{ErnestModel, ErnestSample};
+use pddl_regress::split::train_test_split;
+use predictddl::{OfflineTrainer, PredictDdl};
+use std::collections::HashMap;
+
+/// Table II of the paper: the eleven evaluation workloads.
+/// (`MobileNet-V3` → the large variant; `SqueezeNet-1` → 1_0.)
+pub fn table2_workloads() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("efficientnet_b0", "cifar10"),
+        ("resnext50_32x4d", "cifar10"),
+        ("vgg16", "cifar10"),
+        ("alexnet", "cifar10"),
+        ("resnet18", "cifar10"),
+        ("densenet161", "cifar10"),
+        ("mobilenet_v3_large", "cifar10"),
+        ("squeezenet1_0", "cifar10"),
+        ("alexnet", "tiny-imagenet"),
+        ("resnet18", "tiny-imagenet"),
+        ("squeezenet1_0", "tiny-imagenet"),
+    ]
+}
+
+/// The standard experiment corpus: the full 31-model × {CIFAR-10 on GPUs,
+/// Tiny-ImageNet on CPUs} × 1–20 servers trace (paper §IV-A2's 2,000-point
+/// collection).
+pub fn standard_trace() -> Vec<TraceRecord> {
+    generate_trace(&TraceConfig::default())
+}
+
+/// A trace restricted to one dataset.
+pub fn dataset_trace(dataset: &str) -> Vec<TraceRecord> {
+    let mut cfg = TraceConfig::default();
+    cfg.dataset_clusters
+        .retain(|(d, _)| d.eq_ignore_ascii_case(dataset));
+    generate_trace(&cfg)
+}
+
+/// Splits a trace into train/test record sets by the given train fraction.
+pub fn split_records(
+    records: &[TraceRecord],
+    train_fraction: f64,
+    seed: u64,
+) -> (Vec<TraceRecord>, Vec<TraceRecord>) {
+    let (tr, te) = train_test_split(records.len(), train_fraction, seed);
+    (
+        tr.iter().map(|&i| records[i].clone()).collect(),
+        te.iter().map(|&i| records[i].clone()).collect(),
+    )
+}
+
+/// The standard PredictDDL training configuration used by the figure
+/// harness (full-size GHN, paper-default polynomial regression).
+pub fn standard_trainer(seed: u64) -> OfflineTrainer {
+    OfflineTrainer { seed, ..OfflineTrainer::default() }
+}
+
+/// Trains the standard system on the given records, logging progress.
+pub fn train_system(records: &[TraceRecord], seed: u64) -> PredictDdl {
+    eprintln!(
+        "[harness] offline-training PredictDDL on {} records ...",
+        records.len()
+    );
+    let system = standard_trainer(seed).train_from_records(records);
+    eprintln!(
+        "[harness]   GHN {:.1}s | embeddings {:.1}s | regressor {:.2}s",
+        system.train_cost.ghn_secs, system.train_cost.embed_secs, system.train_cost.fit_secs
+    );
+    system
+}
+
+/// Fits one pooled Ernest model per dataset over the training records —
+/// the black-box baseline of Fig. 9 ("the black box approach ... averages
+/// the measurements of the collected training samples").
+pub fn pooled_ernest(train: &[TraceRecord]) -> HashMap<String, ErnestModel> {
+    let mut per_dataset: HashMap<String, Vec<ErnestSample>> = HashMap::new();
+    for r in train {
+        per_dataset
+            .entry(r.workload.dataset.to_ascii_lowercase())
+            .or_default()
+            .push(ErnestSample {
+                scale: 1.0,
+                machines: r.num_servers,
+                time_secs: r.time_secs,
+            });
+    }
+    per_dataset
+        .into_iter()
+        .map(|(ds, samples)| (ds.clone(), ErnestModel::fit(&samples)))
+        .collect()
+}
+
+/// Prediction ratios (pred/actual) for the test records of one workload.
+pub fn workload_ratios(
+    test: &[TraceRecord],
+    model: &str,
+    dataset: &str,
+    mut predict: impl FnMut(&TraceRecord) -> f64,
+) -> Vec<f64> {
+    test.iter()
+        .filter(|r| {
+            r.workload.model == model && r.workload.dataset.eq_ignore_ascii_case(dataset)
+        })
+        .map(|r| predict(r) / r.time_secs)
+        .collect()
+}
+
+/// Mean of |ratio − 1| over a slice of ratios.
+pub fn mean_abs_err(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return f64::NAN;
+    }
+    ratios.iter().map(|r| (r - 1.0).abs()).sum::<f64>() / ratios.len() as f64
+}
+
+pub fn mean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return f64::NAN;
+    }
+    ratios.iter().sum::<f64>() / ratios.len() as f64
+}
+
+/// Formats the standard figure table header.
+pub fn print_header(cols: &[&str]) {
+    let mut line = format!("{:<28}", cols[0]);
+    for c in &cols[1..] {
+        line += &format!("{c:>14}");
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(100)));
+}
+
+/// Server class used for a dataset in the standard trace.
+pub fn class_for_dataset(dataset: &str) -> ServerClass {
+    if dataset.eq_ignore_ascii_case("cifar10") {
+        ServerClass::GpuP100
+    } else {
+        ServerClass::CpuE5_2630
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_eleven_workloads() {
+        let t = table2_workloads();
+        assert_eq!(t.len(), 11);
+        assert_eq!(t.iter().filter(|(_, d)| *d == "cifar10").count(), 8);
+        assert_eq!(t.iter().filter(|(_, d)| *d == "tiny-imagenet").count(), 3);
+    }
+
+    #[test]
+    fn split_preserves_counts() {
+        let records = dataset_trace("cifar10");
+        let (tr, te) = split_records(&records, 0.8, 1);
+        assert_eq!(tr.len() + te.len(), records.len());
+    }
+
+    #[test]
+    fn mean_abs_err_of_perfect_ratios_is_zero() {
+        assert_eq!(mean_abs_err(&[1.0, 1.0]), 0.0);
+        assert!((mean_abs_err(&[1.2, 0.8]) - 0.2).abs() < 1e-12);
+    }
+}

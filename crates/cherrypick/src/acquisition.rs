@@ -1,0 +1,77 @@
+//! Acquisition function: expected improvement for minimization.
+
+/// Standard normal PDF.
+fn phi(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF via the erf identity (Abramowitz–Stegun 7.1.26
+/// polynomial approximation, |err| < 1.5e-7 — plenty for acquisition
+/// ranking).
+fn big_phi(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Expected improvement of a candidate with posterior `(mean, var)` over the
+/// current best (lowest) observed value, for minimization:
+/// `EI = (best − μ) Φ(z) + σ φ(z)`, `z = (best − μ)/σ`.
+pub fn expected_improvement(mean: f32, var: f32, best: f32) -> f32 {
+    let sigma = (var.max(0.0) as f64).sqrt();
+    if sigma < 1e-12 {
+        return (best as f64 - mean as f64).max(0.0) as f32;
+    }
+    let improve = best as f64 - mean as f64;
+    let z = improve / sigma;
+    (improve * big_phi(z) + sigma * phi(z)).max(0.0) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427008).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427008).abs() < 1e-5);
+        assert!((erf(3.0) - 0.9999779).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ei_zero_when_certain_and_worse() {
+        // Mean far above best with no uncertainty → no improvement.
+        assert_eq!(expected_improvement(10.0, 0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn ei_positive_when_certain_and_better() {
+        let ei = expected_improvement(3.0, 0.0, 5.0);
+        assert!((ei - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ei_grows_with_uncertainty() {
+        let low = expected_improvement(6.0, 0.01, 5.0);
+        let high = expected_improvement(6.0, 4.0, 5.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn ei_prefers_lower_mean_at_equal_variance() {
+        let better = expected_improvement(4.0, 1.0, 5.0);
+        let worse = expected_improvement(6.0, 1.0, 5.0);
+        assert!(better > worse);
+    }
+}

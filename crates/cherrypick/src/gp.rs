@@ -1,0 +1,159 @@
+//! Gaussian-process regression with an RBF kernel.
+//!
+//! Minimal but correct: posterior mean/variance via Cholesky of
+//! `K + σ²I`. Targets are internally centered; hyperparameters are fixed
+//! per search (CherryPick's GP likewise uses simple fixed kernels).
+
+use pddl_tensor::linalg::{cholesky, solve_spd};
+use pddl_tensor::Matrix;
+
+/// GP with RBF kernel `σ_f² exp(−‖a−b‖² / (2ℓ²))` and noise `σ_n²`.
+#[derive(Clone, Debug)]
+pub struct GaussianProcess {
+    pub lengthscale: f32,
+    pub signal_var: f32,
+    pub noise_var: f32,
+    x: Vec<Vec<f32>>,
+    alpha: Vec<f32>,
+    chol: Option<Matrix>,
+    y_mean: f32,
+}
+
+impl GaussianProcess {
+    pub fn new(lengthscale: f32, signal_var: f32, noise_var: f32) -> Self {
+        assert!(lengthscale > 0.0 && signal_var > 0.0 && noise_var > 0.0);
+        Self {
+            lengthscale,
+            signal_var,
+            noise_var,
+            x: Vec::new(),
+            alpha: Vec::new(),
+            chol: None,
+            y_mean: 0.0,
+        }
+    }
+
+    fn kernel(&self, a: &[f32], b: &[f32]) -> f32 {
+        let d2: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        self.signal_var * (-d2 / (2.0 * self.lengthscale * self.lengthscale)).exp()
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Fits the posterior on observations `(x_i, y_i)`.
+    pub fn fit(&mut self, x: &[Vec<f32>], y: &[f32]) {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "GP needs at least one observation");
+        let n = x.len();
+        self.y_mean = y.iter().sum::<f32>() / n as f32;
+        let yc: Vec<f32> = y.iter().map(|v| v - self.y_mean).collect();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = self.kernel(&x[i], &x[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+            k[(i, i)] += self.noise_var;
+        }
+        self.alpha = solve_spd(&k, &yc).expect("K + σ²I is SPD");
+        self.chol = cholesky(&k);
+        self.x = x.to_vec();
+    }
+
+    /// Posterior mean and variance at a query point.
+    pub fn predict(&self, q: &[f32]) -> (f32, f32) {
+        assert!(!self.x.is_empty(), "predict before fit");
+        let kstar: Vec<f32> = self.x.iter().map(|xi| self.kernel(xi, q)).collect();
+        let mean = self.y_mean
+            + kstar
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f32>();
+        // var = k(q,q) − k*ᵀ (K+σ²I)⁻¹ k*, via forward-substitution on L.
+        let var = match &self.chol {
+            Some(l) => {
+                let n = self.x.len();
+                let mut v = vec![0.0f64; n];
+                for i in 0..n {
+                    let mut s = kstar[i] as f64;
+                    for j in 0..i {
+                        s -= l[(i, j)] as f64 * v[j];
+                    }
+                    v[i] = s / l[(i, i)] as f64;
+                }
+                let reduction: f64 = v.iter().map(|x| x * x).sum();
+                (self.kernel(q, q) as f64 - reduction).max(1e-9) as f32
+            }
+            None => self.signal_var,
+        };
+        (mean, var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(f: impl Fn(f32) -> f32, xs: &[f32]) -> (Vec<Vec<f32>>, Vec<f32>) {
+        (
+            xs.iter().map(|&x| vec![x]).collect(),
+            xs.iter().map(|&x| f(x)).collect(),
+        )
+    }
+
+    #[test]
+    fn interpolates_observations() {
+        let (x, y) = obs(|v| v.sin(), &[-2.0, -1.0, 0.0, 1.0, 2.0]);
+        let mut gp = GaussianProcess::new(1.0, 1.0, 1e-4);
+        gp.fit(&x, &y);
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, _) = gp.predict(xi);
+            assert!((m - yi).abs() < 0.05, "at {xi:?}: {m} vs {yi}");
+        }
+    }
+
+    #[test]
+    fn variance_shrinks_near_observations() {
+        let (x, y) = obs(|v| v, &[0.0, 2.0]);
+        let mut gp = GaussianProcess::new(0.7, 1.0, 1e-4);
+        gp.fit(&x, &y);
+        let (_, var_at) = gp.predict(&[0.0]);
+        let (_, var_far) = gp.predict(&[10.0]);
+        assert!(var_at < 0.01, "{var_at}");
+        assert!(var_far > 0.5, "{var_far}");
+    }
+
+    #[test]
+    fn reverts_to_mean_far_away() {
+        let (x, y) = obs(|_| 5.0, &[0.0, 1.0]);
+        let mut gp = GaussianProcess::new(0.5, 1.0, 1e-4);
+        gp.fit(&x, &y);
+        let (m, _) = gp.predict(&[100.0]);
+        assert!((m - 5.0).abs() < 1e-3, "{m}");
+    }
+
+    #[test]
+    fn smooth_between_points() {
+        let (x, y) = obs(|v| v * v, &[-2.0, -1.0, 0.0, 1.0, 2.0]);
+        let mut gp = GaussianProcess::new(1.0, 4.0, 1e-4);
+        gp.fit(&x, &y);
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((m - 0.25).abs() < 0.3, "{m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn unfitted_panics() {
+        let gp = GaussianProcess::new(1.0, 1.0, 1e-4);
+        let _ = gp.predict(&[0.0]);
+    }
+}

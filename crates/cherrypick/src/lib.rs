@@ -1,0 +1,23 @@
+//! CherryPick (Alipourfard et al., NSDI 2017) — the second black-box
+//! baseline the paper names (§V-A): "identifies the best cloud
+//! configurations for big data analytics workloads using non-parametric
+//! Bayesian optimization with a smaller search cost than Ernest, however
+//! ... CherryPick is sensitive to workload changes, and requires retraining
+//! the prediction model."
+//!
+//! Implemented from scratch:
+//! * [`gp`] — Gaussian-process regression (RBF kernel + noise) via the
+//!   workspace Cholesky;
+//! * [`acquisition`] — expected improvement;
+//! * [`search`] — the CherryPick loop: probe a config (one real run),
+//!   update the GP, pick the next config by EI, stop when EI falls below a
+//!   threshold. Like Ernest, every new workload restarts the search from
+//!   zero — which is exactly the reusability gap PredictDDL closes.
+
+pub mod acquisition;
+pub mod gp;
+pub mod search;
+
+pub use acquisition::expected_improvement;
+pub use gp::GaussianProcess;
+pub use search::{CherryPick, ConfigPoint, SearchOutcome};

@@ -1,0 +1,221 @@
+//! The CherryPick search loop over cluster configurations.
+//!
+//! Goal (NSDI'17 §3): find a near-optimal cloud configuration for a given
+//! workload with as few *probe runs* as possible. Each probe actually runs
+//! the workload once (here: one simulator call, charged in testbed
+//! seconds); the GP models the objective over the configuration space and
+//! expected improvement picks the next probe. The search restarts from zero
+//! for every new workload — the reusability gap PredictDDL closes.
+
+use crate::acquisition::expected_improvement;
+use crate::gp::GaussianProcess;
+use pddl_cluster::{ClusterState, ServerClass};
+use pddl_ddlsim::{Simulator, Workload};
+
+/// A candidate configuration: server class × count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfigPoint {
+    pub class: ServerClass,
+    pub servers: usize,
+}
+
+impl ConfigPoint {
+    /// GP feature encoding: [log2 servers, is_gpu].
+    fn features(&self) -> Vec<f32> {
+        vec![
+            (self.servers as f32).log2(),
+            matches!(self.class, ServerClass::GpuP100) as u8 as f32,
+        ]
+    }
+
+    pub fn cluster(&self) -> ClusterState {
+        ClusterState::homogeneous(self.class, self.servers)
+    }
+}
+
+/// Search result.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// Best configuration found.
+    pub best: ConfigPoint,
+    /// Objective at the best config (seconds, or cost — see objective).
+    pub best_value: f64,
+    /// Number of probe runs performed.
+    pub probes: usize,
+    /// Total simulated seconds spent probing (the search cost the paper
+    /// contrasts with PredictDDL's zero-run inference).
+    pub probe_cost_secs: f64,
+    /// Probe history: (config, objective value).
+    pub history: Vec<(ConfigPoint, f64)>,
+}
+
+/// CherryPick searcher.
+pub struct CherryPick {
+    /// Stop when max EI falls below this fraction of the best value.
+    pub ei_threshold: f32,
+    /// Hard probe budget.
+    pub max_probes: usize,
+    /// Initial (seed) probes before the GP drives the search.
+    pub init_probes: usize,
+}
+
+impl Default for CherryPick {
+    fn default() -> Self {
+        Self { ei_threshold: 0.02, max_probes: 10, init_probes: 3 }
+    }
+}
+
+impl CherryPick {
+    /// Runs the search for one workload over the candidate space.
+    /// `objective` maps a measured runtime + config to the quantity to
+    /// minimize (runtime, or a $-cost like CherryPick's own objective).
+    pub fn search(
+        &self,
+        sim: &Simulator,
+        w: &Workload,
+        candidates: &[ConfigPoint],
+        objective: impl Fn(f64, &ConfigPoint) -> f64,
+    ) -> SearchOutcome {
+        assert!(!candidates.is_empty());
+        assert!(self.init_probes >= 1);
+        let mut history: Vec<(ConfigPoint, f64)> = Vec::new();
+        let mut probe_cost = 0.0f64;
+        let probe = |cfg: &ConfigPoint,
+                         history: &mut Vec<(ConfigPoint, f64)>,
+                         probe_cost: &mut f64| {
+            let run_id = history.len() as u64;
+            let secs = sim
+                .measure(w, &cfg.cluster(), run_id)
+                .unwrap_or(f64::INFINITY);
+            *probe_cost += if secs.is_finite() { secs } else { 0.0 };
+            history.push((*cfg, objective(secs, cfg)));
+        };
+
+        // Seed probes: spread across the candidate range.
+        let n = candidates.len();
+        for i in 0..self.init_probes.min(n) {
+            let idx = i * (n - 1) / (self.init_probes.max(2) - 1).max(1);
+            probe(&candidates[idx], &mut history, &mut probe_cost);
+        }
+
+        // BO loop.
+        while history.len() < self.max_probes {
+            let xs: Vec<Vec<f32>> = history.iter().map(|(c, _)| c.features()).collect();
+            let ys: Vec<f32> = history
+                .iter()
+                .map(|(_, v)| (v.max(1e-6)).log10() as f32)
+                .collect();
+            let mut gp = GaussianProcess::new(1.0, 1.0, 1e-3);
+            gp.fit(&xs, &ys);
+            let best_log = ys.iter().cloned().fold(f32::INFINITY, f32::min);
+
+            let mut best_cand: Option<(ConfigPoint, f32)> = None;
+            for c in candidates {
+                if history.iter().any(|(h, _)| h == c) {
+                    continue;
+                }
+                let (m, v) = gp.predict(&c.features());
+                let ei = expected_improvement(m, v, best_log);
+                if best_cand.is_none_or(|(_, b)| ei > b) {
+                    best_cand = Some((*c, ei));
+                }
+            }
+            match best_cand {
+                Some((c, ei)) if ei > self.ei_threshold => {
+                    probe(&c, &mut history, &mut probe_cost)
+                }
+                _ => break, // converged or exhausted
+            }
+        }
+
+        let (best, best_value) = history
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("non-empty history");
+        SearchOutcome {
+            best,
+            best_value,
+            probes: history.len(),
+            probe_cost_secs: probe_cost,
+            history,
+        }
+    }
+}
+
+/// Default candidate grid over one server class.
+pub fn candidate_grid(class: ServerClass, max_servers: usize) -> Vec<ConfigPoint> {
+    (1..=max_servers)
+        .map(|servers| ConfigPoint { class, servers })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pddl_ddlsim::SimConfig;
+
+    fn sim() -> Simulator {
+        Simulator::new(SimConfig::default())
+    }
+
+    #[test]
+    fn finds_near_optimal_runtime_config() {
+        let sim = sim();
+        let w = Workload::new("resnet50", "cifar10", 128, 2);
+        let candidates = candidate_grid(ServerClass::GpuP100, 20);
+        let cp = CherryPick::default();
+        let out = cp.search(&sim, &w, &candidates, |secs, _| secs);
+        // Ground truth optimum by exhaustive sweep.
+        let exact = candidates
+            .iter()
+            .map(|c| sim.expected_time(&w, &c.cluster()).unwrap())
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            out.best_value <= exact * 1.15,
+            "found {:.1}s vs optimum {:.1}s",
+            out.best_value,
+            exact
+        );
+        assert!(out.probes <= 10);
+    }
+
+    #[test]
+    fn probes_fewer_configs_than_exhaustive() {
+        let sim = sim();
+        let w = Workload::new("vgg16", "cifar10", 128, 2);
+        let candidates = candidate_grid(ServerClass::GpuP100, 20);
+        let out = CherryPick::default().search(&sim, &w, &candidates, |secs, _| secs);
+        assert!(out.probes < candidates.len() / 2, "{} probes", out.probes);
+    }
+
+    #[test]
+    fn cost_objective_prefers_fewer_servers() {
+        // $-cost: servers × hours. Scaling vgg16 beyond the knee costs more
+        // than it saves, so the cost optimum uses fewer servers than the
+        // runtime optimum.
+        let sim = sim();
+        let w = Workload::new("vgg16", "cifar10", 128, 2);
+        let candidates = candidate_grid(ServerClass::GpuP100, 20);
+        let cp = CherryPick { max_probes: 12, ..Default::default() };
+        let runtime = cp.search(&sim, &w, &candidates, |secs, _| secs);
+        let cost = cp.search(&sim, &w, &candidates, |secs, c| secs * c.servers as f64);
+        assert!(
+            cost.best.servers <= runtime.best.servers,
+            "cost {} vs runtime {}",
+            cost.best.servers,
+            runtime.best.servers
+        );
+    }
+
+    #[test]
+    fn search_cost_is_real_seconds() {
+        let sim = sim();
+        let w = Workload::new("resnet18", "cifar10", 128, 2);
+        let candidates = candidate_grid(ServerClass::GpuP100, 16);
+        let out = CherryPick::default().search(&sim, &w, &candidates, |secs, _| secs);
+        assert!(out.probe_cost_secs > 0.0);
+        // Probing is expensive: at least `probes × fastest run`.
+        assert!(out.probe_cost_secs >= out.best_value * out.probes as f64 * 0.5);
+    }
+}

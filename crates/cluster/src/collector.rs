@@ -1,0 +1,297 @@
+//! The Cluster Resource Collector (§III-F).
+//!
+//! "This component leverages a client-server architecture ... The Cluster
+//! Resource Collector maintains one thread open for new connections to the
+//! cluster and launches a pool of threads to collect details about available
+//! compute and memory resources."
+//!
+//! [`CollectorServer`] binds a TCP listener, runs one accept thread, and
+//! hands each accepted connection to a collector thread from a dynamically
+//! grown pool (one per joined server — heartbeat connections are long-lived,
+//! so a fixed-size pool would starve once the cluster outgrew it; the
+//! paper's pool likewise scales with the servers being collected from).
+//! Collector threads parse JSON-line messages and update a shared inventory
+//! behind a `parking_lot::RwLock`. [`CollectorServer::snapshot`] produces
+//! the [`ClusterState`] consumed by the Inference Engine.
+
+use crate::protocol::{read_msg, write_msg, ClientMsg, ServerMsg};
+use crate::spec::ServerSpec;
+use crate::state::{ClusterState, ServerStatus};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+#[derive(Default)]
+struct Inventory {
+    servers: HashMap<String, ServerStatus>,
+}
+
+/// The collector service handle. Dropping it shuts the service down.
+pub struct CollectorServer {
+    addr: SocketAddr,
+    inventory: Arc<RwLock<Inventory>>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl CollectorServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port). `initial_pool`
+    /// pre-sizes the handler-thread bookkeeping; the pool grows with the
+    /// number of connected servers, since heartbeat connections are
+    /// long-lived.
+    pub fn bind(addr: &str, initial_pool: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let inventory = Arc::new(RwLock::new(Inventory::default()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let _ = initial_pool; // sizing hint only; the pool grows on demand
+
+        // Accept thread: one detached collector thread per connection.
+        // Handlers exit when their client disconnects (clean EOF or error);
+        // connections still open when the server drops finish with their
+        // client, which matches the collector's process-lifetime role.
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let inv = Arc::clone(&inventory);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(false).ok();
+                            let inv = Arc::clone(&inv);
+                            std::thread::spawn(move || {
+                                let _ = handle_connection(stream, &inv);
+                            });
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        Ok(Self {
+            addr: local,
+            inventory,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (for clients connecting to an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently registered servers.
+    pub fn num_registered(&self) -> usize {
+        self.inventory.read().servers.len()
+    }
+
+    /// Current cluster snapshot, hostname-sorted for determinism.
+    pub fn snapshot(&self) -> ClusterState {
+        let inv = self.inventory.read();
+        let mut servers: Vec<ServerStatus> = inv.servers.values().cloned().collect();
+        servers.sort_by(|a, b| a.spec.hostname.cmp(&b.spec.hostname));
+        ClusterState { servers }
+    }
+}
+
+impl Drop for CollectorServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, inv: &RwLock<Inventory>) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut registered: Option<String> = None;
+    while let Some(msg) = read_msg::<ClientMsg>(&mut reader)? {
+        match msg {
+            ClientMsg::Register { spec } => {
+                registered = Some(spec.hostname.clone());
+                inv.write()
+                    .servers
+                    .insert(spec.hostname.clone(), ServerStatus::idle(spec));
+                write_msg(&mut writer, &ServerMsg::Ack)?;
+            }
+            ClientMsg::Heartbeat { hostname, cpu_util, gpus_busy } => {
+                let mut guard = inv.write();
+                match guard.servers.get_mut(&hostname) {
+                    Some(status) if (0.0..=1.0).contains(&cpu_util) => {
+                        status.cpu_util = cpu_util;
+                        status.gpus_busy = gpus_busy.min(status.spec.gpus);
+                        drop(guard);
+                        write_msg(&mut writer, &ServerMsg::Ack)?;
+                    }
+                    Some(_) => {
+                        drop(guard);
+                        write_msg(
+                            &mut writer,
+                            &ServerMsg::Error { reason: "utilization out of [0,1]".into() },
+                        )?;
+                    }
+                    None => {
+                        drop(guard);
+                        write_msg(
+                            &mut writer,
+                            &ServerMsg::Error { reason: format!("unknown host {hostname}") },
+                        )?;
+                    }
+                }
+            }
+            ClientMsg::Leave { hostname } => {
+                inv.write().servers.remove(&hostname);
+                write_msg(&mut writer, &ServerMsg::Ack)?;
+                break;
+            }
+        }
+    }
+    // Abrupt disconnect without Leave: keep the entry (the paper's
+    // collector treats missing heartbeats as stale data, not departure).
+    let _ = registered;
+    Ok(())
+}
+
+/// Client half: runs on each cluster node and reports to the collector.
+pub struct CollectorClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    hostname: String,
+}
+
+impl CollectorClient {
+    /// Connects and registers the given spec.
+    pub fn register(addr: SocketAddr, spec: ServerSpec) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        let reader = BufReader::new(stream);
+        let hostname = spec.hostname.clone();
+        let mut client = Self { writer, reader, hostname };
+        write_msg(&mut client.writer, &ClientMsg::Register { spec })?;
+        client.expect_ack()?;
+        Ok(client)
+    }
+
+    /// Sends a load report.
+    pub fn heartbeat(&mut self, cpu_util: f64, gpus_busy: usize) -> std::io::Result<()> {
+        write_msg(
+            &mut self.writer,
+            &ClientMsg::Heartbeat { hostname: self.hostname.clone(), cpu_util, gpus_busy },
+        )?;
+        self.expect_ack()
+    }
+
+    /// Gracefully leaves the cluster.
+    pub fn leave(mut self) -> std::io::Result<()> {
+        write_msg(&mut self.writer, &ClientMsg::Leave { hostname: self.hostname.clone() })?;
+        self.expect_ack()
+    }
+
+    fn expect_ack(&mut self) -> std::io::Result<()> {
+        match read_msg::<ServerMsg>(&mut self.reader)? {
+            Some(ServerMsg::Ack) => Ok(()),
+            Some(ServerMsg::Error { reason }) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                reason,
+            )),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "collector closed connection",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ServerClass;
+
+    fn spec(name: &str, class: ServerClass) -> ServerSpec {
+        ServerSpec::preset(class, name)
+    }
+
+    #[test]
+    fn register_and_snapshot() {
+        let server = CollectorServer::bind("127.0.0.1:0", 2).unwrap();
+        let c1 = CollectorClient::register(server.addr(), spec("a", ServerClass::GpuP100)).unwrap();
+        let c2 = CollectorClient::register(server.addr(), spec("b", ServerClass::CpuE5_2630)).unwrap();
+        let snap = server.snapshot();
+        assert_eq!(snap.num_servers(), 2);
+        assert_eq!(snap.servers[0].spec.hostname, "a");
+        drop((c1, c2));
+    }
+
+    #[test]
+    fn heartbeat_updates_utilization() {
+        let server = CollectorServer::bind("127.0.0.1:0", 1).unwrap();
+        let mut c = CollectorClient::register(server.addr(), spec("n", ServerClass::CpuE5_2650)).unwrap();
+        c.heartbeat(0.4, 0).unwrap();
+        let snap = server.snapshot();
+        assert!((snap.servers[0].cpu_util - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leave_removes_server() {
+        let server = CollectorServer::bind("127.0.0.1:0", 1).unwrap();
+        let c = CollectorClient::register(server.addr(), spec("n", ServerClass::CpuE5_2650)).unwrap();
+        assert_eq!(server.num_registered(), 1);
+        c.leave().unwrap();
+        // The worker processes Leave synchronously before acking, so the
+        // inventory is already updated.
+        assert_eq!(server.num_registered(), 0);
+    }
+
+    #[test]
+    fn invalid_heartbeat_rejected() {
+        let server = CollectorServer::bind("127.0.0.1:0", 1).unwrap();
+        let mut c = CollectorClient::register(server.addr(), spec("n", ServerClass::GpuP100)).unwrap();
+        let err = c.heartbeat(2.0, 0).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn abrupt_disconnect_keeps_entry() {
+        let server = CollectorServer::bind("127.0.0.1:0", 1).unwrap();
+        {
+            let _c = CollectorClient::register(server.addr(), spec("n", ServerClass::GpuP100)).unwrap();
+            // dropped without leave()
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(server.num_registered(), 1);
+    }
+
+    #[test]
+    fn many_concurrent_clients() {
+        let server = CollectorServer::bind("127.0.0.1:0", 4).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = CollectorClient::register(
+                        addr,
+                        ServerSpec::preset(ServerClass::CpuE5_2630, format!("node-{i}")),
+                    )
+                    .unwrap();
+                    c.heartbeat(0.1, 0).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.num_registered(), 12);
+    }
+}

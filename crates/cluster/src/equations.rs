@@ -1,0 +1,92 @@
+//! Partial-load resource transformations — Eq. (1) and Eq. (2) of the paper.
+//!
+//! A cluster under partial load is modeled per core:
+//! `RAM' = RAM / |cores|` (Eq. 1) and
+//! `AvailableRAM = Σ_{available cores} RAM'` (Eq. 2),
+//! "the same transformation applies to disk throughput and the number of
+//! FLOPS" (§III-C).
+
+use crate::spec::ServerSpec;
+
+/// Eq. (1): per-core share of a resource.
+pub fn per_core(total: f64, cores: usize) -> f64 {
+    assert!(cores > 0, "per_core with zero cores");
+    total / cores as f64
+}
+
+/// Eq. (2): available amount of a resource when only `available_cores` of
+/// `cores` are free.
+pub fn available(total: f64, cores: usize, available_cores: usize) -> f64 {
+    assert!(available_cores <= cores, "more available cores than installed");
+    per_core(total, cores) * available_cores as f64
+}
+
+/// Available RAM of a server given its CPU utilization (busy fraction in
+/// `[0,1]`); busy cores take their RAM share with them.
+pub fn available_ram(spec: &ServerSpec, cpu_util: f64) -> f64 {
+    let free_cores = free_cores(spec.cpu_cores, cpu_util);
+    available(spec.ram_bytes as f64, spec.cpu_cores, free_cores)
+}
+
+/// Available CPU FLOPS under partial load.
+pub fn available_flops(spec: &ServerSpec, cpu_util: f64) -> f64 {
+    let free_cores = free_cores(spec.cpu_cores, cpu_util);
+    available(spec.cpu_flops, spec.cpu_cores, free_cores)
+}
+
+/// Available disk throughput under partial load.
+pub fn available_disk(spec: &ServerSpec, cpu_util: f64) -> f64 {
+    let free_cores = free_cores(spec.cpu_cores, cpu_util);
+    available(spec.disk_bps, spec.cpu_cores, free_cores)
+}
+
+/// Number of whole cores free at the given utilization (floor — a
+/// partially busy core is not schedulable for training).
+pub fn free_cores(cores: usize, cpu_util: f64) -> usize {
+    assert!((0.0..=1.0).contains(&cpu_util), "utilization out of [0,1]");
+    ((cores as f64) * (1.0 - cpu_util)).floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ServerClass, ServerSpec};
+
+    #[test]
+    fn per_core_divides_evenly() {
+        assert_eq!(per_core(128.0, 16), 8.0);
+    }
+
+    #[test]
+    fn idle_server_has_everything_available() {
+        let s = ServerSpec::preset(ServerClass::CpuE5_2630, "x");
+        assert_eq!(available_ram(&s, 0.0), s.ram_bytes as f64);
+        assert_eq!(available_flops(&s, 0.0), s.cpu_flops);
+        assert_eq!(available_disk(&s, 0.0), s.disk_bps);
+    }
+
+    #[test]
+    fn half_loaded_server_has_half() {
+        let s = ServerSpec::preset(ServerClass::CpuE5_2630, "x");
+        let ram = available_ram(&s, 0.5);
+        assert!((ram - s.ram_bytes as f64 / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fully_loaded_server_has_nothing() {
+        let s = ServerSpec::preset(ServerClass::CpuE5_2650, "x");
+        assert_eq!(available_flops(&s, 1.0), 0.0);
+    }
+
+    #[test]
+    fn partial_cores_floor() {
+        // 8 cores at 30% busy → 5.6 → 5 free cores.
+        assert_eq!(free_cores(8, 0.3), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization out of")]
+    fn rejects_bad_utilization() {
+        let _ = free_cores(8, 1.5);
+    }
+}

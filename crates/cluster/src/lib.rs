@@ -1,0 +1,22 @@
+//! Cluster resource modeling for PredictDDL.
+//!
+//! Covers three pieces of the paper:
+//! * **§IV-A1 testbed specs** — the three CloudLab server classes
+//!   ([`spec::ServerSpec`] presets) used in every experiment;
+//! * **§III-C Inference Engine inputs** — the cluster-description feature
+//!   vector (number of servers, CPUs, GPUs, RAM, cores, FLOPS) and the
+//!   partial-load transformations of Eq. (1)–(2) ([`equations`]);
+//! * **§III-F Cluster Resource Collector** — a real client/server inventory
+//!   service over TCP with one accept thread and a worker pool
+//!   ([`collector`]).
+
+pub mod collector;
+pub mod equations;
+pub mod protocol;
+pub mod spec;
+pub mod state;
+
+pub use collector::{CollectorClient, CollectorServer};
+pub use equations::{available_flops, available_ram, per_core};
+pub use spec::{ServerClass, ServerSpec};
+pub use state::{ClusterState, ServerStatus, CLUSTER_FEATURE_DIM};

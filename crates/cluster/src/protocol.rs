@@ -1,0 +1,96 @@
+//! Wire protocol of the Cluster Resource Collector: newline-delimited JSON.
+
+use crate::spec::ServerSpec;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// Client → server messages.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ClientMsg {
+    /// First message after connecting: "every new server that joins the
+    /// cluster notifies the Cluster Resource Collector with details about
+    /// the underlying system and hardware resources" (§III-F).
+    Register { spec: ServerSpec },
+    /// Periodic load report.
+    Heartbeat { hostname: String, cpu_util: f64, gpus_busy: usize },
+    /// Graceful departure.
+    Leave { hostname: String },
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ServerMsg {
+    /// Registration accepted.
+    Ack,
+    /// Malformed or out-of-order message.
+    Error { reason: String },
+}
+
+/// Writes one message as a JSON line.
+pub fn write_msg<T: Serialize>(w: &mut impl Write, msg: &T) -> std::io::Result<()> {
+    let mut line = serde_json::to_string(msg)?;
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one JSON-line message; `Ok(None)` on clean EOF.
+pub fn read_msg<T: for<'de> Deserialize<'de>>(
+    r: &mut impl BufRead,
+) -> std::io::Result<Option<T>> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let msg = serde_json::from_str(line.trim_end())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    Ok(Some(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ServerClass, ServerSpec};
+    use std::io::{BufReader, Cursor};
+
+    #[test]
+    fn round_trip_register() {
+        let msg = ClientMsg::Register {
+            spec: ServerSpec::preset(ServerClass::CpuE5_2650, "n0"),
+        };
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &msg).unwrap();
+        let mut r = BufReader::new(Cursor::new(buf));
+        let got: ClientMsg = read_msg(&mut r).unwrap().unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn eof_is_none() {
+        let mut r = BufReader::new(Cursor::new(Vec::<u8>::new()));
+        let got: Option<ClientMsg> = read_msg(&mut r).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn malformed_line_is_error() {
+        let mut r = BufReader::new(Cursor::new(b"not json\n".to_vec()));
+        let got: std::io::Result<Option<ClientMsg>> = read_msg(&mut r);
+        assert!(got.is_err());
+    }
+
+    #[test]
+    fn multiple_messages_stream() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &ClientMsg::Heartbeat { hostname: "a".into(), cpu_util: 0.5, gpus_busy: 0 }).unwrap();
+        write_msg(&mut buf, &ClientMsg::Leave { hostname: "a".into() }).unwrap();
+        let mut r = BufReader::new(Cursor::new(buf));
+        let m1: ClientMsg = read_msg(&mut r).unwrap().unwrap();
+        let m2: ClientMsg = read_msg(&mut r).unwrap().unwrap();
+        assert!(matches!(m1, ClientMsg::Heartbeat { .. }));
+        assert!(matches!(m2, ClientMsg::Leave { .. }));
+    }
+}

@@ -1,0 +1,150 @@
+//! `predictddl` command-line interface.
+//!
+//! ```text
+//! predictddl-cli train --out system.json [--datasets cifar10,tiny-imagenet]
+//! predictddl-cli predict --system system.json --model resnet50
+//!                        --dataset cifar10 --servers 8 [--gpu|--cpu]
+//!                        [--batch 128] [--epochs 10]
+//! predictddl-cli serve --system system.json --addr 127.0.0.1:7077
+//! predictddl-cli models
+//! ```
+
+use pddl_cluster::{ClusterState, ServerClass};
+use pddl_ddlsim::{TraceConfig, Workload};
+use predictddl::{Controller, OfflineTrainer, PredictDdl, PredictionRequest};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(rest);
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&flags),
+        "predict" => cmd_predict(&flags),
+        "serve" => cmd_serve(&flags),
+        "models" => cmd_models(),
+        _ => {
+            eprintln!("unknown command '{cmd}'\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  predictddl-cli train   --out <file> [--datasets cifar10,tiny-imagenet]
+  predictddl-cli predict --system <file> --model <name> --dataset <name>
+                         --servers <n> [--gpu|--cpu] [--batch 128] [--epochs 10]
+  predictddl-cli serve   --system <file> [--addr 127.0.0.1:7077]
+  predictddl-cli models";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut flags = Flags::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn required<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let out = required(flags, "out")?;
+    let mut trainer = OfflineTrainer::default();
+    if let Some(datasets) = flags.get("datasets") {
+        let mut cfg = TraceConfig::default();
+        cfg.dataset_clusters
+            .retain(|(d, _)| datasets.split(',').any(|x| x.eq_ignore_ascii_case(d)));
+        if cfg.dataset_clusters.is_empty() {
+            return Err(format!("no known dataset in '{datasets}'"));
+        }
+        trainer.trace = cfg;
+    }
+    eprintln!("collecting trace and training (GHN + regressor); this takes minutes ...");
+    let system = trainer.train_full();
+    eprintln!(
+        "trained: GHN {:.1}s, embeddings {:.1}s, fit {:.2}s",
+        system.train_cost.ghn_secs, system.train_cost.embed_secs, system.train_cost.fit_secs
+    );
+    system.save(out).map_err(|e| e.to_string())?;
+    eprintln!("saved system to {out}");
+    Ok(())
+}
+
+fn cluster_from_flags(flags: &Flags) -> Result<ClusterState, String> {
+    let servers: usize = required(flags, "servers")?
+        .parse()
+        .map_err(|_| "--servers must be an integer".to_string())?;
+    let class = if flags.contains_key("cpu") {
+        ServerClass::CpuE5_2630
+    } else {
+        ServerClass::GpuP100
+    };
+    Ok(ClusterState::homogeneous(class, servers))
+}
+
+fn cmd_predict(flags: &Flags) -> Result<(), String> {
+    let system = PredictDdl::load(required(flags, "system")?).map_err(|e| e.to_string())?;
+    let model = required(flags, "model")?;
+    let dataset = required(flags, "dataset")?;
+    let batch: usize = flags.get("batch").map_or(Ok(128), |s| s.parse()).map_err(|_| "--batch must be an integer")?;
+    let epochs: usize = flags.get("epochs").map_or(Ok(10), |s| s.parse()).map_err(|_| "--epochs must be an integer")?;
+    let cluster = cluster_from_flags(flags)?;
+    let req = PredictionRequest::zoo(Workload::new(model, dataset, batch, epochs), cluster);
+    let pred = system.predict(&req).map_err(|e| e.to_string())?;
+    println!("predicted training time: {:.1} s", pred.seconds);
+    if let Some((name, sim)) = pred.nearest_architecture {
+        println!("closest known architecture: {name} (cosine {sim:.3})");
+    }
+    println!("inference latency: {:.3} ms", pred.inference_secs * 1e3);
+    Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let system = PredictDdl::load(required(flags, "system")?).map_err(|e| e.to_string())?;
+    let addr = flags.get("addr").map_or("127.0.0.1:7077", |s| s.as_str());
+    let controller = Controller::serve(addr, system).map_err(|e| e.to_string())?;
+    println!("PredictDDL controller listening on {}", controller.addr());
+    println!("protocol: one JSON PredictionRequest per line; Ctrl-C to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_models() -> Result<(), String> {
+    println!("model zoo ({} architectures):", pddl_zoo::model_names().len());
+    for name in pddl_zoo::model_names() {
+        println!("  {name}");
+    }
+    println!("datasets: cifar10, tiny-imagenet");
+    Ok(())
+}

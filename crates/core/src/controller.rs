@@ -1,0 +1,166 @@
+//! The Controller (§III-D): "the entry point to train GHN models and to
+//! predict the training time of a DNN architecture. The controller has a
+//! listener to receive and forward incoming requests to the Task Checker."
+//!
+//! The Listener speaks newline-delimited JSON over TCP — the same framing
+//! as the Cluster Resource Collector. Each connection may send any number
+//! of requests and receives one response line per request.
+
+use crate::offline::PredictDdl;
+use crate::request::{Prediction, PredictionRequest, RequestError};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Wire response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum WireResponse {
+    Ok { prediction: Prediction },
+    Err { error: RequestError },
+}
+
+/// A running prediction service. Dropping the handle stops the listener.
+pub struct Controller {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    requests_served: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Controller {
+    /// Serves a trained system on `addr` (port 0 = ephemeral). Each
+    /// connection is handled on its own thread; the system is shared
+    /// read-only.
+    pub fn serve(addr: &str, system: PredictDdl) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let requests_served = Arc::new(AtomicU64::new(0));
+        let system = Arc::new(system);
+
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let served = Arc::clone(&requests_served);
+            std::thread::spawn(move || {
+                let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(false).ok();
+                            let system = Arc::clone(&system);
+                            let served = Arc::clone(&served);
+                            handlers.push(std::thread::spawn(move || {
+                                let _ = handle_conn(stream, &system, &served);
+                            }));
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for h in handlers {
+                    let _ = h.join();
+                }
+            })
+        };
+
+        Ok(Self {
+            addr: local,
+            shutdown,
+            requests_served,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total requests answered (ok or error).
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Controller {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle_conn(
+    stream: TcpStream,
+    system: &PredictDdl,
+    served: &AtomicU64,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<PredictionRequest>(&line) {
+            Ok(req) => match system.predict(&req) {
+                Ok(prediction) => WireResponse::Ok { prediction },
+                Err(error) => WireResponse::Err { error },
+            },
+            Err(e) => WireResponse::Err {
+                error: RequestError::InvalidParams(format!("malformed request: {e}")),
+            },
+        };
+        served.fetch_add(1, Ordering::Relaxed);
+        let mut out = serde_json::to_string(&response)?;
+        out.push('\n');
+        writer.write_all(out.as_bytes())?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Blocking client for the controller protocol.
+pub struct ControllerClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ControllerClient {
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Self { writer, reader: BufReader::new(stream) })
+    }
+
+    /// Sends one request and waits for the response.
+    pub fn predict(
+        &mut self,
+        req: &PredictionRequest,
+    ) -> std::io::Result<Result<Prediction, RequestError>> {
+        let mut line = serde_json::to_string(req)?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp)?;
+        if resp.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "controller closed connection",
+            ));
+        }
+        let wire: WireResponse = serde_json::from_str(resp.trim_end())?;
+        Ok(match wire {
+            WireResponse::Ok { prediction } => Ok(prediction),
+            WireResponse::Err { error } => Err(error),
+        })
+    }
+}

@@ -1,0 +1,137 @@
+//! GHN-based Workload Embeddings Generator (§III-E, step ⑤ of Fig. 7).
+//!
+//! Selects the GHN matching the request's dataset, feeds it the workload's
+//! computational graph, and returns the fixed-size complexity vector. Also
+//! maintains the per-dataset embedding atlas used for cosine closest-match
+//! queries (Fig. 5).
+
+use crate::registry::GhnRegistry;
+use pddl_ghn::EmbeddingSet;
+use pddl_graph::CompGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The embeddings generator: GHN registry + per-dataset embedding atlas.
+#[derive(Serialize, Deserialize)]
+pub struct EmbeddingsGenerator {
+    atlas: HashMap<String, EmbeddingSet>,
+}
+
+impl Default for EmbeddingsGenerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EmbeddingsGenerator {
+    pub fn new() -> Self {
+        Self { atlas: HashMap::new() }
+    }
+
+    /// Embeds a graph with the dataset's GHN. `None` if no GHN is trained
+    /// for the dataset (the Task Checker should have routed to offline
+    /// training first).
+    pub fn embed(
+        &self,
+        registry: &GhnRegistry,
+        dataset: &str,
+        graph: &CompGraph,
+    ) -> Option<Vec<f32>> {
+        registry.get(dataset).map(|ghn| ghn.embed_graph(graph))
+    }
+
+    /// Embeds and records the vector in the dataset's atlas under the
+    /// graph's name (used when building the training set, so later queries
+    /// can report the nearest known architecture).
+    pub fn embed_and_record(
+        &mut self,
+        registry: &GhnRegistry,
+        dataset: &str,
+        graph: &CompGraph,
+    ) -> Option<Vec<f32>> {
+        let v = self.embed(registry, dataset, graph)?;
+        self.atlas
+            .entry(dataset.to_ascii_lowercase())
+            .or_default()
+            .insert(graph.name.clone(), v.clone());
+        Some(v)
+    }
+
+    /// Nearest known architecture to a query embedding, per dataset.
+    pub fn nearest(&self, dataset: &str, query: &[f32]) -> Option<(String, f32)> {
+        self.atlas
+            .get(&dataset.to_ascii_lowercase())?
+            .nearest(query)
+            .map(|(n, s)| (n.to_string(), s))
+    }
+
+    /// Number of recorded architectures for a dataset.
+    pub fn atlas_size(&self, dataset: &str) -> usize {
+        self.atlas
+            .get(&dataset.to_ascii_lowercase())
+            .map_or(0, |s| s.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pddl_ghn::GhnConfig;
+    use pddl_ghn::train::TrainConfig;
+    use pddl_zoo::{build_model, CIFAR10};
+
+    fn registry() -> GhnRegistry {
+        let mut r = GhnRegistry::new(GhnConfig::tiny(), TrainConfig::tiny(), 5);
+        r.train_for_dataset("cifar10").unwrap();
+        r
+    }
+
+    #[test]
+    fn embeds_with_matching_ghn() {
+        let reg = registry();
+        let gen = EmbeddingsGenerator::new();
+        let g = build_model("resnet18", &CIFAR10).unwrap();
+        let e = gen.embed(&reg, "cifar10", &g).unwrap();
+        assert_eq!(e.len(), GhnConfig::tiny().hidden_dim);
+    }
+
+    #[test]
+    fn missing_ghn_returns_none() {
+        let reg = registry();
+        let gen = EmbeddingsGenerator::new();
+        let g = build_model("resnet18", &CIFAR10).unwrap();
+        assert!(gen.embed(&reg, "tiny-imagenet", &g).is_none());
+    }
+
+    #[test]
+    fn atlas_nearest_finds_self() {
+        let reg = registry();
+        let mut gen = EmbeddingsGenerator::new();
+        for name in ["resnet18", "vgg16", "squeezenet1_1"] {
+            let g = build_model(name, &CIFAR10).unwrap();
+            gen.embed_and_record(&reg, "cifar10", &g).unwrap();
+        }
+        assert_eq!(gen.atlas_size("cifar10"), 3);
+        let g = build_model("vgg16", &CIFAR10).unwrap();
+        let e = gen.embed(&reg, "cifar10", &g).unwrap();
+        let (name, sim) = gen.nearest("cifar10", &e).unwrap();
+        assert_eq!(name, "vgg16");
+        assert!(sim > 0.999);
+    }
+
+    #[test]
+    fn family_members_closer_than_strangers() {
+        // resnet34's nearest neighbor among {resnet18, squeezenet} should be
+        // resnet18 — the Fig. 5 similarity story.
+        let reg = registry();
+        let mut gen = EmbeddingsGenerator::new();
+        for name in ["resnet18", "squeezenet1_1"] {
+            let g = build_model(name, &CIFAR10).unwrap();
+            gen.embed_and_record(&reg, "cifar10", &g).unwrap();
+        }
+        let g34 = build_model("resnet34", &CIFAR10).unwrap();
+        let e = gen.embed(&reg, "cifar10", &g34).unwrap();
+        let (name, _) = gen.nearest("cifar10", &e).unwrap();
+        assert_eq!(name, "resnet18");
+    }
+}

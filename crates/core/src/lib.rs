@@ -1,0 +1,60 @@
+//! # PredictDDL
+//!
+//! End-to-end reproduction of *“PredictDDL: Reusable Workload Performance
+//! Prediction for Distributed Deep Learning”* (Assogba, Lima, Rafique, Kwon
+//! — IEEE CLUSTER 2023), built entirely in Rust on the workspace substrates.
+//!
+//! PredictDDL predicts the training time of a deep-learning workload
+//! (model × dataset × cluster) from:
+//!
+//! 1. a fixed-size **GHN-2 embedding** of the DNN's computational graph
+//!    ([`pddl_ghn`]), trained **once per dataset** and reused across
+//!    arbitrary architectures — no retraining when the workload changes;
+//! 2. **cluster-description features** (servers, cores, FLOPS, RAM, GPUs)
+//!    from the Cluster Resource Collector ([`pddl_cluster`]);
+//! 3. a pluggable **regression model** ([`pddl_regress`]), defaulting to the
+//!    paper's second-order polynomial regression.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use predictddl::{OfflineTrainer, PredictionRequest};
+//! use pddl_cluster::{ClusterState, ServerClass};
+//! use pddl_ddlsim::Workload;
+//!
+//! // One-time offline training (GHN + regressor) on the CIFAR-10 trace.
+//! let system = OfflineTrainer::default().train_full();
+//!
+//! // Reusable predictions for any zoo model, no retraining:
+//! let req = PredictionRequest::zoo(
+//!     Workload::standard("resnet50", "cifar10"),
+//!     ClusterState::homogeneous(ServerClass::GpuP100, 8),
+//! );
+//! let pred = system.predict(&req).unwrap();
+//! println!("predicted training time: {:.1}s", pred.seconds);
+//! ```
+//!
+//! The architecture mirrors Fig. 7 of the paper: a [`controller`] with a
+//! Listener accepts requests, the [`task_checker`] validates them and routes
+//! unknown datasets to the [`offline`] trainer, the [`embeddings`] generator
+//! turns computational graphs into vectors, and the [`inference`] engine
+//! regresses training time.
+
+pub mod batch;
+pub mod controller;
+pub mod embeddings;
+pub mod inference;
+pub mod offline;
+pub mod persist;
+pub mod registry;
+pub mod request;
+pub mod task_checker;
+
+pub use batch::{BatchComparison, BatchJob};
+pub use controller::{Controller, ControllerClient};
+pub use embeddings::EmbeddingsGenerator;
+pub use inference::{InferenceEngine, InferenceConfig};
+pub use offline::{OfflineTrainer, PredictDdl};
+pub use registry::GhnRegistry;
+pub use request::{ModelRef, Prediction, PredictionRequest, RequestError};
+pub use task_checker::{TaskChecker, TaskDecision};

@@ -1,0 +1,129 @@
+//! Persistence of trained systems.
+//!
+//! PredictDDL's value is amortization: the GHN and the regression model are
+//! trained once and reused across sessions. This module saves/loads the
+//! entire trained system (GHN weights per dataset, the embedding atlas, the
+//! fitted regression and its scaler) as a single JSON document.
+
+use crate::offline::PredictDdl;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Persistence failures.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    Serde(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Serde(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Serde(e)
+    }
+}
+
+impl PredictDdl {
+    /// Serializes the trained system to a writer as JSON.
+    pub fn save_to(&self, w: &mut impl Write) -> Result<(), PersistError> {
+        serde_json::to_writer(w, self)?;
+        Ok(())
+    }
+
+    /// Saves to a file path.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.save_to(&mut f)?;
+        f.flush()?;
+        Ok(())
+    }
+
+    /// Deserializes a trained system from a reader.
+    pub fn load_from(r: &mut impl Read) -> Result<Self, PersistError> {
+        let mut buf = String::new();
+        r.read_to_string(&mut buf)?;
+        Ok(serde_json::from_str(&buf)?)
+    }
+
+    /// Loads from a file path.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        Self::load_from(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::offline::OfflineTrainer;
+    use crate::request::PredictionRequest;
+    use pddl_cluster::{ClusterState, ServerClass};
+    use pddl_ddlsim::Workload;
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let system = OfflineTrainer::tiny().train_full();
+        let req = PredictionRequest::zoo(
+            Workload::new("resnet18", "cifar10", 128, 2),
+            ClusterState::homogeneous(ServerClass::GpuP100, 4),
+        );
+        let before = system.predict(&req).unwrap().seconds;
+
+        let mut buf = Vec::new();
+        system.save_to(&mut buf).unwrap();
+        let loaded = crate::offline::PredictDdl::load_from(&mut buf.as_slice()).unwrap();
+        let after = loaded.predict(&req).unwrap().seconds;
+        assert!(
+            (before - after).abs() < 1e-9,
+            "prediction drifted through persistence: {before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn loaded_system_keeps_atlas() {
+        let system = OfflineTrainer::tiny().train_full();
+        let n = system.embeddings.atlas_size("cifar10");
+        assert!(n > 0);
+        let mut buf = Vec::new();
+        system.save_to(&mut buf).unwrap();
+        let loaded = crate::offline::PredictDdl::load_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.embeddings.atlas_size("cifar10"), n);
+    }
+
+    #[test]
+    fn corrupt_payload_is_an_error() {
+        let garbage = b"not a system";
+        let r = crate::offline::PredictDdl::load_from(&mut garbage.as_slice());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let system = OfflineTrainer::tiny().train_full();
+        let dir = std::env::temp_dir().join("pddl-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("system.json");
+        system.save(&path).unwrap();
+        let loaded = crate::offline::PredictDdl::load(&path).unwrap();
+        assert_eq!(
+            loaded.registry.datasets().count(),
+            system.registry.datasets().count()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

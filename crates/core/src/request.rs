@@ -1,0 +1,146 @@
+//! Request/response types of the prediction service (step ① of Fig. 7).
+
+use pddl_cluster::ClusterState;
+use pddl_ddlsim::Workload;
+use pddl_graph::CompGraph;
+use serde::{Deserialize, Serialize};
+
+/// How the user supplies the DNN: a zoo name, or an explicit computational
+/// graph ("Modern DL libraries automatically generate the DAG for the given
+/// DL model" — the graph variant is what that export would submit).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ModelRef {
+    /// A model-zoo architecture by name.
+    Zoo(String),
+    /// An explicit computational graph for architectures outside the zoo
+    /// (e.g. NAS candidates).
+    Graph(CompGraph),
+}
+
+/// A prediction request: the user's workload description plus the target
+/// cluster (steps ①–② of Fig. 7).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PredictionRequest {
+    pub model: ModelRef,
+    /// Dataset name — the GHN-registry key.
+    pub dataset: String,
+    /// Per-worker batch size.
+    pub batch_size: usize,
+    pub epochs: usize,
+    /// Target cluster description (from the Cluster Resource Collector).
+    pub cluster: ClusterState,
+}
+
+impl PredictionRequest {
+    /// Request for a zoo workload.
+    pub fn zoo(w: Workload, cluster: ClusterState) -> Self {
+        Self {
+            model: ModelRef::Zoo(w.model),
+            dataset: w.dataset,
+            batch_size: w.batch_size,
+            epochs: w.epochs,
+            cluster,
+        }
+    }
+
+    /// Request for a custom graph.
+    pub fn graph(g: CompGraph, dataset: &str, batch_size: usize, epochs: usize, cluster: ClusterState) -> Self {
+        Self {
+            model: ModelRef::Graph(g),
+            dataset: dataset.into(),
+            batch_size,
+            epochs,
+            cluster,
+        }
+    }
+
+    /// Model display name.
+    pub fn model_name(&self) -> &str {
+        match &self.model {
+            ModelRef::Zoo(n) => n,
+            ModelRef::Graph(g) => &g.name,
+        }
+    }
+}
+
+/// Prediction result (step ⑥ of Fig. 7).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted training time, seconds.
+    pub seconds: f64,
+    /// Closest known architecture in embedding space and its cosine
+    /// similarity (the Fig. 5 mechanism), when the embedding set is
+    /// non-empty.
+    pub nearest_architecture: Option<(String, f32)>,
+    /// Embedding generation + inference wall time, seconds.
+    pub inference_secs: f64,
+}
+
+/// Failure modes of request handling.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RequestError {
+    /// Zoo name not found.
+    UnknownModel(String),
+    /// No GHN trained for this dataset → offline training required
+    /// (step ④ of Fig. 7).
+    NeedsOfflineTraining { dataset: String },
+    /// Structural validation of a submitted graph failed.
+    InvalidGraph(String),
+    /// Empty or malformed cluster description.
+    InvalidCluster(String),
+    /// Degenerate request parameters.
+    InvalidParams(String),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::UnknownModel(m) => write!(f, "unknown model '{m}'"),
+            RequestError::NeedsOfflineTraining { dataset } => {
+                write!(f, "no pretrained GHN for dataset '{dataset}'; offline training required")
+            }
+            RequestError::InvalidGraph(e) => write!(f, "invalid computational graph: {e}"),
+            RequestError::InvalidCluster(e) => write!(f, "invalid cluster: {e}"),
+            RequestError::InvalidParams(e) => write!(f, "invalid parameters: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pddl_cluster::ServerClass;
+
+    #[test]
+    fn zoo_request_round_trips_json() {
+        let req = PredictionRequest::zoo(
+            Workload::standard("resnet18", "cifar10"),
+            ClusterState::homogeneous(ServerClass::GpuP100, 4),
+        );
+        let s = serde_json::to_string(&req).unwrap();
+        let back: PredictionRequest = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.model_name(), "resnet18");
+        assert_eq!(back.cluster.num_servers(), 4);
+    }
+
+    #[test]
+    fn model_name_for_graph_variant() {
+        let g = CompGraph::new("custom-nas-42");
+        let req = PredictionRequest::graph(
+            g,
+            "cifar10",
+            64,
+            5,
+            ClusterState::homogeneous(ServerClass::CpuE5_2630, 2),
+        );
+        assert_eq!(req.model_name(), "custom-nas-42");
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = RequestError::NeedsOfflineTraining { dataset: "mnist".into() };
+        assert!(e.to_string().contains("mnist"));
+    }
+}

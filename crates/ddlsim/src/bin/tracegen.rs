@@ -1,0 +1,72 @@
+//! Trace-generation utility: dumps the execution trace the offline trainer
+//! consumes as JSON lines, for inspection or external tooling.
+//!
+//! ```text
+//! tracegen [--models resnet18,vgg16] [--datasets cifar10] \
+//!          [--max-servers 20] [--epochs 10] [--out trace.jsonl]
+//! ```
+
+use pddl_ddlsim::trace::{generate_trace, trace_to_jsonl, TraceConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = TraceConfig::default();
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--models" if i + 1 < args.len() => {
+                cfg.models = args[i + 1].split(',').map(|s| s.trim().to_string()).collect();
+                i += 2;
+            }
+            "--datasets" if i + 1 < args.len() => {
+                let keep: Vec<String> =
+                    args[i + 1].split(',').map(|s| s.trim().to_lowercase()).collect();
+                cfg.dataset_clusters.retain(|(d, _)| keep.contains(d));
+                i += 2;
+            }
+            "--max-servers" if i + 1 < args.len() => {
+                let n: usize = match args[i + 1].parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--max-servers must be a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                cfg.server_counts = (1..=n).collect();
+                i += 2;
+            }
+            "--epochs" if i + 1 < args.len() => {
+                cfg.epochs = args[i + 1].parse().unwrap_or(cfg.epochs);
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if cfg.dataset_clusters.is_empty() {
+        eprintln!("no datasets selected");
+        return ExitCode::FAILURE;
+    }
+    let records = generate_trace(&cfg);
+    eprintln!("generated {} records", records.len());
+    let jsonl = trace_to_jsonl(&records);
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, jsonl) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{jsonl}"),
+    }
+    ExitCode::SUCCESS
+}

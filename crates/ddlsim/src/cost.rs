@@ -1,0 +1,93 @@
+//! Closed-form cost components of one training iteration.
+
+/// Ring all-reduce time for `param_count` f32 gradients across `n` workers:
+/// `2(n−1)/n · bytes / bandwidth + 2(n−1) · latency` (bandwidth-optimal ring,
+/// the algorithm NCCL/Gloo use and PyTorch DDP rides on).
+pub fn ring_allreduce_secs(param_count: u64, n: usize, min_bw_bps: f64, latency_s: f64) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let bytes = param_count as f64 * 4.0;
+    let steps = 2.0 * (n as f64 - 1.0);
+    steps / n as f64 * bytes / min_bw_bps + steps * latency_s
+}
+
+/// Per-worker NFS read time for one iteration. All `n` clients share one
+/// NFS server; client-side caching and read-ahead soften the contention, so
+/// the effective per-client share degrades as `n^0.7` rather than `n`.
+pub fn nfs_load_secs(bytes_per_worker_iter: f64, n: usize, nfs_bps: f64) -> f64 {
+    let share = nfs_bps / (n.max(1) as f64).powf(0.7);
+    bytes_per_worker_iter / share
+}
+
+/// Forward+backward compute time for one worker's micro-batch. The factor 3
+/// is the standard fwd:bwd ≈ 1:2 rule.
+pub fn compute_secs(
+    flops_per_example: f64,
+    batch_per_worker: usize,
+    peak_flops: f64,
+    efficiency: f64,
+) -> f64 {
+    assert!(peak_flops > 0.0 && efficiency > 0.0, "degenerate device");
+    3.0 * flops_per_example * batch_per_worker as f64 / (peak_flops * efficiency)
+}
+
+/// Job startup overhead: process launch, NCCL/Gloo rendezvous, dataset
+/// indexing. Grows mildly with cluster size.
+pub fn startup_secs(n: usize) -> f64 {
+    8.0 + 1.5 * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_zero_for_single_worker() {
+        assert_eq!(ring_allreduce_secs(25_000_000, 1, 1.25e9, 50e-6), 0.0);
+    }
+
+    #[test]
+    fn allreduce_approaches_2x_bytes_over_bw() {
+        // As n → ∞ the bandwidth term → 2·bytes/bw.
+        let bytes = 25_000_000u64;
+        let bw = 1.25e9;
+        let t = ring_allreduce_secs(bytes, 1000, bw, 0.0);
+        let bound = 2.0 * bytes as f64 * 4.0 / bw;
+        assert!((t - bound).abs() / bound < 0.01);
+    }
+
+    #[test]
+    fn allreduce_monotone_in_params() {
+        let a = ring_allreduce_secs(1_000_000, 8, 1.25e9, 50e-6);
+        let b = ring_allreduce_secs(100_000_000, 8, 1.25e9, 50e-6);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn latency_term_grows_with_n() {
+        let a = ring_allreduce_secs(1000, 2, 1e12, 50e-6);
+        let b = ring_allreduce_secs(1000, 16, 1e12, 50e-6);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn nfs_contention_sublinear() {
+        let one = nfs_load_secs(1e6, 1, 1.25e9);
+        let ten = nfs_load_secs(1e6, 10, 1.25e9);
+        assert!(ten > one);
+        assert!(ten < 10.0 * one, "contention should be sublinear");
+    }
+
+    #[test]
+    fn compute_scales_inversely_with_efficiency() {
+        let fast = compute_secs(1e9, 32, 9.3e12, 0.6);
+        let slow = compute_secs(1e9, 32, 9.3e12, 0.1);
+        assert!((slow / fast - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn startup_grows_with_cluster() {
+        assert!(startup_secs(16) > startup_secs(1));
+    }
+}

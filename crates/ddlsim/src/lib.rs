@@ -1,0 +1,34 @@
+//! Distributed data-parallel (DDP) training-time simulator.
+//!
+//! This crate is the substitution for the paper's CloudLab testbed (see
+//! DESIGN.md §1): it produces `(workload, cluster) → training time` samples
+//! with the same qualitative structure that PyTorch DDP on real hardware
+//! exhibits, so every downstream experiment exercises the same code paths it
+//! would against real measurements.
+//!
+//! Per-iteration cost model:
+//!
+//! ```text
+//! t_iter  = max(straggler compute, pipelined data loading) + allreduce
+//! compute = 3 · F(arch) · b_worker / (peak_flops(server) · eff(arch, server))
+//! allreduce = ring: 2(n−1)/n · 4·P / min_bw  +  2(n−1) · latency
+//! loading = b_worker · bytes_per_example / nfs_share(n)
+//! T_total = epochs · ceil(|D| / (b·n)) · t_iter · noise + startup(n)
+//! ```
+//!
+//! `eff(arch, server)` is the architecture-dependent hardware efficiency —
+//! a roofline arithmetic-intensity term plus penalties for depthwise/grouped
+//! convolutions and branch-heavy topologies. It is the component a black-box
+//! predictor cannot observe, a `#layers/#params` gray box sees only
+//! coarsely, and the GHN embedding captures (the paper's causal story for
+//! Figs. 1, 2, 6, 9).
+
+pub mod cost;
+pub mod efficiency;
+pub mod simulate;
+pub mod trace;
+pub mod workload;
+
+pub use simulate::{SimConfig, Simulator};
+pub use trace::{generate_trace, TraceConfig, TraceRecord};
+pub use workload::Workload;

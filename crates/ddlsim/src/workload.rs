@@ -1,0 +1,88 @@
+//! The unit of prediction: "we define a DL workload as the training of any
+//! DNN model in any computing cluster using any dataset" (§I).
+
+use pddl_zoo::dataset::{dataset_by_name, DatasetDesc};
+use pddl_zoo::{build_model, ModelSpec};
+use pddl_graph::CompGraph;
+use serde::{Deserialize, Serialize};
+
+/// A deep-learning training workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Model-zoo name (e.g. `"resnet18"`).
+    pub model: String,
+    /// Dataset name (e.g. `"cifar10"`).
+    pub dataset: String,
+    /// Per-worker mini-batch size (the PyTorch DDP convention: the global
+    /// batch is `batch_size × num_workers`, so adding servers is weak
+    /// scaling).
+    pub batch_size: usize,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+impl Workload {
+    pub fn new(model: &str, dataset: &str, batch_size: usize, epochs: usize) -> Self {
+        Self { model: model.into(), dataset: dataset.into(), batch_size, epochs }
+    }
+
+    /// Standard evaluation workload shape used throughout the benches:
+    /// per-worker batch 128, 10 epochs.
+    pub fn standard(model: &str, dataset: &str) -> Self {
+        Self::new(model, dataset, 128, 10)
+    }
+
+    /// Resolves the dataset descriptor.
+    pub fn dataset_desc(&self) -> Option<&'static DatasetDesc> {
+        dataset_by_name(&self.dataset)
+    }
+
+    /// Builds the model's computational graph for this workload's dataset.
+    pub fn build_graph(&self) -> Option<CompGraph> {
+        let ds = self.dataset_desc()?;
+        build_model(&self.model, ds)
+    }
+
+    /// Builds the analytic model spec.
+    pub fn model_spec(&self) -> Option<ModelSpec> {
+        self.build_graph().map(|g| ModelSpec::from_graph(&g))
+    }
+
+    /// Stable identifier for registries and caches.
+    pub fn key(&self) -> String {
+        format!("{}@{}/b{}/e{}", self.model, self.dataset, self.batch_size, self.epochs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_known_workload() {
+        let w = Workload::standard("resnet18", "cifar10");
+        assert!(w.dataset_desc().is_some());
+        let g = w.build_graph().unwrap();
+        assert_eq!(g.name, "resnet18");
+    }
+
+    #[test]
+    fn unknown_model_unresolvable() {
+        let w = Workload::standard("nosuchnet", "cifar10");
+        assert!(w.build_graph().is_none());
+    }
+
+    #[test]
+    fn unknown_dataset_unresolvable() {
+        let w = Workload::standard("resnet18", "imagenet21k");
+        assert!(w.dataset_desc().is_none());
+        assert!(w.build_graph().is_none());
+    }
+
+    #[test]
+    fn key_distinguishes_configs() {
+        let a = Workload::new("vgg16", "cifar10", 128, 10);
+        let b = Workload::new("vgg16", "cifar10", 256, 10);
+        assert_ne!(a.key(), b.key());
+    }
+}

@@ -1,0 +1,143 @@
+//! Optimal experiment design: which training runs should Ernest pay for?
+//!
+//! Ernest picks a handful of small-scale configurations whose features make
+//! the regression well-conditioned, trading information against the cost of
+//! running them. The NSDI paper solves a convex relaxation of A-optimal
+//! design; we implement the standard greedy A-optimal variant: repeatedly
+//! add the candidate that most reduces `trace((XᵀX + δI)⁻¹)`.
+
+use crate::features::{ernest_features, ERNEST_DIM};
+use pddl_tensor::linalg::{inv_spd, trace};
+use pddl_tensor::Matrix;
+
+/// A candidate training-run configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Candidate {
+    /// Fraction of the full dataset to train on (Ernest runs on samples).
+    pub scale: f64,
+    pub machines: usize,
+    /// Cost (seconds) of running this configuration, if known; used to
+    /// report collection cost in the Fig. 13 reproduction.
+    pub cost: f64,
+}
+
+/// Default candidate grid: small data scales on few machines, the regime
+/// Ernest samples to extrapolate from.
+pub fn default_candidates(max_machines: usize) -> Vec<Candidate> {
+    let mut c = Vec::new();
+    for &scale in &[0.125f64, 0.25, 0.5] {
+        for m in 1..=max_machines.min(8) {
+            c.push(Candidate { scale, machines: m, cost: 0.0 });
+        }
+    }
+    c
+}
+
+/// Greedy A-optimal selection of `k` candidates. Returns indices into
+/// `candidates`. `delta` regularizes the information matrix so the first
+/// picks are well-defined.
+pub fn greedy_a_optimal(candidates: &[Candidate], k: usize) -> Vec<usize> {
+    assert!(k >= 1 && k <= candidates.len(), "k out of range");
+    let delta = 1e-3f32;
+    let rows: Vec<[f32; ERNEST_DIM]> = candidates
+        .iter()
+        .map(|c| ernest_features(c.scale, c.machines))
+        .collect();
+
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let mut info = Matrix::eye(ERNEST_DIM).scale(delta);
+    for _ in 0..k {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, row) in rows.iter().enumerate() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            // info' = info + r rᵀ
+            let mut trial = info.clone();
+            for a in 0..ERNEST_DIM {
+                for b in 0..ERNEST_DIM {
+                    trial[(a, b)] += row[a] * row[b];
+                }
+            }
+            let score = match inv_spd(&trial) {
+                Some(inv) => trace(&inv),
+                None => continue,
+            };
+            if best.is_none_or(|(_, s)| score < s) {
+                best = Some((i, score));
+            }
+        }
+        let (i, _) = best.expect("at least one candidate remains");
+        chosen.push(i);
+        let row = &rows[i];
+        for a in 0..ERNEST_DIM {
+            for b in 0..ERNEST_DIM {
+                info[(a, b)] += row[a] * row[b];
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_requested_count_without_duplicates() {
+        let cand = default_candidates(8);
+        let picks = greedy_a_optimal(&cand, 6);
+        assert_eq!(picks.len(), 6);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn design_spans_machine_counts() {
+        // A-optimality needs variation in m to identify log m and m terms.
+        let cand = default_candidates(8);
+        let picks = greedy_a_optimal(&cand, 5);
+        let machines: Vec<usize> = picks.iter().map(|&i| cand[i].machines).collect();
+        let distinct = {
+            let mut m = machines.clone();
+            m.sort_unstable();
+            m.dedup();
+            m.len()
+        };
+        assert!(distinct >= 3, "degenerate design {machines:?}");
+    }
+
+    #[test]
+    fn designed_subset_conditions_regression_better_than_fixed_corner() {
+        // Compare trace((XᵀX)⁻¹) of the greedy design vs. naive "all at
+        // 1 machine" — the greedy one must be better-conditioned.
+        let cand = default_candidates(8);
+        let picks = greedy_a_optimal(&cand, 5);
+        let info_of = |idx: &[usize]| {
+            let mut info = Matrix::eye(ERNEST_DIM).scale(1e-3);
+            for &i in idx {
+                let r = ernest_features(cand[i].scale, cand[i].machines);
+                for a in 0..ERNEST_DIM {
+                    for b in 0..ERNEST_DIM {
+                        info[(a, b)] += r[a] * r[b];
+                    }
+                }
+            }
+            trace(&inv_spd(&info).unwrap())
+        };
+        let naive: Vec<usize> = (0..cand.len())
+            .filter(|&i| cand[i].machines == 1)
+            .take(5)
+            .collect();
+        assert!(info_of(&picks) < info_of(&naive));
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn rejects_oversized_k() {
+        let cand = default_candidates(2);
+        let _ = greedy_a_optimal(&cand, 100);
+    }
+}

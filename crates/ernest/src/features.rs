@@ -1,0 +1,46 @@
+//! Ernest's feature basis.
+
+/// Basis width.
+pub const ERNEST_DIM: usize = 4;
+
+/// `[1, s/m, log m, m]` — serial term, parallel work term, tree-aggregation
+/// term, per-machine overhead term (NSDI'16 §3.1).
+pub fn ernest_features(scale: f64, machines: usize) -> [f32; ERNEST_DIM] {
+    assert!(machines >= 1, "at least one machine");
+    assert!(scale > 0.0, "scale must be positive");
+    let m = machines as f64;
+    [1.0, (scale / m) as f32, (m.ln()) as f32, m as f32]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_machine_basis() {
+        let f = ernest_features(1.0, 1);
+        assert_eq!(f, [1.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn work_term_shrinks_with_machines() {
+        let f1 = ernest_features(1.0, 2);
+        let f2 = ernest_features(1.0, 8);
+        assert!(f2[1] < f1[1]);
+        assert!(f2[2] > f1[2]);
+        assert!(f2[3] > f1[3]);
+    }
+
+    #[test]
+    fn scale_enters_linearly() {
+        let half = ernest_features(0.5, 4);
+        let full = ernest_features(1.0, 4);
+        assert!((half[1] * 2.0 - full[1]).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_rejected() {
+        let _ = ernest_features(1.0, 0);
+    }
+}

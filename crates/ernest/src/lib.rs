@@ -1,0 +1,33 @@
+//! Ernest (Venkataraman et al., NSDI 2016) — the state-of-the-art black-box
+//! baseline PredictDDL compares against.
+//!
+//! Ernest predicts job runtime from a small analytically-motivated feature
+//! basis of the input *scale* `s` (fraction of the dataset) and the number
+//! of machines `m`:
+//!
+//! ```text
+//! t(s, m) = θ₀·1 + θ₁·s/m + θ₂·log m + θ₃·m ,   θ ≥ 0
+//! ```
+//!
+//! fit by **non-negative least squares** (Lawson–Hanson), with training
+//! configurations chosen by **optimal experiment design**. Both pieces are
+//! implemented here faithfully:
+//!
+//! * [`features`] — the basis above;
+//! * [`nnls`] — Lawson–Hanson active-set NNLS with KKT-verified output;
+//! * [`design`] — greedy A-optimal selection of training configurations
+//!   (Ernest §4 uses a convex relaxation; the greedy variant has the same
+//!   role: pick few, informative, cheap runs);
+//! * [`model`] — fit/predict plus the two usage modes the PredictDDL paper
+//!   exercises: *pooled* (one model over all workloads, the reusability
+//!   comparison of Fig. 9) and *per-workload* (retrain on every workload
+//!   change, the cost comparison of Fig. 13).
+
+pub mod design;
+pub mod features;
+pub mod model;
+pub mod nnls;
+
+pub use design::greedy_a_optimal;
+pub use features::{ernest_features, ERNEST_DIM};
+pub use model::ErnestModel;

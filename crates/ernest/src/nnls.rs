@@ -1,0 +1,162 @@
+//! Lawson–Hanson non-negative least squares.
+//!
+//! Solves `min ‖Ax − b‖₂  s.t. x ≥ 0` by the classic active-set method: grow
+//! a passive set P greedily by the most positive gradient coordinate, solve
+//! the unconstrained subproblem on P (via the workspace QR `lstsq`), and
+//! back off along the feasible segment when the subproblem leaves the
+//! positive orthant.
+
+use pddl_tensor::linalg::lstsq;
+use pddl_tensor::Matrix;
+
+/// NNLS solution of `a·x ≈ b` with `x ≥ 0`.
+pub fn nnls(a: &Matrix, b: &[f32]) -> Vec<f32> {
+    let (m, n) = a.shape();
+    assert_eq!(m, b.len(), "row/target mismatch");
+    let mut x = vec![0.0f32; n];
+    let mut passive = vec![false; n];
+    let max_outer = 3 * n + 10;
+
+    for _outer in 0..max_outer {
+        // Gradient of ½‖Ax−b‖²: w = Aᵀ(b − Ax).
+        let resid: Vec<f32> = {
+            let ax = a.matvec(&x);
+            b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect()
+        };
+        let mut w = vec![0.0f32; n];
+        for (r, &res) in resid.iter().enumerate() {
+            for (j, &v) in a.row(r).iter().enumerate() {
+                w[j] += v * res;
+            }
+        }
+        // Most violated KKT coordinate among the active (zero) set.
+        let candidate = (0..n)
+            .filter(|&j| !passive[j])
+            .max_by(|&i, &j| w[i].partial_cmp(&w[j]).unwrap_or(std::cmp::Ordering::Equal));
+        let j = match candidate {
+            Some(j) if w[j] > 1e-7 => j,
+            _ => break, // KKT satisfied
+        };
+        passive[j] = true;
+
+        // Inner loop: solve on the passive set, backing off if infeasible.
+        loop {
+            let idx: Vec<usize> = (0..n).filter(|&k| passive[k]).collect();
+            let sub = gather_cols(a, &idx);
+            let z = lstsq(&sub, b);
+            if z.iter().all(|&v| v > 1e-10) {
+                x.iter_mut().for_each(|v| *v = 0.0);
+                for (pos, &k) in idx.iter().enumerate() {
+                    x[k] = z[pos];
+                }
+                break;
+            }
+            // Feasible step length toward z.
+            let mut alpha = f32::INFINITY;
+            for (pos, &k) in idx.iter().enumerate() {
+                if z[pos] <= 1e-10 {
+                    let d = x[k] - z[pos];
+                    if d > 0.0 {
+                        alpha = alpha.min(x[k] / d);
+                    }
+                }
+            }
+            let alpha = if alpha.is_finite() { alpha } else { 0.0 };
+            for (pos, &k) in idx.iter().enumerate() {
+                x[k] += alpha * (z[pos] - x[k]);
+                if x[k] < 1e-9 {
+                    x[k] = 0.0;
+                    passive[k] = false;
+                }
+            }
+            if idx.iter().all(|&k| !passive[k]) {
+                break; // everything backed out; return to outer loop
+            }
+        }
+    }
+    x
+}
+
+fn gather_cols(a: &Matrix, cols: &[usize]) -> Matrix {
+    let m = a.rows();
+    let mut out = Matrix::zeros(m, cols.len());
+    for r in 0..m {
+        let row = a.row(r);
+        for (c, &j) in cols.iter().enumerate() {
+            out[(r, c)] = row[j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pddl_tensor::Rng;
+
+    #[test]
+    fn recovers_nonnegative_truth() {
+        let mut rng = Rng::new(1);
+        let a = Matrix::rand_uniform(60, 4, 1.0, &mut rng).map(|v| v.abs());
+        let truth = [2.0f32, 0.0, 1.5, 0.25];
+        let b = a.matvec(&truth);
+        let x = nnls(&a, &b);
+        for (xi, ti) in x.iter().zip(&truth) {
+            assert!((xi - ti).abs() < 1e-2, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn clamps_negative_component_to_zero() {
+        // Truth has a negative coefficient; NNLS must return x ≥ 0 and the
+        // best non-negative fit.
+        let mut rng = Rng::new(2);
+        let a = Matrix::rand_normal(80, 3, 1.0, &mut rng);
+        let truth = [1.0f32, -2.0, 0.5];
+        let b = a.matvec(&truth);
+        let x = nnls(&a, &b);
+        assert!(x.iter().all(|&v| v >= 0.0), "{x:?}");
+    }
+
+    #[test]
+    fn kkt_conditions_hold() {
+        let mut rng = Rng::new(3);
+        let a = Matrix::rand_uniform(50, 5, 1.0, &mut rng).map(|v| v.abs());
+        let b: Vec<f32> = (0..50).map(|_| rng.uniform(0.0, 5.0)).collect();
+        let x = nnls(&a, &b);
+        // Gradient w = Aᵀ(b−Ax): w_j ≈ 0 where x_j > 0; w_j ≤ 0 where x_j = 0.
+        let ax = a.matvec(&x);
+        let resid: Vec<f32> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        for j in 0..5 {
+            let wj: f32 = (0..50).map(|r| a[(r, j)] * resid[r]).sum();
+            if x[j] > 1e-6 {
+                assert!(wj.abs() < 1e-2, "active gradient {wj} at {j}");
+            } else {
+                assert!(wj < 1e-2, "inactive gradient {wj} at {j} should be ≤ 0");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero() {
+        let mut rng = Rng::new(4);
+        let a = Matrix::rand_normal(10, 3, 1.0, &mut rng);
+        let x = nnls(&a, &[0.0; 10]);
+        assert!(x.iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn handles_collinear_columns() {
+        let mut a = Matrix::zeros(20, 2);
+        for i in 0..20 {
+            a[(i, 0)] = i as f32;
+            a[(i, 1)] = 2.0 * i as f32;
+        }
+        let b: Vec<f32> = (0..20).map(|i| 4.0 * i as f32).collect();
+        let x = nnls(&a, &b);
+        // Any non-negative combo with x0 + 2 x1 = 4 is optimal.
+        let fit = a.matvec(&x);
+        let err: f32 = fit.iter().zip(&b).map(|(f, t)| (f - t).abs()).sum();
+        assert!(err < 1e-2, "{x:?} err {err}");
+    }
+}

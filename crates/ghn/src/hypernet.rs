@@ -1,0 +1,264 @@
+//! The weight-predicting hypernetwork — the *original* purpose of a GHN
+//! (Zhang et al., ICLR 2019; Knyazev et al., NeurIPS 2021).
+//!
+//! PredictDDL "skips the last module in the original GHN and uses the
+//! intermediate complexity vector" (§III-E). This module implements the
+//! skipped last module so the repository contains the complete GHN: a
+//! decoder conditioned on the final per-node states `h_v^T` emits each
+//! parameterized node's weights `w_v^p`, and the whole pipeline is
+//! meta-trained end-to-end through the *task loss of the predicted weights*.
+//!
+//! At laptop scale the target family is single-hidden-layer MLP classifiers
+//! on a fixed synthetic 2-D task (standing in for "CNNs on CIFAR-10").
+//! After meta-training, predicted parameters for **unseen** widths achieve a
+//! markedly lower task loss than random initialization — the headline GHN-2
+//! result in miniature.
+
+use crate::config::GhnConfig;
+use crate::model::{Ghn, Schedule};
+use pddl_autodiff::{layers::Activation, Adam, Gradients, Mlp, Optimizer, ParamStore, Tape, Var};
+use pddl_graph::{CompGraph, NodeAttrs, OpKind};
+use pddl_tensor::{Matrix, Rng};
+
+/// Maximum fan-in/fan-out of decodable Dense nodes.
+pub const MAX_FAN: usize = 12;
+
+/// A GHN plus the weight decoder (the "last module").
+pub struct WeightHyperNet {
+    pub ghn: Ghn,
+    /// Decoder for flat weight blocks: node state → MAX_FAN² values.
+    dec_w: Mlp,
+    /// Decoder for bias blocks: node state → MAX_FAN values.
+    dec_b: Mlp,
+}
+
+/// A target architecture in the miniature family: 2 → hidden → 2 MLP.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TargetArch {
+    pub hidden: usize,
+}
+
+impl TargetArch {
+    /// Builds the computational graph the GHN sees.
+    pub fn graph(&self) -> CompGraph {
+        assert!(self.hidden >= 1 && self.hidden <= MAX_FAN);
+        let mut g = CompGraph::new(format!("mlp2-{}-2", self.hidden));
+        let input = g.add_node(OpKind::Input, NodeAttrs::dense(2, 2), "in");
+        let fc1 = g.chain(input, OpKind::Dense, NodeAttrs::dense(2, self.hidden), "fc1");
+        let act = g.chain(fc1, OpKind::Tanh, NodeAttrs::elementwise(self.hidden, 1), "tanh");
+        let fc2 = g.chain(act, OpKind::Dense, NodeAttrs::dense(self.hidden, 2), "fc2");
+        let sm = g.chain(fc2, OpKind::Softmax, NodeAttrs::elementwise(2, 1), "softmax");
+        let _ = g.chain(sm, OpKind::Output, NodeAttrs::elementwise(2, 1), "out");
+        g
+    }
+}
+
+/// The fixed synthetic task (the family's "CIFAR-10"): two noisy interleaved
+/// arcs, not linearly separable, so predicted weights must be non-trivial.
+pub fn task_dataset(n: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = Rng::new(seed);
+    let mut x = Matrix::zeros(n, 2);
+    let mut y = Matrix::zeros(n, 2); // one-hot
+    for i in 0..n {
+        let class = i % 2;
+        let t = rng.uniform(0.0, std::f32::consts::PI);
+        let (cx, r, flip) = if class == 0 { (0.0, 1.0, 1.0) } else { (1.0, 1.0, -1.0) };
+        x[(i, 0)] = cx + r * t.cos() + rng.normal() * 0.1;
+        x[(i, 1)] = flip * (r * t.sin() - 0.25) + rng.normal() * 0.1;
+        y[(i, class)] = 1.0;
+    }
+    (x, y)
+}
+
+impl WeightHyperNet {
+    pub fn new(cfg: GhnConfig, rng: &mut Rng) -> Self {
+        let mut ghn = Ghn::new(cfg, rng);
+        let d = cfg.hidden_dim;
+        let dec_w = Mlp::new(
+            &mut ghn.ps,
+            "hyper.dec_w",
+            &[d, cfg.decoder_hidden, MAX_FAN * MAX_FAN],
+            Activation::Relu,
+            rng,
+        );
+        let dec_b = Mlp::new(
+            &mut ghn.ps,
+            "hyper.dec_b",
+            &[d, cfg.decoder_hidden, MAX_FAN],
+            Activation::Relu,
+            rng,
+        );
+        Self { ghn, dec_w, dec_b }
+    }
+
+    /// Runs the target architecture's forward pass **through predicted
+    /// weights** on the tape and returns the MSE task loss against one-hot
+    /// labels. This is the differentiable path meta-training optimizes.
+    pub fn task_loss_traced(
+        &self,
+        tape: &mut Tape,
+        arch: &TargetArch,
+        x: &Matrix,
+        y: &Matrix,
+    ) -> Var {
+        let g = arch.graph();
+        let sched = Schedule::new(&g, self.ghn.cfg.s_max);
+        let states = self.ghn.node_states_traced(tape, &g, &sched);
+
+        // Decode weights for the two Dense nodes.
+        let mut dense_nodes = g
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == OpKind::Dense);
+        let (fc1_id, fc1) = dense_nodes.next().expect("fc1");
+        let (fc2_id, fc2) = dense_nodes.next().expect("fc2");
+
+        // Decode a full MAX_FAN×MAX_FAN block and take the top-left fi×fo
+        // submatrix, so weight (i, j) has a stable meaning across target
+        // shapes (GHN-2's shape-consistent slicing convention).
+        let decode = |tape: &mut Tape, state: Var, attrs: &NodeAttrs| -> (Var, Var) {
+            let (fi, fo) = (attrs.c_in, attrs.c_out);
+            let flat_w = self.dec_w.forward(tape, state);
+            let w_full = tape.reshape(flat_w, MAX_FAN, MAX_FAN);
+            let w_rows = tape.slice_rows(w_full, 0, fi);
+            let w = tape.slice_cols(w_rows, 0, fo);
+            let flat_b = self.dec_b.forward(tape, state);
+            let b = tape.slice_cols(flat_b, 0, fo);
+            (w, b)
+        };
+        let (w1, b1) = decode(tape, states[fc1_id], &fc1.attrs);
+        let (w2, b2) = decode(tape, states[fc2_id], &fc2.attrs);
+
+        // Target-network forward with the predicted parameters.
+        let xv = tape.constant(x.clone());
+        let h1 = tape.matmul(xv, w1);
+        let h1 = tape.add_bias(h1, b1);
+        let h1 = tape.tanh(h1);
+        let logits = tape.matmul(h1, w2);
+        let logits = tape.add_bias(logits, b2);
+        let probs = tape.sigmoid(logits);
+        let yv = tape.constant(y.clone());
+        tape.mse_loss(probs, yv)
+    }
+
+    /// Task loss of the predicted weights (no gradient).
+    pub fn task_loss(&self, arch: &TargetArch, x: &Matrix, y: &Matrix) -> f32 {
+        let mut tape = Tape::new(&self.ghn.ps);
+        let loss = self.task_loss_traced(&mut tape, arch, x, y);
+        tape.scalar(loss)
+    }
+
+    /// Meta-trains the GHN + decoder across the width family. Returns the
+    /// loss trajectory.
+    pub fn meta_train(
+        &mut self,
+        widths: &[usize],
+        steps: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Vec<f32> {
+        let (x, y) = task_dataset(96, seed);
+        let mut rng = Rng::new(seed ^ 0xAB);
+        let mut opt = Adam::new(lr);
+        let mut losses = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let arch = TargetArch { hidden: *rng.pick(widths) };
+            let (value, grads): (f32, Gradients) = {
+                let mut tape = Tape::new(&self.ghn.ps);
+                let loss = self.task_loss_traced(&mut tape, &arch, &x, &y);
+                (tape.scalar(loss), tape.backward(loss))
+            };
+            let mut grads = grads;
+            grads.clip_global_norm(5.0);
+            opt.step(&mut self.ghn.ps, &grads);
+            losses.push(value);
+        }
+        losses
+    }
+
+    /// Task loss of a randomly initialized target network of the same
+    /// architecture (the baseline GHN-2 compares against).
+    pub fn random_init_loss(arch: &TargetArch, x: &Matrix, y: &Matrix, seed: u64) -> f32 {
+        let mut rng = Rng::new(seed);
+        let mut ps = ParamStore::new();
+        let w1 = ps.register("w1", Matrix::xavier(2, arch.hidden, &mut rng));
+        let b1 = ps.register_bias("b1", arch.hidden);
+        let w2 = ps.register("w2", Matrix::xavier(arch.hidden, 2, &mut rng));
+        let b2 = ps.register_bias("b2", 2);
+        let mut tape = Tape::new(&ps);
+        let xv = tape.constant(x.clone());
+        let w1v = tape.param(w1);
+        let b1v = tape.param(b1);
+        let h = tape.affine(xv, w1v, b1v);
+        let h = tape.tanh(h);
+        let w2v = tape.param(w2);
+        let b2v = tape.param(b2);
+        let logits = tape.affine(h, w2v, b2v);
+        let probs = tape.sigmoid(logits);
+        let yv = tape.constant(y.clone());
+        let loss = tape.mse_loss(probs, yv);
+        tape.scalar(loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_graphs_validate() {
+        for h in 1..=MAX_FAN {
+            let g = TargetArch { hidden: h }.graph();
+            assert_eq!(g.validate(), Ok(()), "width {h}");
+            assert_eq!(g.num_layers(), 2);
+        }
+    }
+
+    #[test]
+    fn task_dataset_is_balanced_and_nontrivial() {
+        let (x, y) = task_dataset(100, 1);
+        assert_eq!(x.rows(), 100);
+        let class0: f32 = y.col(0).iter().sum();
+        assert!((class0 - 50.0).abs() < 1.0);
+        // Not linearly separable: a zero-hidden "predict by x sign" rule
+        // should misclassify a decent chunk. (Weak structural check: both
+        // classes appear on both sides of x=0.5.)
+        let mut sides = [[0; 2]; 2];
+        for i in 0..100 {
+            let side = (x[(i, 0)] > 0.5) as usize;
+            let class = (y[(i, 1)] > 0.5) as usize;
+            sides[side][class] += 1;
+        }
+        assert!(sides.iter().flatten().all(|&c| c > 0), "{sides:?}");
+    }
+
+    #[test]
+    fn meta_training_reduces_task_loss() {
+        let mut rng = Rng::new(2);
+        let mut hyper = WeightHyperNet::new(GhnConfig::tiny(), &mut rng);
+        let losses = hyper.meta_train(&[2, 4, 6], 120, 5e-3, 7);
+        let head: f32 = losses[..10].iter().sum::<f32>() / 10.0;
+        let tail: f32 = losses[losses.len() - 10..].iter().sum::<f32>() / 10.0;
+        assert!(tail < head, "no improvement: {head} -> {tail}");
+    }
+
+    #[test]
+    fn predicted_weights_beat_random_init_on_unseen_width() {
+        let mut rng = Rng::new(3);
+        let mut hyper = WeightHyperNet::new(GhnConfig::tiny(), &mut rng);
+        hyper.meta_train(&[2, 4, 6, 8], 500, 5e-3, 11);
+        let (x, y) = task_dataset(96, 11); // same task distribution
+        // Width 5 was never seen during meta-training.
+        let arch = TargetArch { hidden: 5 };
+        let predicted = hyper.task_loss(&arch, &x, &y);
+        let random_mean: f32 = (0..8)
+            .map(|s| WeightHyperNet::random_init_loss(&arch, &x, &y, 100 + s))
+            .sum::<f32>()
+            / 8.0;
+        assert!(
+            predicted < 0.8 * random_mean,
+            "predicted {predicted} not clearly better than random {random_mean}"
+        );
+    }
+}

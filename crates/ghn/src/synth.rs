@@ -1,0 +1,217 @@
+//! Synthetic DARTS-style architecture generator.
+//!
+//! GHN-2 was meta-trained on DeepNets-1M, a set of 10⁶ architectures sampled
+//! from an extended DARTS operation space. This module reproduces that
+//! distribution at laptop scale: random cells of DARTS primitives (separable
+//! / dilated / grouped convolutions, pooling, skip connections, summation
+//! and concatenation joins), stacked with reduction cells, parameterized by
+//! the target dataset's resolution and class count.
+//!
+//! The generator is deterministic given its seed, so "pretrained" GHNs are
+//! reproducible from `(dataset, seed)`.
+
+use pddl_graph::CompGraph;
+use pddl_tensor::Rng;
+use pddl_zoo::builder::{Act, Cursor, NetBuilder};
+use pddl_zoo::dataset::DatasetDesc;
+
+/// Primitive ops the generator samples inside a cell.
+#[derive(Clone, Copy, Debug)]
+enum Primitive {
+    Conv3,
+    Conv5,
+    Conv1,
+    DwConv3,
+    DwConv5,
+    DilConv3,
+    GroupConv3,
+    MaxPool,
+    AvgPool,
+    Skip,
+}
+
+const PRIMITIVES: [Primitive; 10] = [
+    Primitive::Conv3,
+    Primitive::Conv5,
+    Primitive::Conv1,
+    Primitive::DwConv3,
+    Primitive::DwConv5,
+    Primitive::DilConv3,
+    Primitive::GroupConv3,
+    Primitive::MaxPool,
+    Primitive::AvgPool,
+    Primitive::Skip,
+];
+
+/// Configurable generator over the synthetic architecture space.
+#[derive(Clone, Debug)]
+pub struct SynthGenerator {
+    rng: Rng,
+    /// Dataset the architectures target (sets resolution and head width).
+    pub dataset: DatasetDesc,
+    counter: u64,
+}
+
+impl SynthGenerator {
+    pub fn new(dataset: DatasetDesc, seed: u64) -> Self {
+        Self { rng: Rng::new(seed ^ 0x5e_ed_6e_4e), dataset, counter: 0 }
+    }
+
+    /// Samples one architecture.
+    pub fn sample(&mut self) -> CompGraph {
+        self.counter += 1;
+        let name = format!("synth-{}-{}", self.dataset.name, self.counter);
+        let rng = &mut self.rng;
+        let mut b = NetBuilder::new(&name, self.dataset.channels, self.dataset.resolution);
+
+        // Stem.
+        let stem_c = 8 << rng.below(4); // 8, 16, 32, 64
+        b.conv_bn_act(stem_c, 3, 1 + rng.below(2), Act::Relu, "stem");
+
+        let num_cells = 2 + rng.below(4); // 2..=5 cells
+        for cell in 0..num_cells {
+            let nodes = 3 + rng.below(6); // 3..=8 internal nodes
+            Self::cell(&mut b, rng, nodes, cell);
+            // Reduction between cells: stride-2 pool or conv, channel growth.
+            if cell + 1 < num_cells && b.cursor().spatial > 2 {
+                if rng.chance(0.5) {
+                    b.max_pool(2, 2, &format!("reduce{cell}.pool"));
+                } else {
+                    let c = (b.cursor().channels * 2).min(512);
+                    b.conv_bn_act(c, 3, 2, Act::Relu, &format!("reduce{cell}.conv"));
+                }
+            }
+        }
+        b.classifier(self.dataset.num_classes);
+        b.finish()
+    }
+
+    /// Samples `n` architectures.
+    pub fn sample_many(&mut self, n: usize) -> Vec<CompGraph> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+
+    /// Builds one random cell: a small DAG of primitives over the current
+    /// cursor, with occasional Sum/Concat joins of two earlier nodes.
+    fn cell(b: &mut NetBuilder, rng: &mut Rng, nodes: usize, cell: usize) {
+        let mut frontier: Vec<Cursor> = vec![b.cursor()];
+        for i in 0..nodes {
+            let label = format!("cell{cell}.n{i}");
+            // Join two frontier nodes with probability 0.25 when possible.
+            if frontier.len() >= 2 && rng.chance(0.25) {
+                let a = frontier[rng.below(frontier.len())];
+                let mut c = frontier[rng.below(frontier.len())];
+                if a.node == c.node {
+                    c = frontier[0];
+                }
+                if a.node != c.node && a.spatial == c.spatial {
+                    if rng.chance(0.5) && a.channels == c.channels {
+                        b.set(a);
+                        frontier.push(b.sum_with(c, &format!("{label}.sum")));
+                        continue;
+                    } else {
+                        let joined = b.concat(&[a, c], &format!("{label}.cat"));
+                        frontier.push(joined);
+                        continue;
+                    }
+                }
+            }
+            // Otherwise grow from a random frontier node with a primitive.
+            let src = frontier[rng.below(frontier.len())];
+            b.set(src);
+            let c_out = (src.channels as f64 * [0.5, 1.0, 1.0, 2.0][rng.below(4)]) as usize;
+            let c_out = c_out.clamp(4, 512);
+            let cur = match *rng.pick(&PRIMITIVES) {
+                Primitive::Conv3 => b.conv_bn_act(c_out, 3, 1, Act::Relu, &label),
+                Primitive::Conv5 => b.conv_bn_act(c_out, 5, 1, Act::Relu, &label),
+                Primitive::Conv1 => b.conv_bn_act(c_out, 1, 1, Act::Relu, &label),
+                Primitive::DwConv3 => b.dw_bn_act(3, 1, Act::Relu, &label),
+                Primitive::DwConv5 => b.dw_bn_act(5, 1, Act::Relu, &label),
+                Primitive::DilConv3 => {
+                    b.dil_conv(c_out, 3, 1, &label);
+                    b.bn(&format!("{label}.bn"));
+                    b.act(Act::Relu, &format!("{label}.act"))
+                }
+                Primitive::GroupConv3 => {
+                    let groups = [2usize, 4][rng.below(2)];
+                    let c_g = (c_out / groups).max(1) * groups;
+                    b.group_conv(c_g, 3, 1, groups, &label);
+                    b.bn(&format!("{label}.bn"));
+                    b.act(Act::Relu, &format!("{label}.act"))
+                }
+                Primitive::MaxPool => b.max_pool(3, 1, &label),
+                Primitive::AvgPool => b.avg_pool(3, 1, &label),
+                Primitive::Skip => src,
+            };
+            frontier.push(cur);
+        }
+        // Cell output: concat of up to three frontier leaves at the same
+        // spatial size as the last node; fall back to the last node alone.
+        let out_spatial = frontier.last().unwrap().spatial;
+        let leaves: Vec<Cursor> = frontier
+            .iter()
+            .rev()
+            .filter(|c| c.spatial == out_spatial)
+            .take(3)
+            .copied()
+            .collect();
+        let mut distinct = leaves.clone();
+        distinct.dedup_by_key(|c| c.node);
+        if distinct.len() >= 2 {
+            b.concat(&distinct, &format!("cell{cell}.out"));
+        } else {
+            b.set(distinct[0]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pddl_zoo::dataset::CIFAR10;
+
+    #[test]
+    fn samples_are_valid_dags() {
+        let mut g = SynthGenerator::new(CIFAR10, 42);
+        for i in 0..50 {
+            let arch = g.sample();
+            assert_eq!(arch.validate(), Ok(()), "sample {i}: {}", arch.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut g1 = SynthGenerator::new(CIFAR10, 7);
+        let mut g2 = SynthGenerator::new(CIFAR10, 7);
+        for _ in 0..10 {
+            let a = g1.sample();
+            let b = g2.sample();
+            assert_eq!(a.num_nodes(), b.num_nodes());
+            assert_eq!(a.num_edges(), b.num_edges());
+            assert_eq!(a.to_json().len(), b.to_json().len());
+        }
+    }
+
+    #[test]
+    fn samples_are_diverse() {
+        let mut g = SynthGenerator::new(CIFAR10, 9);
+        let archs = g.sample_many(30);
+        let mut flops: Vec<f64> = archs.iter().map(|a| a.flops_per_example()).collect();
+        flops.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Expect at least an order of magnitude spread in cost.
+        assert!(
+            flops[flops.len() - 1] / flops[0].max(1.0) > 10.0,
+            "spread {:?}",
+            (flops[0], flops[flops.len() - 1])
+        );
+    }
+
+    #[test]
+    fn graphs_stay_small_enough_for_training() {
+        let mut g = SynthGenerator::new(CIFAR10, 11);
+        for _ in 0..30 {
+            let a = g.sample();
+            assert!(a.num_nodes() <= 220, "{} nodes", a.num_nodes());
+        }
+    }
+}

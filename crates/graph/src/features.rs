@@ -1,0 +1,78 @@
+//! Initial node features `H₀` for the GHN.
+//!
+//! The paper (Section III-E) defines `H₀ = [h₁⁰ … h_{|V|}⁰]` where each
+//! `h_v⁰` is a **one-hot vector of the operation** performed by the node. We
+//! append a small set of normalized shape scalars (log-channels, log-kernel,
+//! stride, log-spatial) — GHN-2 likewise conditions on shape metadata when
+//! decoding weights; without them two convolutions of very different width
+//! would be indistinguishable at the input.
+
+use crate::dag::CompGraph;
+use crate::op::OpKind;
+
+/// Number of shape scalars appended after the one-hot block.
+pub const SHAPE_FEATS: usize = 4;
+
+/// Width of the initial feature vector.
+pub const FEATURE_DIM: usize = OpKind::COUNT + SHAPE_FEATS;
+
+/// Builds `H₀` as a flat row-major `|V| × FEATURE_DIM` buffer.
+pub fn one_hot_features(g: &CompGraph) -> Vec<f32> {
+    let n = g.num_nodes();
+    let mut h = vec![0.0f32; n * FEATURE_DIM];
+    for (v, node) in g.nodes().iter().enumerate() {
+        let row = &mut h[v * FEATURE_DIM..(v + 1) * FEATURE_DIM];
+        row[node.kind.index()] = 1.0;
+        let a = &node.attrs;
+        // Normalized shape scalars; log1p keeps wide layers O(1).
+        row[OpKind::COUNT] = ((a.c_out as f32).ln_1p()) / 8.0;
+        row[OpKind::COUNT + 1] = a.kernel as f32 / 8.0;
+        row[OpKind::COUNT + 2] = a.stride as f32 / 2.0;
+        row[OpKind::COUNT + 3] = ((a.spatial as f32).ln_1p()) / 6.0;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::NodeAttrs;
+
+    #[test]
+    fn feature_rows_have_single_hot_bit() {
+        let mut g = CompGraph::new("t");
+        let a = g.add_node(OpKind::Input, NodeAttrs::elementwise(3, 32), "in");
+        let b = g.chain(a, OpKind::Conv, NodeAttrs::conv(3, 64, 3, 1, 32), "c");
+        let _ = g.chain(b, OpKind::Output, NodeAttrs::elementwise(64, 32), "o");
+        let h = one_hot_features(&g);
+        assert_eq!(h.len(), 3 * FEATURE_DIM);
+        for v in 0..3 {
+            let row = &h[v * FEATURE_DIM..v * FEATURE_DIM + OpKind::COUNT];
+            let hot: usize = row.iter().filter(|&&x| x == 1.0).count();
+            assert_eq!(hot, 1, "node {v} one-hot block malformed");
+        }
+    }
+
+    #[test]
+    fn wider_layer_has_larger_channel_feature() {
+        let mut g = CompGraph::new("t");
+        let a = g.add_node(OpKind::Input, NodeAttrs::elementwise(3, 32), "in");
+        let narrow = g.chain(a, OpKind::Conv, NodeAttrs::conv(3, 16, 3, 1, 32), "n");
+        let wide = g.chain(narrow, OpKind::Conv, NodeAttrs::conv(16, 512, 3, 1, 32), "w");
+        let _ = g.chain(wide, OpKind::Output, NodeAttrs::elementwise(512, 32), "o");
+        let h = one_hot_features(&g);
+        let f = |v: usize| h[v * FEATURE_DIM + OpKind::COUNT];
+        assert!(f(2) > f(1), "wide layer should have larger channel feature");
+    }
+
+    #[test]
+    fn shape_features_bounded() {
+        let mut g = CompGraph::new("t");
+        let a = g.add_node(OpKind::Input, NodeAttrs::elementwise(3, 224), "in");
+        let b = g.chain(a, OpKind::Conv, NodeAttrs::conv(3, 2048, 7, 2, 112), "c");
+        let _ = g.chain(b, OpKind::Output, NodeAttrs::elementwise(2048, 1), "o");
+        for x in one_hot_features(&g) {
+            assert!(x.abs() <= 2.0, "feature {x} out of expected range");
+        }
+    }
+}

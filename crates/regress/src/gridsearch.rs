@@ -1,0 +1,144 @@
+//! Hyperparameter grid search with k-fold cross-validation.
+//!
+//! The paper tunes each regressor before comparing them (§IV-B2): SVR over
+//! `C ∈ [1, 10³]`, `γ ∈ [0.05, 0.5]`, `ε ∈ [0.05, 0.2]`; MLP over 1–5
+//! hidden neurons.
+
+use crate::metrics::rmse;
+use crate::split::k_fold;
+use crate::svr::{Kernel, Svr};
+use crate::{MlpRegressor, Regressor};
+use pddl_tensor::Matrix;
+use rayon::prelude::*;
+
+/// One SVR hyperparameter candidate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SvrParams {
+    pub kernel: Kernel,
+    pub c: f32,
+    pub epsilon: f32,
+}
+
+/// The paper's SVR search grid: radial and linear kernels, C from 1 to 10³,
+/// γ from 0.05 to 0.5, ε from 0.05 to 0.2.
+pub fn svr_grid() -> Vec<SvrParams> {
+    let mut grid = Vec::new();
+    for &c in &[1.0f32, 10.0, 100.0, 1000.0] {
+        for &epsilon in &[0.05f32, 0.1, 0.2] {
+            grid.push(SvrParams { kernel: Kernel::Linear, c, epsilon });
+            for &gamma in &[0.05f32, 0.1, 0.25, 0.5] {
+                grid.push(SvrParams { kernel: Kernel::Rbf { gamma }, c, epsilon });
+            }
+        }
+    }
+    grid
+}
+
+/// Mean k-fold validation RMSE of a model constructor.
+fn cv_rmse<M: Regressor>(
+    make: impl Fn() -> M + Sync,
+    x: &Matrix,
+    y: &[f32],
+    folds: &[(Vec<usize>, Vec<usize>)],
+) -> f32 {
+    let mut total = 0.0f64;
+    for (train, val) in folds {
+        let xt = x.gather_rows(train);
+        let yt: Vec<f32> = train.iter().map(|&i| y[i]).collect();
+        let xv = x.gather_rows(val);
+        let yv: Vec<f32> = val.iter().map(|&i| y[i]).collect();
+        let mut m = make();
+        m.fit(&xt, &yt);
+        total += rmse(&m.predict(&xv), &yv) as f64;
+    }
+    (total / folds.len() as f64) as f32
+}
+
+/// Grid-searches SVR hyperparameters; returns the best params and their CV
+/// RMSE. Candidates evaluate in parallel with rayon.
+pub fn grid_search_svr(x: &Matrix, y: &[f32], k: usize, seed: u64) -> (SvrParams, f32) {
+    let folds = k_fold(x.rows(), k, seed);
+    let grid = svr_grid();
+    grid.par_iter()
+        .map(|&p| {
+            let score = cv_rmse(|| Svr::new(p.kernel, p.c, p.epsilon), x, y, &folds);
+            (p, score)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("non-empty grid")
+}
+
+/// Grid-searches the MLP hidden width over 1..=5 (paper's range).
+pub fn grid_search_mlp(
+    x: &Matrix,
+    y: &[f32],
+    k: usize,
+    seed: u64,
+    epochs: usize,
+    lr: f32,
+) -> (usize, f32) {
+    let folds = k_fold(x.rows(), k, seed);
+    (1..=5usize)
+        .collect::<Vec<_>>()
+        .par_iter()
+        .map(|&h| {
+            let score = cv_rmse(|| MlpRegressor::new(h, epochs, lr, seed), x, y, &folds);
+            (h, score)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("non-empty grid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pddl_tensor::Rng;
+
+    fn sine_data(n: usize) -> (Matrix, Vec<f32>) {
+        let mut x = Matrix::zeros(n, 1);
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = -3.0 + 6.0 * i as f32 / n as f32;
+            x[(i, 0)] = a;
+            y.push(a.sin());
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn grid_has_paper_ranges() {
+        let g = svr_grid();
+        assert!(g.iter().any(|p| p.c == 1.0));
+        assert!(g.iter().any(|p| p.c == 1000.0));
+        assert!(g.iter().any(|p| matches!(p.kernel, Kernel::Linear)));
+        assert!(g
+            .iter()
+            .any(|p| matches!(p.kernel, Kernel::Rbf { gamma } if gamma == 0.5)));
+        assert!(g.iter().any(|p| p.epsilon == 0.05));
+        assert!(g.iter().any(|p| p.epsilon == 0.2));
+    }
+
+    #[test]
+    fn svr_search_prefers_rbf_on_sine() {
+        let (x, y) = sine_data(90);
+        let (best, score) = grid_search_svr(&x, &y, 3, 1);
+        assert!(matches!(best.kernel, Kernel::Rbf { .. }), "{best:?}");
+        assert!(score < 0.2, "cv rmse {score}");
+    }
+
+    #[test]
+    fn mlp_search_returns_in_range() {
+        let mut rng = Rng::new(2);
+        let n = 60;
+        let mut x = Matrix::zeros(n, 1);
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = rng.uniform(-1.0, 1.0);
+            x[(i, 0)] = a;
+            y.push(2.0 * a + 1.0);
+        }
+        let (h, score) = grid_search_mlp(&x, &y, 3, 3, 150, 0.05);
+        assert!((1..=5).contains(&h));
+        assert!(score.is_finite());
+    }
+}

@@ -1,0 +1,106 @@
+//! Error metrics used throughout the evaluation.
+//!
+//! The paper reports (1) the relative error `Predicted/Actual` ("closer to 1
+//! is better") and its deviation `|ratio − 1|`, and (2) RMSE for the
+//! black-box/gray-box motivation figures.
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f32], actual: &[f32]) -> f32 {
+    assert_eq!(pred.len(), actual.len());
+    assert!(!pred.is_empty(), "rmse of empty slice");
+    let s: f64 = pred
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| ((p - a) as f64).powi(2))
+        .sum();
+    (s / pred.len() as f64).sqrt() as f32
+}
+
+/// Per-sample prediction ratios `pred/actual` (the paper's plotted metric).
+pub fn ratios(pred: &[f32], actual: &[f32]) -> Vec<f32> {
+    assert_eq!(pred.len(), actual.len());
+    pred.iter()
+        .zip(actual)
+        .map(|(p, a)| {
+            debug_assert!(*a != 0.0, "actual value of zero");
+            p / a
+        })
+        .collect()
+}
+
+/// Mean `|pred/actual − 1|` — the paper's "average prediction error".
+pub fn mean_relative_error(pred: &[f32], actual: &[f32]) -> f32 {
+    let r = ratios(pred, actual);
+    r.iter().map(|x| (x - 1.0).abs()).sum::<f32>() / r.len() as f32
+}
+
+/// Maximum `|pred/actual − 1|`.
+pub fn max_relative_error(pred: &[f32], actual: &[f32]) -> f32 {
+    ratios(pred, actual)
+        .iter()
+        .map(|x| (x - 1.0).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Coefficient of determination R².
+pub fn r2(pred: &[f32], actual: &[f32]) -> f32 {
+    assert_eq!(pred.len(), actual.len());
+    let mean: f64 = actual.iter().map(|&a| a as f64).sum::<f64>() / actual.len() as f64;
+    let ss_res: f64 = pred
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| ((a - p) as f64).powi(2))
+        .sum();
+    let ss_tot: f64 = actual.iter().map(|&a| (a as f64 - mean).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { f32::NEG_INFINITY };
+    }
+    (1.0 - ss_res / ss_tot) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mean_relative_error(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn rmse_hand_computed() {
+        // errors 1 and -1 → rmse 1.
+        assert!((rmse(&[2.0, 1.0], &[1.0, 2.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relative_error_scale_free() {
+        let pred = [110.0, 0.11];
+        let act = [100.0, 0.10];
+        let e = mean_relative_error(&pred, &act);
+        assert!((e - 0.1).abs() < 1e-4, "{e}");
+    }
+
+    #[test]
+    fn max_relative_error_picks_worst() {
+        let pred = [1.1, 3.0];
+        let act = [1.0, 1.0];
+        assert!((max_relative_error(&pred, &act) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let actual = [1.0, 2.0, 3.0, 4.0];
+        let pred = [2.5; 4];
+        assert!(r2(&pred, &actual).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

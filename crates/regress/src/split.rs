@@ -1,0 +1,85 @@
+//! Train/test splitting and k-fold cross-validation indices.
+//!
+//! The paper evaluates 80/20, 67/33 and 50/50 splits (Fig. 11); splits are
+//! random but seeded for reproducibility.
+
+use pddl_tensor::Rng;
+
+/// Shuffled `(train, test)` index split; `train_fraction` of samples go to
+/// the training set (at least one sample in each side).
+pub fn train_test_split(n: usize, train_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(n >= 2, "need at least two samples to split");
+    assert!(
+        (0.0..1.0).contains(&train_fraction) && train_fraction > 0.0,
+        "train fraction must be in (0,1)"
+    );
+    let mut idx: Vec<usize> = (0..n).collect();
+    Rng::new(seed).shuffle(&mut idx);
+    let k = ((n as f64 * train_fraction).round() as usize).clamp(1, n - 1);
+    let test = idx.split_off(k);
+    (idx, test)
+}
+
+/// K-fold cross-validation: returns `k` (train, validation) index pairs.
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2 && k <= n, "k must be in [2, n]");
+    let mut idx: Vec<usize> = (0..n).collect();
+    Rng::new(seed).shuffle(&mut idx);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = n * f / k;
+        let hi = n * (f + 1) / k;
+        let val: Vec<usize> = idx[lo..hi].to_vec();
+        let train: Vec<usize> = idx[..lo].iter().chain(&idx[hi..]).copied().collect();
+        folds.push((train, val));
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_partition() {
+        let (tr, te) = train_test_split(100, 0.8, 1);
+        assert_eq!(tr.len(), 80);
+        assert_eq!(te.len(), 20);
+        let mut all: Vec<usize> = tr.iter().chain(&te).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_reproducible() {
+        assert_eq!(train_test_split(50, 0.67, 9), train_test_split(50, 0.67, 9));
+        assert_ne!(train_test_split(50, 0.67, 9).0, train_test_split(50, 0.67, 10).0);
+    }
+
+    #[test]
+    fn tiny_split_keeps_both_sides_nonempty() {
+        let (tr, te) = train_test_split(2, 0.99, 3);
+        assert_eq!(tr.len(), 1);
+        assert_eq!(te.len(), 1);
+    }
+
+    #[test]
+    fn k_fold_covers_everything_once() {
+        let folds = k_fold(23, 5, 7);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; 23];
+        for (tr, val) in &folds {
+            assert_eq!(tr.len() + val.len(), 23);
+            for &v in val {
+                seen[v] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn k_fold_rejects_k_larger_than_n() {
+        let _ = k_fold(3, 5, 1);
+    }
+}

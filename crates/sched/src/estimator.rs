@@ -1,0 +1,89 @@
+//! Runtime estimators the scheduler can plug in.
+
+use pddl_cluster::{ClusterState, ServerClass};
+use pddl_ddlsim::{Simulator, Workload};
+use predictddl::PredictDdl;
+
+/// Anything that can guess how long a workload takes on `n` servers.
+pub trait RuntimeEstimator {
+    /// Estimated runtime in seconds, or `None` if the configuration is
+    /// infeasible / unknown.
+    fn estimate(&self, w: &Workload, servers: usize) -> Option<f64>;
+}
+
+/// PredictDDL as the estimator (the intended production integration).
+pub struct PredictDdlEstimator<'a> {
+    pub system: &'a PredictDdl,
+    pub class: ServerClass,
+}
+
+impl RuntimeEstimator for PredictDdlEstimator<'_> {
+    fn estimate(&self, w: &Workload, servers: usize) -> Option<f64> {
+        let cluster = ClusterState::homogeneous(self.class, servers);
+        self.system
+            .predict_workload(w, &cluster)
+            .ok()
+            .map(|p| p.seconds)
+    }
+}
+
+/// Perfect-information oracle (upper bound on scheduling quality).
+pub struct OracleEstimator<'a> {
+    pub sim: &'a Simulator,
+    pub class: ServerClass,
+}
+
+impl RuntimeEstimator for OracleEstimator<'_> {
+    fn estimate(&self, w: &Workload, servers: usize) -> Option<f64> {
+        let cluster = ClusterState::homogeneous(self.class, servers);
+        self.sim.expected_time(w, &cluster).ok()
+    }
+}
+
+/// What a scheduler without a predictor does: assume every job takes the
+/// same fixed time regardless of architecture, scaled by 1/servers.
+pub struct NaiveEstimator {
+    /// Assumed single-server runtime for any job, seconds.
+    pub assumed_secs: f64,
+}
+
+impl RuntimeEstimator for NaiveEstimator {
+    fn estimate(&self, _w: &Workload, servers: usize) -> Option<f64> {
+        Some(self.assumed_secs / servers.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pddl_ddlsim::SimConfig;
+
+    #[test]
+    fn oracle_matches_simulator() {
+        let sim = Simulator::new(SimConfig::default());
+        let est = OracleEstimator { sim: &sim, class: ServerClass::GpuP100 };
+        let w = Workload::standard("resnet18", "cifar10");
+        let direct = sim
+            .expected_time(&w, &ClusterState::homogeneous(ServerClass::GpuP100, 4))
+            .unwrap();
+        assert_eq!(est.estimate(&w, 4), Some(direct));
+    }
+
+    #[test]
+    fn naive_ignores_architecture() {
+        let est = NaiveEstimator { assumed_secs: 100.0 };
+        let a = est.estimate(&Workload::standard("vgg16", "cifar10"), 2);
+        let b = est.estimate(&Workload::standard("squeezenet1_1", "cifar10"), 2);
+        assert_eq!(a, b);
+        assert_eq!(a, Some(50.0));
+    }
+
+    #[test]
+    fn oracle_none_on_infeasible() {
+        let sim = Simulator::new(SimConfig::default());
+        let est = OracleEstimator { sim: &sim, class: ServerClass::GpuP100 };
+        // Absurd per-worker batch OOMs the P100.
+        let w = Workload::new("wide_resnet101_2", "tiny-imagenet", 100_000, 1);
+        assert_eq!(est.estimate(&w, 1), None);
+    }
+}

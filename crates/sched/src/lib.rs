@@ -1,0 +1,27 @@
+//! Prediction-driven cluster scheduling — the integration the paper leaves
+//! as future work ("integrate PredictDDL with production-level cluster
+//! schedulers", §VI) and motivates in its abstract ("allocating the
+//! required cluster resources for completing critical model training tasks
+//! before a deadline").
+//!
+//! The crate provides:
+//! * a [`estimator::RuntimeEstimator`] abstraction over runtime predictors
+//!   (PredictDDL, an oracle wrapping the simulator, and a naive
+//!   constant-work heuristic);
+//! * allocation [`policy`]s that consume estimates: FCFS with fixed
+//!   allocation, deadline-aware smallest-feasible sizing, and
+//!   shortest-predicted-job-first with backfill;
+//! * a discrete-event [`simulator`] that runs a job queue against a finite
+//!   server pool, charging *actual* (simulated-testbed) runtimes while the
+//!   policy only ever sees *predictions* — so estimator error shows up as
+//!   missed deadlines and idle servers, exactly as in production.
+
+pub mod estimator;
+pub mod job;
+pub mod policy;
+pub mod simulator;
+
+pub use estimator::{NaiveEstimator, OracleEstimator, PredictDdlEstimator, RuntimeEstimator};
+pub use job::{JobId, SchedJob};
+pub use policy::{DeadlineAware, FcfsFixed, Policy, SpjfBackfill};
+pub use simulator::{QueueSimulator, ScheduleMetrics, ScheduleTrace};

@@ -1,0 +1,208 @@
+//! Allocation policies.
+//!
+//! A policy examines the waiting queue and the number of free servers, and
+//! decides which job to start next and with how many servers — using only
+//! *estimates* of runtimes, never ground truth.
+
+use crate::estimator::RuntimeEstimator;
+use crate::job::SchedJob;
+
+/// A start decision: job index within the waiting queue + server count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    pub queue_index: usize,
+    pub servers: usize,
+}
+
+/// Scheduling policy interface.
+pub trait Policy {
+    /// Chooses the next job to launch from `waiting` given `free` servers
+    /// and the current time, or `None` to stay idle until the next event.
+    fn next(
+        &self,
+        waiting: &[SchedJob],
+        free: usize,
+        now: f64,
+        est: &dyn RuntimeEstimator,
+    ) -> Option<Decision>;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// First-come-first-served with a fixed per-job allocation (what a plain
+/// SLURM partition does when users hard-code `--nodes`).
+pub struct FcfsFixed {
+    pub servers_per_job: usize,
+}
+
+impl Policy for FcfsFixed {
+    fn next(
+        &self,
+        waiting: &[SchedJob],
+        free: usize,
+        _now: f64,
+        _est: &dyn RuntimeEstimator,
+    ) -> Option<Decision> {
+        let job = waiting.first()?;
+        let servers = self
+            .servers_per_job
+            .clamp(job.min_servers, job.max_servers);
+        (servers <= free).then_some(Decision { queue_index: 0, servers })
+    }
+
+    fn name(&self) -> &'static str {
+        "fcfs-fixed"
+    }
+}
+
+/// Deadline-aware right-sizing: take the earliest-deadline waiting job and
+/// give it the *smallest* feasible allocation that (per the estimator)
+/// meets its deadline; jobs without deadlines get their minimum.
+pub struct DeadlineAware;
+
+impl Policy for DeadlineAware {
+    fn next(
+        &self,
+        waiting: &[SchedJob],
+        free: usize,
+        now: f64,
+        est: &dyn RuntimeEstimator,
+    ) -> Option<Decision> {
+        if waiting.is_empty() || free == 0 {
+            return None;
+        }
+        // Earliest deadline first; deadline-free jobs last.
+        let queue_index = (0..waiting.len())
+            .min_by(|&a, &b| {
+                let da = waiting[a].deadline.unwrap_or(f64::INFINITY);
+                let db = waiting[b].deadline.unwrap_or(f64::INFINITY);
+                da.partial_cmp(&db).unwrap()
+            })
+            .expect("non-empty queue");
+        let job = &waiting[queue_index];
+        let cap = job.max_servers.min(free);
+        if cap < job.min_servers {
+            return None;
+        }
+        match job.deadline {
+            None => Some(Decision { queue_index, servers: job.min_servers.min(cap) }),
+            Some(deadline) => {
+                let slack = deadline - now;
+                for n in job.min_servers..=cap {
+                    if let Some(t) = est.estimate(&job.workload, n) {
+                        if t <= slack {
+                            return Some(Decision { queue_index, servers: n });
+                        }
+                    }
+                }
+                // Cannot meet the deadline: run wide to minimize the miss.
+                Some(Decision { queue_index, servers: cap })
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "deadline-aware"
+    }
+}
+
+/// Shortest-predicted-job-first with backfill: order by estimated runtime
+/// at the job's minimum allocation; start the shortest job that fits in the
+/// free servers (skipping over larger ones — backfill).
+pub struct SpjfBackfill;
+
+impl Policy for SpjfBackfill {
+    fn next(
+        &self,
+        waiting: &[SchedJob],
+        free: usize,
+        _now: f64,
+        est: &dyn RuntimeEstimator,
+    ) -> Option<Decision> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, job) in waiting.iter().enumerate() {
+            if job.min_servers > free {
+                continue; // backfill: skip jobs that cannot start now
+            }
+            let t = est
+                .estimate(&job.workload, job.min_servers)
+                .unwrap_or(f64::INFINITY);
+            if best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((i, t));
+            }
+        }
+        best.map(|(queue_index, _)| {
+            let job = &waiting[queue_index];
+            Decision { queue_index, servers: job.min_servers.min(free) }
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "spjf-backfill"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::NaiveEstimator;
+    use pddl_ddlsim::Workload;
+
+    fn job(id: usize, submit: f64) -> SchedJob {
+        SchedJob::new(id, Workload::standard("resnet18", "cifar10"), submit)
+    }
+
+    #[test]
+    fn fcfs_takes_head_of_queue_when_it_fits() {
+        let p = FcfsFixed { servers_per_job: 4 };
+        let est = NaiveEstimator { assumed_secs: 10.0 };
+        let q = vec![job(1, 0.0), job(2, 1.0)];
+        let d = p.next(&q, 8, 0.0, &est).unwrap();
+        assert_eq!(d, Decision { queue_index: 0, servers: 4 });
+        assert!(p.next(&q, 3, 0.0, &est).is_none(), "head doesn't fit → wait");
+    }
+
+    #[test]
+    fn deadline_aware_prefers_earliest_deadline() {
+        let p = DeadlineAware;
+        let est = NaiveEstimator { assumed_secs: 100.0 };
+        let q = vec![
+            job(1, 0.0).with_deadline(500.0),
+            job(2, 0.0).with_deadline(100.0),
+        ];
+        let d = p.next(&q, 16, 0.0, &est).unwrap();
+        assert_eq!(d.queue_index, 1);
+    }
+
+    #[test]
+    fn deadline_aware_right_sizes() {
+        let p = DeadlineAware;
+        // Naive: t = 100/n. Deadline slack 30 → needs n ≥ 4.
+        let est = NaiveEstimator { assumed_secs: 100.0 };
+        let q = vec![job(1, 0.0).with_deadline(30.0).with_server_range(1, 16)];
+        let d = p.next(&q, 16, 0.0, &est).unwrap();
+        assert_eq!(d.servers, 4);
+    }
+
+    #[test]
+    fn deadline_aware_runs_wide_when_hopeless() {
+        let p = DeadlineAware;
+        let est = NaiveEstimator { assumed_secs: 10_000.0 };
+        let q = vec![job(1, 0.0).with_deadline(1.0).with_server_range(1, 8)];
+        let d = p.next(&q, 6, 0.0, &est).unwrap();
+        assert_eq!(d.servers, 6, "should run as wide as possible");
+    }
+
+    #[test]
+    fn backfill_skips_oversized_jobs() {
+        let p = SpjfBackfill;
+        let est = NaiveEstimator { assumed_secs: 100.0 };
+        let q = vec![
+            job(1, 0.0).with_server_range(8, 8), // cannot fit in 4 free
+            job(2, 0.0).with_server_range(2, 4),
+        ];
+        let d = p.next(&q, 4, 0.0, &est).unwrap();
+        assert_eq!(d.queue_index, 1);
+    }
+}

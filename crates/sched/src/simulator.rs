@@ -1,0 +1,295 @@
+//! Discrete-event queue simulation.
+//!
+//! Jobs arrive over time; the policy launches them with some allocation;
+//! each running job occupies its servers for its **actual** duration (from
+//! the testbed simulator), which the policy never saw — only the
+//! estimator's prediction. Estimator error therefore manifests as missed
+//! deadlines, queue buildup, or wasted width, exactly as in a real
+//! deployment.
+
+use crate::estimator::RuntimeEstimator;
+use crate::job::{JobId, SchedJob};
+use crate::policy::Policy;
+use pddl_cluster::{ClusterState, ServerClass};
+use pddl_ddlsim::Simulator;
+
+/// Per-job outcome.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    pub id: JobId,
+    pub start: f64,
+    pub finish: f64,
+    pub servers: usize,
+    pub deadline_met: Option<bool>,
+}
+
+/// Aggregate schedule quality.
+#[derive(Clone, Debug)]
+pub struct ScheduleMetrics {
+    /// Completion time of the last job.
+    pub makespan: f64,
+    /// Mean queueing delay (start − submit).
+    pub mean_wait: f64,
+    /// Deadline hits / jobs-with-deadlines.
+    pub deadlines_met: usize,
+    pub deadlines_total: usize,
+    /// Σ servers × runtime (the resource bill).
+    pub server_seconds: f64,
+}
+
+/// Full result: outcomes + metrics.
+#[derive(Clone, Debug)]
+pub struct ScheduleTrace {
+    pub outcomes: Vec<JobOutcome>,
+    pub metrics: ScheduleMetrics,
+}
+
+/// The event-driven queue simulator.
+pub struct QueueSimulator<'a> {
+    pub total_servers: usize,
+    pub class: ServerClass,
+    /// Ground-truth runtime source (the "testbed").
+    pub sim: &'a Simulator,
+}
+
+impl<'a> QueueSimulator<'a> {
+    pub fn new(total_servers: usize, class: ServerClass, sim: &'a Simulator) -> Self {
+        assert!(total_servers >= 1);
+        Self { total_servers, class, sim }
+    }
+
+    /// Actual runtime of a job at an allocation (ground truth, with the
+    /// run-to-run noise a real testbed would show).
+    fn actual_runtime(&self, job: &SchedJob, servers: usize) -> f64 {
+        let cluster = ClusterState::homogeneous(self.class, servers);
+        self.sim
+            .measure(&job.workload, &cluster, job.id as u64)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Runs the queue to completion under a policy + estimator.
+    pub fn run(
+        &self,
+        jobs: &[SchedJob],
+        policy: &dyn Policy,
+        est: &dyn RuntimeEstimator,
+    ) -> ScheduleTrace {
+        let mut pending: Vec<SchedJob> = {
+            let mut p = jobs.to_vec();
+            p.sort_by(|a, b| a.submit_time.partial_cmp(&b.submit_time).unwrap());
+            p
+        };
+        let mut waiting: Vec<SchedJob> = Vec::new();
+        // (finish_time, servers, outcome index)
+        let mut running: Vec<(f64, usize, usize)> = Vec::new();
+        let mut outcomes: Vec<JobOutcome> = Vec::new();
+        let mut free = self.total_servers;
+        let mut now = 0.0f64;
+        let mut guard = 0usize;
+
+        loop {
+            guard += 1;
+            assert!(guard < 100_000, "scheduler livelock");
+            // Admit arrivals up to `now`.
+            while pending.first().is_some_and(|j| j.submit_time <= now) {
+                waiting.push(pending.remove(0));
+            }
+            // Launch as many jobs as the policy wants right now.
+            while let Some(d) = policy.next(&waiting, free, now, est) {
+                let job = waiting.remove(d.queue_index);
+                let servers = d.servers.min(free).max(1);
+                let runtime = self.actual_runtime(&job, servers);
+                let finish = now + runtime;
+                free -= servers;
+                outcomes.push(JobOutcome {
+                    id: job.id,
+                    start: now,
+                    finish,
+                    servers,
+                    deadline_met: job.deadline.map(|dl| finish <= dl),
+                });
+                running.push((finish, servers, outcomes.len() - 1));
+                if free == 0 {
+                    break;
+                }
+            }
+            // Advance to the next event: a completion or an arrival.
+            let next_finish = running
+                .iter()
+                .map(|&(f, _, _)| f)
+                .fold(f64::INFINITY, f64::min);
+            let next_arrival = pending.first().map_or(f64::INFINITY, |j| j.submit_time);
+            let next = next_finish.min(next_arrival);
+            if !next.is_finite() {
+                break; // nothing running, nothing arriving
+            }
+            now = next;
+            // Release finished jobs.
+            let mut i = 0;
+            while i < running.len() {
+                if running[i].0 <= now + 1e-9 {
+                    free += running[i].1;
+                    running.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        assert!(waiting.is_empty() && pending.is_empty(), "jobs left unscheduled");
+
+        // Metrics.
+        let makespan = outcomes.iter().map(|o| o.finish).fold(0.0, f64::max);
+        let submit: std::collections::HashMap<JobId, f64> =
+            jobs.iter().map(|j| (j.id, j.submit_time)).collect();
+        let mean_wait = outcomes
+            .iter()
+            .map(|o| o.start - submit[&o.id])
+            .sum::<f64>()
+            / outcomes.len().max(1) as f64;
+        let deadlines_total = outcomes.iter().filter(|o| o.deadline_met.is_some()).count();
+        let deadlines_met = outcomes
+            .iter()
+            .filter(|o| o.deadline_met == Some(true))
+            .count();
+        let server_seconds = outcomes
+            .iter()
+            .map(|o| (o.finish - o.start) * o.servers as f64)
+            .sum();
+        ScheduleTrace {
+            outcomes,
+            metrics: ScheduleMetrics {
+                makespan,
+                mean_wait,
+                deadlines_met,
+                deadlines_total,
+                server_seconds,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{NaiveEstimator, OracleEstimator};
+    use crate::policy::{DeadlineAware, FcfsFixed, SpjfBackfill};
+    use pddl_ddlsim::{SimConfig, Workload};
+
+    fn sim() -> Simulator {
+        Simulator::new(SimConfig::default())
+    }
+
+    fn mixed_queue() -> Vec<SchedJob> {
+        vec![
+            SchedJob::new(0, Workload::new("vgg16", "cifar10", 128, 2), 0.0),
+            SchedJob::new(1, Workload::new("squeezenet1_1", "cifar10", 128, 2), 0.0),
+            SchedJob::new(2, Workload::new("resnet18", "cifar10", 128, 2), 5.0),
+            SchedJob::new(3, Workload::new("alexnet", "cifar10", 128, 2), 5.0),
+        ]
+    }
+
+    #[test]
+    fn all_jobs_complete_under_every_policy() {
+        let sim = sim();
+        let q = QueueSimulator::new(8, ServerClass::GpuP100, &sim);
+        let est = OracleEstimator { sim: &sim, class: ServerClass::GpuP100 };
+        let policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(FcfsFixed { servers_per_job: 4 }),
+            Box::new(DeadlineAware),
+            Box::new(SpjfBackfill),
+        ];
+        for p in policies {
+            let trace = q.run(&mixed_queue(), p.as_ref(), &est);
+            assert_eq!(trace.outcomes.len(), 4, "{}", p.name());
+            assert!(trace.metrics.makespan > 0.0);
+        }
+    }
+
+    #[test]
+    fn spjf_runs_short_jobs_first() {
+        let sim = sim();
+        let q = QueueSimulator::new(2, ServerClass::GpuP100, &sim);
+        let est = OracleEstimator { sim: &sim, class: ServerClass::GpuP100 };
+        let jobs = vec![
+            SchedJob::new(0, Workload::new("vgg16", "cifar10", 128, 2), 0.0)
+                .with_server_range(2, 2),
+            SchedJob::new(1, Workload::new("squeezenet1_1", "cifar10", 128, 2), 0.0)
+                .with_server_range(2, 2),
+        ];
+        let trace = q.run(&jobs, &SpjfBackfill, &est);
+        let squeeze = trace.outcomes.iter().find(|o| o.id == 1).unwrap();
+        let vgg = trace.outcomes.iter().find(|o| o.id == 0).unwrap();
+        assert!(squeeze.start < vgg.start, "short job should start first");
+    }
+
+    #[test]
+    fn deadline_policy_with_oracle_beats_fixed_allocation() {
+        // Tight-but-feasible deadlines; the fixed policy wastes servers on
+        // easy jobs and starves tight ones.
+        let sim = sim();
+        let q = QueueSimulator::new(8, ServerClass::GpuP100, &sim);
+        let est = OracleEstimator { sim: &sim, class: ServerClass::GpuP100 };
+        let jobs: Vec<SchedJob> = vec![
+            SchedJob::new(0, Workload::new("vgg16", "cifar10", 128, 2), 0.0)
+                .with_deadline(90.0)
+                .with_server_range(1, 8),
+            SchedJob::new(1, Workload::new("densenet161", "cifar10", 128, 2), 0.0)
+                .with_deadline(120.0)
+                .with_server_range(1, 8),
+            SchedJob::new(2, Workload::new("squeezenet1_1", "cifar10", 128, 2), 0.0)
+                .with_deadline(60.0)
+                .with_server_range(1, 8),
+            SchedJob::new(3, Workload::new("resnet50", "cifar10", 128, 2), 0.0)
+                .with_deadline(150.0)
+                .with_server_range(1, 8),
+        ];
+        let aware = q.run(&jobs, &DeadlineAware, &est);
+        let fixed = q.run(&jobs, &FcfsFixed { servers_per_job: 8 }, &est);
+        assert!(
+            aware.metrics.deadlines_met >= fixed.metrics.deadlines_met,
+            "aware {}/{} vs fixed {}/{}",
+            aware.metrics.deadlines_met,
+            aware.metrics.deadlines_total,
+            fixed.metrics.deadlines_met,
+            fixed.metrics.deadlines_total
+        );
+        // Right-sizing should also use fewer server-seconds than always-8.
+        assert!(aware.metrics.server_seconds <= fixed.metrics.server_seconds);
+    }
+
+    #[test]
+    fn wildly_wrong_estimator_hurts_deadlines() {
+        let sim = sim();
+        let q = QueueSimulator::new(8, ServerClass::GpuP100, &sim);
+        let oracle = OracleEstimator { sim: &sim, class: ServerClass::GpuP100 };
+        // Estimator that thinks everything is instant → allocates minimum.
+        let wrong = NaiveEstimator { assumed_secs: 0.001 };
+        let jobs: Vec<SchedJob> = (0..4)
+            .map(|i| {
+                SchedJob::new(i, Workload::new("vgg16", "cifar10", 128, 2), 0.0)
+                    .with_deadline(120.0)
+                    .with_server_range(1, 8)
+            })
+            .collect();
+        let good = q.run(&jobs, &DeadlineAware, &oracle);
+        let bad = q.run(&jobs, &DeadlineAware, &wrong);
+        assert!(
+            good.metrics.deadlines_met >= bad.metrics.deadlines_met,
+            "oracle {} vs wrong {}",
+            good.metrics.deadlines_met,
+            bad.metrics.deadlines_met
+        );
+    }
+
+    #[test]
+    fn arrivals_are_respected() {
+        let sim = sim();
+        let q = QueueSimulator::new(4, ServerClass::GpuP100, &sim);
+        let est = OracleEstimator { sim: &sim, class: ServerClass::GpuP100 };
+        let jobs = vec![
+            SchedJob::new(0, Workload::new("squeezenet1_1", "cifar10", 128, 1), 50.0),
+        ];
+        let trace = q.run(&jobs, &SpjfBackfill, &est);
+        assert!(trace.outcomes[0].start >= 50.0, "started before arrival");
+    }
+}

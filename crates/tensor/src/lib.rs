@@ -1,0 +1,24 @@
+//! Dense `f32` matrix kernels for the PredictDDL reproduction.
+//!
+//! This crate is the numeric substrate under the autodiff engine
+//! (`pddl-autodiff`), the GHN-2 implementation and the regression library.
+//! It deliberately implements only what those layers need — row-major dense
+//! matrices, rayon-parallel GEMM, a deterministic counter-free RNG, and the
+//! decompositions (Householder QR, Cholesky) used by the least-squares
+//! solvers — instead of pulling in a BLAS binding.
+//!
+//! Design notes (following the session's hpc-parallel guides):
+//! * storage is a single contiguous `Vec<f32>` (cache-friendly, no per-row
+//!   allocation);
+//! * GEMM parallelizes over output rows with `rayon` above a size threshold
+//!   and transposes the right-hand side once so the inner loop is a unit
+//!   stride dot product;
+//! * all randomness goes through [`rng::Rng`], a seeded xoshiro256**, so every
+//!   experiment in the workspace is reproducible bit-for-bit.
+
+pub mod linalg;
+pub mod matrix;
+pub mod rng;
+
+pub use matrix::Matrix;
+pub use rng::Rng;

@@ -1,0 +1,346 @@
+//! Linear-algebra decompositions used by the least-squares solvers.
+//!
+//! * [`qr`] — Householder QR; the numerically stable route for OLS
+//!   (`pddl-regress::linear`).
+//! * [`cholesky`] / [`solve_spd`] — for ridge normal equations and the
+//!   A-optimal experiment-design objective in `pddl-ernest`.
+//! * [`lstsq`] — thin wrapper: minimum-residual solution of `A x ≈ b`.
+//!
+//! All routines accumulate in `f64` internally; inputs/outputs are `f32`
+//! matrices to match the rest of the workspace.
+
+use crate::matrix::Matrix;
+
+/// Householder QR of an `m × n` matrix with `m ≥ n`.
+///
+/// Returns `(q, r)` with `q` `m × n` having orthonormal columns (thin Q) and
+/// `r` `n × n` upper triangular such that `a ≈ q · r`.
+pub fn qr(a: &Matrix) -> (Matrix, Matrix) {
+    let (m, n) = a.shape();
+    assert!(m >= n, "qr requires rows >= cols, got {m}x{n}");
+    // Work in f64 column-major for stability.
+    let mut r: Vec<f64> = a.as_slice().iter().map(|&x| x as f64).collect(); // row-major m×n
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n); // Householder vectors
+
+    for k in 0..n {
+        // Compute the norm of column k below the diagonal.
+        let mut norm = 0.0f64;
+        for i in k..m {
+            let x = r[i * n + k];
+            norm += x * x;
+        }
+        norm = norm.sqrt();
+        if norm == 0.0 {
+            vs.push(vec![0.0; m - k]);
+            continue;
+        }
+        let alpha = if r[k * n + k] >= 0.0 { -norm } else { norm };
+        // v = x - alpha * e1
+        let mut v: Vec<f64> = (k..m).map(|i| r[i * n + k]).collect();
+        v[0] -= alpha;
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 > 0.0 {
+            // Apply H = I - 2 v vᵀ / (vᵀv) to R[k.., k..].
+            for j in k..n {
+                let mut dot = 0.0f64;
+                for (i, vi) in v.iter().enumerate() {
+                    dot += vi * r[(k + i) * n + j];
+                }
+                let s = 2.0 * dot / vnorm2;
+                for (i, vi) in v.iter().enumerate() {
+                    r[(k + i) * n + j] -= s * vi;
+                }
+            }
+        }
+        vs.push(v);
+    }
+
+    // Build thin Q by applying the Householder reflections to the first n
+    // columns of the identity, in reverse order.
+    let mut q: Vec<f64> = vec![0.0; m * n];
+    for j in 0..n {
+        q[j * n + j] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let v = &vs[k];
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let mut dot = 0.0f64;
+            for (i, vi) in v.iter().enumerate() {
+                dot += vi * q[(k + i) * n + j];
+            }
+            let s = 2.0 * dot / vnorm2;
+            for (i, vi) in v.iter().enumerate() {
+                q[(k + i) * n + j] -= s * vi;
+            }
+        }
+    }
+
+    let qm = Matrix::from_vec(m, n, q.iter().map(|&x| x as f32).collect());
+    let mut rm = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            rm[(i, j)] = r[i * n + j] as f32;
+        }
+    }
+    (qm, rm)
+}
+
+/// Solves upper-triangular `R x = b` by back substitution.
+///
+/// Near-zero diagonal entries (rank deficiency) yield a zero component in
+/// that coordinate — the minimum-norm convention used by the regressors.
+pub fn solve_upper_triangular(r: &Matrix, b: &[f32]) -> Vec<f32> {
+    let n = r.rows();
+    assert_eq!(r.cols(), n);
+    assert_eq!(b.len(), n);
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut s = b[i] as f64;
+        for j in i + 1..n {
+            s -= r[(i, j)] as f64 * x[j];
+        }
+        let d = r[(i, i)] as f64;
+        x[i] = if d.abs() < 1e-10 { 0.0 } else { s / d };
+    }
+    x.iter().map(|&v| v as f32).collect()
+}
+
+/// Least-squares solution of `a · x ≈ b` (single RHS) via QR.
+pub fn lstsq(a: &Matrix, b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.rows(), b.len(), "lstsq: rows of A must match len of b");
+    let (q, r) = qr(a);
+    // qᵀ b
+    let n = q.cols();
+    let mut qtb = vec![0.0f32; n];
+    for (i, &bi) in b.iter().enumerate() {
+        let row = q.row(i);
+        for (j, &qij) in row.iter().enumerate() {
+            qtb[j] += qij * bi;
+        }
+    }
+    let _ = n;
+    solve_upper_triangular(&r, &qtb)
+}
+
+/// Cholesky factorization of a symmetric positive-definite matrix.
+///
+/// Returns lower-triangular `L` with `a = L Lᵀ`, or `None` if `a` is not
+/// (numerically) positive definite.
+pub fn cholesky(a: &Matrix) -> Option<Matrix> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "cholesky requires a square matrix");
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)] as f64;
+            for k in 0..j {
+                s -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return None;
+                }
+                l[i * n + j] = s.sqrt();
+            } else {
+                l[i * n + j] = s / l[j * n + j];
+            }
+        }
+    }
+    Some(Matrix::from_vec(
+        n,
+        n,
+        l.iter().map(|&x| x as f32).collect(),
+    ))
+}
+
+/// Solves `a x = b` for SPD `a` via Cholesky; `None` if not SPD.
+pub fn solve_spd(a: &Matrix, b: &[f32]) -> Option<Vec<f32>> {
+    let n = a.rows();
+    assert_eq!(b.len(), n);
+    let l = cholesky(a)?;
+    // Forward: L y = b
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut s = b[i] as f64;
+        for j in 0..i {
+            s -= l[(i, j)] as f64 * y[j];
+        }
+        y[i] = s / l[(i, i)] as f64;
+    }
+    // Backward: Lᵀ x = y
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for j in i + 1..n {
+            s -= l[(j, i)] as f64 * x[j];
+        }
+        x[i] = s / l[(i, i)] as f64;
+    }
+    Some(x.iter().map(|&v| v as f32).collect())
+}
+
+/// Inverse of an SPD matrix via Cholesky (column-by-column solves).
+pub fn inv_spd(a: &Matrix) -> Option<Matrix> {
+    let n = a.rows();
+    let mut out = Matrix::zeros(n, n);
+    for c in 0..n {
+        let mut e = vec![0.0f32; n];
+        e[c] = 1.0;
+        let col = solve_spd(a, &e)?;
+        for r in 0..n {
+            out[(r, c)] = col[r];
+        }
+    }
+    Some(out)
+}
+
+/// Trace of a square matrix.
+pub fn trace(a: &Matrix) -> f32 {
+    assert_eq!(a.rows(), a.cols());
+    (0..a.rows()).map(|i| a[(i, i)]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::new(seed);
+        Matrix::rand_normal(m, n, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = random_matrix(12, 5, 1);
+        let (q, r) = qr(&a);
+        let recon = q.matmul(&r);
+        assert!((&recon - &a).max_abs() < 1e-4, "{:?}", (&recon - &a).max_abs());
+    }
+
+    #[test]
+    fn qr_q_orthonormal() {
+        let a = random_matrix(20, 6, 2);
+        let (q, _) = qr(&a);
+        let qtq = q.t_matmul(&q);
+        let err = (&qtq - &Matrix::eye(6)).max_abs();
+        assert!(err < 1e-4, "Q'Q deviates from I by {err}");
+    }
+
+    #[test]
+    fn qr_r_upper_triangular() {
+        let a = random_matrix(9, 4, 3);
+        let (_, r) = qr(&a);
+        for i in 0..4 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_solution() {
+        // Overdetermined consistent system.
+        let a = random_matrix(30, 4, 4);
+        let x_true = [1.5f32, -2.0, 0.25, 3.0];
+        let b = a.matvec(&x_true);
+        let x = lstsq(&a, &b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-3, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn lstsq_residual_orthogonal_to_columns() {
+        let a = random_matrix(25, 3, 5);
+        let mut rng = Rng::new(6);
+        let b: Vec<f32> = (0..25).map(|_| rng.normal()).collect();
+        let x = lstsq(&a, &b);
+        let pred = a.matvec(&x);
+        let resid: Vec<f32> = b.iter().zip(&pred).map(|(bi, pi)| bi - pi).collect();
+        // Aᵀ r ≈ 0 is the normal-equation optimality condition.
+        for j in 0..3 {
+            let col = a.col(j);
+            let d: f32 = col.iter().zip(&resid).map(|(c, r)| c * r).sum();
+            assert!(d.abs() < 1e-2, "column {j} correlation {d}");
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd() {
+        let b = random_matrix(6, 6, 7);
+        // A = BᵀB + I is SPD.
+        let mut a = b.t_matmul(&b);
+        for i in 0..6 {
+            a[(i, i)] += 1.0;
+        }
+        let l = cholesky(&a).expect("SPD");
+        let recon = l.matmul(&l.transpose());
+        assert!((&recon - &a).max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn solve_spd_matches_direct() {
+        let b = random_matrix(5, 5, 8);
+        let mut a = b.t_matmul(&b);
+        for i in 0..5 {
+            a[(i, i)] += 0.5;
+        }
+        let x_true = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let rhs = a.matvec(&x_true);
+        let x = solve_spd(&a, &rhs).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn inv_spd_gives_identity() {
+        let b = random_matrix(4, 4, 9);
+        let mut a = b.t_matmul(&b);
+        for i in 0..4 {
+            a[(i, i)] += 1.0;
+        }
+        let inv = inv_spd(&a).unwrap();
+        let prod = a.matmul(&inv);
+        assert!((&prod - &Matrix::eye(4)).max_abs() < 1e-2);
+    }
+
+    #[test]
+    fn trace_sums_diagonal() {
+        let a = Matrix::from_rows(&[&[1.0, 9.0], &[9.0, 2.0]]);
+        assert_eq!(trace(&a), 3.0);
+    }
+
+    #[test]
+    fn rank_deficient_lstsq_does_not_blow_up() {
+        // Two identical columns: infinitely many solutions; we only require a
+        // finite answer with small residual.
+        let mut a = Matrix::zeros(10, 2);
+        for i in 0..10 {
+            a[(i, 0)] = i as f32;
+            a[(i, 1)] = i as f32;
+        }
+        let b: Vec<f32> = (0..10).map(|i| 2.0 * i as f32).collect();
+        let x = lstsq(&a, &b);
+        assert!(x.iter().all(|v| v.is_finite()));
+        let pred = a.matvec(&x);
+        let rmse: f32 = pred
+            .iter()
+            .zip(&b)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f32>()
+            .sqrt();
+        assert!(rmse < 1e-2, "rmse={rmse}");
+    }
+}

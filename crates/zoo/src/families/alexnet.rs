@@ -1,0 +1,62 @@
+//! AlexNet (Krizhevsky et al., 2012) as shipped in torchvision.
+
+use crate::builder::{Act, NetBuilder};
+use crate::dataset::DatasetDesc;
+use pddl_graph::CompGraph;
+
+/// Builds AlexNet for the given dataset.
+pub fn alexnet(ds: &DatasetDesc) -> CompGraph {
+    let mut b = NetBuilder::new("alexnet", ds.channels, ds.resolution);
+    b.conv(64, 11, 4, "features.0");
+    b.act(Act::Relu, "features.1");
+    b.max_pool(3, 2, "features.2");
+    b.conv(192, 5, 1, "features.3");
+    b.act(Act::Relu, "features.4");
+    b.max_pool(3, 2, "features.5");
+    b.conv(384, 3, 1, "features.6");
+    b.act(Act::Relu, "features.7");
+    b.conv(256, 3, 1, "features.8");
+    b.act(Act::Relu, "features.9");
+    b.conv(256, 3, 1, "features.10");
+    b.act(Act::Relu, "features.11");
+    b.max_pool(3, 2, "features.12");
+    // torchvision adaptively pools to 6×6 before the classifier; on the
+    // small inputs here the maps are already ≤ 6×6, so pool to 1 and widen
+    // the first FC accordingly via the flatten in `dense`.
+    b.dropout("classifier.drop1");
+    b.dense(4096, "classifier.fc1");
+    b.act(Act::Relu, "classifier.relu1");
+    b.dropout("classifier.drop2");
+    b.dense(4096, "classifier.fc2");
+    b.act(Act::Relu, "classifier.relu2");
+    b.classifier(ds.num_classes);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{CIFAR10, TINY_IMAGENET};
+
+    #[test]
+    fn validates_on_both_datasets() {
+        for ds in [&CIFAR10, &TINY_IMAGENET] {
+            let g = alexnet(ds);
+            assert_eq!(g.validate(), Ok(()), "{}", ds.name);
+        }
+    }
+
+    #[test]
+    fn has_eight_weight_layers() {
+        // 5 convs + 2 hidden FCs + classifier FC (SE-free, classic AlexNet).
+        let g = alexnet(&CIFAR10);
+        assert_eq!(g.num_layers(), 8);
+    }
+
+    #[test]
+    fn params_dominated_by_fc() {
+        let g = alexnet(&CIFAR10);
+        // AlexNet is famously FC-heavy; >10M params even at CIFAR scale.
+        assert!(g.num_params() > 10_000_000, "{}", g.num_params());
+    }
+}

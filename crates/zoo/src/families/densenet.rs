@@ -1,0 +1,111 @@
+//! DenseNet (Huang et al., 2017): densely connected blocks with cumulative
+//! channel concatenation and 1×1/avg-pool transitions.
+
+use crate::builder::{Act, NetBuilder};
+use crate::dataset::DatasetDesc;
+use pddl_graph::CompGraph;
+
+struct DenseCfg {
+    name: &'static str,
+    growth: usize,
+    blocks: [usize; 4],
+    init_features: usize,
+}
+
+fn cfg(variant: &str) -> DenseCfg {
+    match variant {
+        "densenet121" => DenseCfg { name: "densenet121", growth: 32, blocks: [6, 12, 24, 16], init_features: 64 },
+        "densenet161" => DenseCfg { name: "densenet161", growth: 48, blocks: [6, 12, 36, 24], init_features: 96 },
+        "densenet169" => DenseCfg { name: "densenet169", growth: 32, blocks: [6, 12, 32, 32], init_features: 64 },
+        "densenet201" => DenseCfg { name: "densenet201", growth: 32, blocks: [6, 12, 48, 32], init_features: 64 },
+        other => panic!("unknown densenet variant {other}"),
+    }
+}
+
+/// BN → ReLU → 1×1 conv (4k bottleneck) → BN → ReLU → 3×3 conv (k) →
+/// concat with the running feature map.
+fn dense_layer(b: &mut NetBuilder, growth: usize, label: &str) {
+    let trunk = b.cursor();
+    b.bn(&format!("{label}.bn1"));
+    b.act(Act::Relu, &format!("{label}.relu1"));
+    b.conv(4 * growth, 1, 1, &format!("{label}.conv1"));
+    b.bn(&format!("{label}.bn2"));
+    b.act(Act::Relu, &format!("{label}.relu2"));
+    let new_features = b.conv(growth, 3, 1, &format!("{label}.conv2"));
+    let _ = new_features;
+    let fresh = b.cursor();
+    b.set(trunk);
+    // Cumulative concat: previous trunk ‖ new features.
+    b.concat(&[trunk, fresh], &format!("{label}.cat"));
+}
+
+/// 1×1 conv halving channels, then 2×2 average pool.
+fn transition(b: &mut NetBuilder, label: &str) {
+    let c = b.cursor().channels / 2;
+    b.bn(&format!("{label}.bn"));
+    b.act(Act::Relu, &format!("{label}.relu"));
+    b.conv(c, 1, 1, &format!("{label}.conv"));
+    b.avg_pool(2, 2, &format!("{label}.pool"));
+}
+
+/// Builds one of the four DenseNet variants.
+pub fn densenet(variant: &str, ds: &DatasetDesc) -> CompGraph {
+    let c = cfg(variant);
+    let mut b = NetBuilder::new(c.name, ds.channels, ds.resolution);
+    b.conv_bn_act(c.init_features, 7, 2, Act::Relu, "stem.conv");
+    b.max_pool(3, 2, "stem.pool");
+    for (stage, &layers) in c.blocks.iter().enumerate() {
+        for l in 0..layers {
+            dense_layer(&mut b, c.growth, &format!("denseblock{}.layer{}", stage + 1, l + 1));
+        }
+        if stage + 1 < c.blocks.len() {
+            transition(&mut b, &format!("transition{}", stage + 1));
+        }
+    }
+    b.bn("final.bn");
+    b.act(Act::Relu, "final.relu");
+    b.classifier(ds.num_classes);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CIFAR10;
+
+    #[test]
+    fn all_variants_validate() {
+        for v in ["densenet121", "densenet161", "densenet169", "densenet201"] {
+            assert_eq!(densenet(v, &CIFAR10).validate(), Ok(()), "{v}");
+        }
+    }
+
+    #[test]
+    fn densenet121_params_in_range() {
+        // ~8M params at 1000 classes; slightly less with 10 classes.
+        let p = densenet("densenet121", &CIFAR10).num_params() as f64 / 1e6;
+        assert!(p > 5.0 && p < 10.0, "params {p}M");
+    }
+
+    #[test]
+    fn channel_growth_accumulates() {
+        let g = densenet("densenet121", &CIFAR10);
+        // Final BN width: 64→(+6·32)=256→/2=128→(+12·32)=512→/2=256→
+        // (+24·32)=1024→/2=512→(+16·32)=1024.
+        let final_bn = g.nodes().iter().find(|n| n.label == "final.bn").unwrap();
+        assert_eq!(final_bn.attrs.c_out, 1024);
+    }
+
+    #[test]
+    fn deeper_variants_cost_more() {
+        let f121 = densenet("densenet121", &CIFAR10).flops_per_example();
+        let f201 = densenet("densenet201", &CIFAR10).flops_per_example();
+        assert!(f201 > f121);
+    }
+
+    #[test]
+    fn densenet_is_concat_heavy() {
+        let g = densenet("densenet121", &CIFAR10);
+        assert!(g.branching_fraction() > 0.05);
+    }
+}

@@ -1,0 +1,137 @@
+//! EfficientNet B0–B3 (Tan & Le, 2019): MBConv blocks with squeeze-excite
+//! and swish, compound-scaled in width and depth.
+
+use crate::builder::{Act, NetBuilder};
+use crate::dataset::DatasetDesc;
+use pddl_graph::CompGraph;
+
+/// Base (B0) stage table: expansion, channels, layers, stride, kernel.
+const B0_STAGES: [(usize, usize, usize, usize, usize); 7] = [
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+];
+
+/// Compound-scaling coefficients (width, depth) per variant.
+fn coefficients(variant: usize) -> (f64, f64) {
+    match variant {
+        0 => (1.0, 1.0),
+        1 => (1.0, 1.1),
+        2 => (1.1, 1.2),
+        3 => (1.2, 1.4),
+        4 => (1.4, 1.8),
+        other => panic!("efficientnet_b{other} not in the zoo"),
+    }
+}
+
+/// Rounds channels to the nearest multiple of 8, never dropping below 90%
+/// of the requested value (the official `round_filters` rule).
+fn round_filters(c: usize, width: f64) -> usize {
+    let scaled = c as f64 * width;
+    let mut rounded = ((scaled + 4.0) / 8.0).floor() as usize * 8;
+    if (rounded as f64) < 0.9 * scaled {
+        rounded += 8;
+    }
+    rounded.max(8)
+}
+
+fn round_repeats(n: usize, depth: f64) -> usize {
+    (n as f64 * depth).ceil() as usize
+}
+
+/// MBConv: expand 1×1 → depthwise → SE(r=0.25·expand) → project, residual
+/// when shapes allow.
+fn mbconv(
+    b: &mut NetBuilder,
+    expansion: usize,
+    c_out: usize,
+    k: usize,
+    stride: usize,
+    label: &str,
+) {
+    let entry = b.cursor();
+    let expanded = entry.channels * expansion;
+    if expansion != 1 {
+        b.conv_bn_act(expanded, 1, 1, Act::Swish, &format!("{label}.expand"));
+    }
+    b.dw_bn_act(k, stride, Act::Swish, &format!("{label}.dw"));
+    // SE ratio is 0.25 of the *input* channels in the official impl.
+    b.squeeze_excite(4 * expansion.max(1), &format!("{label}.se"));
+    b.conv(c_out, 1, 1, &format!("{label}.project"));
+    b.bn(&format!("{label}.project.bn"));
+    if stride == 1 && entry.channels == c_out && entry.spatial == b.cursor().spatial {
+        b.sum_with(entry, &format!("{label}.add"));
+    }
+}
+
+/// Builds EfficientNet-B`variant` (0–4 supported; the zoo registers 0–3).
+pub fn efficientnet(variant: usize, ds: &DatasetDesc) -> CompGraph {
+    let (width, depth) = coefficients(variant);
+    let mut b = NetBuilder::new(&format!("efficientnet_b{variant}"), ds.channels, ds.resolution);
+    b.conv_bn_act(round_filters(32, width), 3, 2, Act::Swish, "stem");
+    for (stage, &(t, c, n, s, k)) in B0_STAGES.iter().enumerate() {
+        let c_out = round_filters(c, width);
+        let repeats = round_repeats(n, depth);
+        for i in 0..repeats {
+            let stride = if i == 0 { s } else { 1 };
+            mbconv(&mut b, t, c_out, k, stride, &format!("stage{stage}.{i}"));
+        }
+    }
+    b.conv_bn_act(round_filters(1280, width), 1, 1, Act::Swish, "head.conv");
+    b.classifier(ds.num_classes);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CIFAR10;
+
+    #[test]
+    fn b0_through_b3_validate() {
+        for v in 0..=3 {
+            assert_eq!(efficientnet(v, &CIFAR10).validate(), Ok(()), "b{v}");
+        }
+    }
+
+    #[test]
+    fn compound_scaling_monotone() {
+        let costs: Vec<f64> = (0..=3)
+            .map(|v| efficientnet(v, &CIFAR10).flops_per_example())
+            .collect();
+        for w in costs.windows(2) {
+            assert!(w[1] > w[0], "scaling not monotone: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn round_filters_multiple_of_8() {
+        for c in [16, 24, 40, 112, 320] {
+            for w in [1.0, 1.1, 1.2] {
+                assert_eq!(round_filters(c, w) % 8, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn b0_params_in_range() {
+        // ~5.3M at 1000 classes; ~4M with a small head.
+        let p = efficientnet(0, &CIFAR10).num_params() as f64 / 1e6;
+        assert!(p > 2.5 && p < 7.0, "params {p}M");
+    }
+
+    #[test]
+    fn efficientnet_heavy_in_se_gates() {
+        let g = efficientnet(0, &CIFAR10);
+        let muls = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == pddl_graph::OpKind::Mul)
+            .count();
+        assert!(muls >= 16, "expected one SE gate per block, got {muls}");
+    }
+}

@@ -1,0 +1,95 @@
+//! GoogLeNet / Inception-v1 (Szegedy et al., 2015).
+
+use crate::builder::{Act, Cursor, NetBuilder};
+use crate::dataset::DatasetDesc;
+use pddl_graph::CompGraph;
+
+/// Inception module: four parallel branches concatenated.
+/// (b1: 1×1; b2: 1×1→3×3; b3: 1×1→5×5; b4: pool→1×1)
+#[allow(clippy::too_many_arguments)]
+fn inception(
+    b: &mut NetBuilder,
+    c1: usize,
+    c3r: usize,
+    c3: usize,
+    c5r: usize,
+    c5: usize,
+    pool_proj: usize,
+    label: &str,
+) {
+    let root = b.cursor();
+    let branch = |b: &mut NetBuilder, root: Cursor| {
+        b.set(root);
+    };
+    branch(b, root);
+    let b1 = b.conv_bn_act(c1, 1, 1, Act::Relu, &format!("{label}.b1"));
+    branch(b, root);
+    b.conv_bn_act(c3r, 1, 1, Act::Relu, &format!("{label}.b2.reduce"));
+    let b2 = b.conv_bn_act(c3, 3, 1, Act::Relu, &format!("{label}.b2"));
+    branch(b, root);
+    b.conv_bn_act(c5r, 1, 1, Act::Relu, &format!("{label}.b3.reduce"));
+    let b3 = b.conv_bn_act(c5, 5, 1, Act::Relu, &format!("{label}.b3"));
+    branch(b, root);
+    b.max_pool(3, 1, &format!("{label}.b4.pool"));
+    let b4 = b.conv_bn_act(pool_proj, 1, 1, Act::Relu, &format!("{label}.b4"));
+    b.concat(&[b1, b2, b3, b4], &format!("{label}.cat"));
+}
+
+/// Builds GoogLeNet (aux classifiers omitted, as torchvision does at eval).
+pub fn googlenet(ds: &DatasetDesc) -> CompGraph {
+    let mut b = NetBuilder::new("googlenet", ds.channels, ds.resolution);
+    b.conv_bn_act(64, 7, 2, Act::Relu, "stem.conv1");
+    b.max_pool(3, 2, "stem.pool1");
+    b.conv_bn_act(64, 1, 1, Act::Relu, "stem.conv2");
+    b.conv_bn_act(192, 3, 1, Act::Relu, "stem.conv3");
+    b.max_pool(3, 2, "stem.pool2");
+    inception(&mut b, 64, 96, 128, 16, 32, 32, "inception3a");
+    inception(&mut b, 128, 128, 192, 32, 96, 64, "inception3b");
+    b.max_pool(3, 2, "pool3");
+    inception(&mut b, 192, 96, 208, 16, 48, 64, "inception4a");
+    inception(&mut b, 160, 112, 224, 24, 64, 64, "inception4b");
+    inception(&mut b, 128, 128, 256, 24, 64, 64, "inception4c");
+    inception(&mut b, 112, 144, 288, 32, 64, 64, "inception4d");
+    inception(&mut b, 256, 160, 320, 32, 128, 128, "inception4e");
+    b.max_pool(3, 2, "pool4");
+    inception(&mut b, 256, 160, 320, 32, 128, 128, "inception5a");
+    inception(&mut b, 384, 192, 384, 48, 128, 128, "inception5b");
+    b.dropout("head.dropout");
+    b.classifier(ds.num_classes);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CIFAR10;
+
+    #[test]
+    fn validates() {
+        assert_eq!(googlenet(&CIFAR10).validate(), Ok(()));
+    }
+
+    #[test]
+    fn final_inception_width() {
+        let g = googlenet(&CIFAR10);
+        let cat = g
+            .nodes()
+            .iter()
+            .find(|n| n.label == "inception5b.cat")
+            .unwrap();
+        assert_eq!(cat.attrs.c_out, 384 + 384 + 128 + 128);
+    }
+
+    #[test]
+    fn params_in_range() {
+        // ~6.6M at 1000 classes (with BN variant).
+        let p = googlenet(&CIFAR10).num_params() as f64 / 1e6;
+        assert!(p > 4.0 && p < 9.0, "params {p}M");
+    }
+
+    #[test]
+    fn branch_heavy_topology() {
+        let g = googlenet(&CIFAR10);
+        assert!(g.branching_fraction() > 0.03);
+    }
+}

@@ -1,0 +1,80 @@
+//! MNASNet-1.0 (Tan et al., 2019): mobile inverted bottlenecks discovered by
+//! architecture search, with SE on some stages.
+
+use crate::builder::{Act, NetBuilder};
+use crate::dataset::DatasetDesc;
+use pddl_graph::CompGraph;
+
+/// Stage table: expansion, channels, repeats, stride, kernel, SE.
+const STAGES: [(usize, usize, usize, usize, usize, bool); 6] = [
+    (3, 24, 3, 2, 3, false),
+    (3, 40, 3, 2, 5, true),
+    (6, 80, 3, 2, 3, false),
+    (6, 96, 2, 1, 3, true),
+    (6, 192, 4, 2, 5, true),
+    (6, 320, 1, 1, 3, false),
+];
+
+fn mb_block(
+    b: &mut NetBuilder,
+    expansion: usize,
+    c_out: usize,
+    k: usize,
+    stride: usize,
+    se: bool,
+    label: &str,
+) {
+    let entry = b.cursor();
+    let expanded = entry.channels * expansion;
+    b.conv_bn_act(expanded, 1, 1, Act::Relu, &format!("{label}.expand"));
+    b.dw_bn_act(k, stride, Act::Relu, &format!("{label}.dw"));
+    if se {
+        b.squeeze_excite(4, &format!("{label}.se"));
+    }
+    b.conv(c_out, 1, 1, &format!("{label}.project"));
+    b.bn(&format!("{label}.project.bn"));
+    if stride == 1 && entry.channels == c_out && entry.spatial == b.cursor().spatial {
+        b.sum_with(entry, &format!("{label}.add"));
+    }
+}
+
+/// Builds MNASNet with depth multiplier 1.0.
+pub fn mnasnet_1_0(ds: &DatasetDesc) -> CompGraph {
+    let mut b = NetBuilder::new("mnasnet1_0", ds.channels, ds.resolution);
+    b.conv_bn_act(32, 3, 2, Act::Relu, "stem.conv1");
+    // Initial depthwise separable block.
+    b.dw_bn_act(3, 1, Act::Relu, "stem.dw");
+    b.conv(16, 1, 1, "stem.project");
+    b.bn("stem.project.bn");
+    for (stage, &(t, c, n, s, k, se)) in STAGES.iter().enumerate() {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            mb_block(&mut b, t, c, k, stride, se, &format!("stage{stage}.{i}"));
+        }
+    }
+    b.conv_bn_act(1280, 1, 1, Act::Relu, "head.conv");
+    b.classifier(ds.num_classes);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CIFAR10;
+
+    #[test]
+    fn validates() {
+        assert_eq!(mnasnet_1_0(&CIFAR10).validate(), Ok(()));
+    }
+
+    #[test]
+    fn params_in_mobile_range() {
+        let p = mnasnet_1_0(&CIFAR10).num_params() as f64 / 1e6;
+        assert!(p > 2.0 && p < 6.0, "params {p}M");
+    }
+
+    #[test]
+    fn depthwise_heavy() {
+        assert!(mnasnet_1_0(&CIFAR10).grouped_flop_fraction() > 0.05);
+    }
+}

@@ -1,0 +1,183 @@
+//! MobileNet-V2 (Sandler et al., 2018) and MobileNet-V3 (Howard et al.,
+//! 2019): inverted residual blocks, depthwise convolutions, squeeze-excite
+//! and hard-swish in the V3 variants.
+
+use crate::builder::{Act, NetBuilder};
+use crate::dataset::DatasetDesc;
+use pddl_graph::CompGraph;
+
+/// Inverted residual: 1×1 expand → depthwise k×k → (SE) → 1×1 project,
+/// with a residual sum when stride = 1 and channels match.
+#[allow(clippy::too_many_arguments)]
+fn inverted_residual(
+    b: &mut NetBuilder,
+    expand_to: usize,
+    c_out: usize,
+    k: usize,
+    stride: usize,
+    act: Act,
+    use_se: bool,
+    label: &str,
+) {
+    let entry = b.cursor();
+    if expand_to != entry.channels {
+        b.conv_bn_act(expand_to, 1, 1, act, &format!("{label}.expand"));
+    }
+    b.dw_bn_act(k, stride, act, &format!("{label}.dw"));
+    if use_se {
+        b.squeeze_excite(4, &format!("{label}.se"));
+    }
+    b.conv(c_out, 1, 1, &format!("{label}.project"));
+    b.bn(&format!("{label}.project.bn"));
+    if stride == 1 && entry.channels == c_out && entry.spatial == b.cursor().spatial {
+        b.sum_with(entry, &format!("{label}.add"));
+    }
+}
+
+/// MobileNet-V2: t (expansion), c (channels), n (repeats), s (stride).
+const V2_CFG: [(usize, usize, usize, usize); 7] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+];
+
+/// Builds MobileNet-V2.
+pub fn mobilenet_v2(ds: &DatasetDesc) -> CompGraph {
+    let mut b = NetBuilder::new("mobilenet_v2", ds.channels, ds.resolution);
+    b.conv_bn_act(32, 3, 2, Act::Relu, "stem");
+    for (stage, &(t, c, n, s)) in V2_CFG.iter().enumerate() {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            let expand = b.cursor().channels * t;
+            inverted_residual(
+                &mut b,
+                expand,
+                c,
+                3,
+                stride,
+                Act::Relu,
+                false,
+                &format!("block{stage}.{i}"),
+            );
+        }
+    }
+    b.conv_bn_act(1280, 1, 1, Act::Relu, "head.conv");
+    b.classifier(ds.num_classes);
+    b.finish()
+}
+
+/// MobileNet-V3 block config: kernel, expand, out, SE, hard-swish, stride.
+type V3Row = (usize, usize, usize, bool, bool, usize);
+
+const V3_SMALL: [V3Row; 11] = [
+    (3, 16, 16, true, false, 2),
+    (3, 72, 24, false, false, 2),
+    (3, 88, 24, false, false, 1),
+    (5, 96, 40, true, true, 2),
+    (5, 240, 40, true, true, 1),
+    (5, 240, 40, true, true, 1),
+    (5, 120, 48, true, true, 1),
+    (5, 144, 48, true, true, 1),
+    (5, 288, 96, true, true, 2),
+    (5, 576, 96, true, true, 1),
+    (5, 576, 96, true, true, 1),
+];
+
+const V3_LARGE: [V3Row; 15] = [
+    (3, 16, 16, false, false, 1),
+    (3, 64, 24, false, false, 2),
+    (3, 72, 24, false, false, 1),
+    (5, 72, 40, true, false, 2),
+    (5, 120, 40, true, false, 1),
+    (5, 120, 40, true, false, 1),
+    (3, 240, 80, false, true, 2),
+    (3, 200, 80, false, true, 1),
+    (3, 184, 80, false, true, 1),
+    (3, 184, 80, false, true, 1),
+    (3, 480, 112, true, true, 1),
+    (3, 672, 112, true, true, 1),
+    (5, 672, 160, true, true, 2),
+    (5, 960, 160, true, true, 1),
+    (5, 960, 160, true, true, 1),
+];
+
+/// Builds MobileNet-V3; `size` is "small" or "large".
+pub fn mobilenet_v3(size: &str, ds: &DatasetDesc) -> CompGraph {
+    let (rows, head): (&[V3Row], usize) = match size {
+        "small" => (&V3_SMALL, 576),
+        "large" => (&V3_LARGE, 960),
+        other => panic!("unknown mobilenet_v3 size {other}"),
+    };
+    let mut b = NetBuilder::new(&format!("mobilenet_v3_{size}"), ds.channels, ds.resolution);
+    b.conv_bn_act(16, 3, 2, Act::HardSwish, "stem");
+    for (i, &(k, exp, out, se, hs, stride)) in rows.iter().enumerate() {
+        let act = if hs { Act::HardSwish } else { Act::Relu };
+        inverted_residual(&mut b, exp, out, k, stride, act, se, &format!("block{i}"));
+    }
+    b.conv_bn_act(head, 1, 1, Act::HardSwish, "head.conv");
+    b.classifier(ds.num_classes);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{CIFAR10, TINY_IMAGENET};
+
+    #[test]
+    fn all_variants_validate() {
+        for ds in [&CIFAR10, &TINY_IMAGENET] {
+            assert_eq!(mobilenet_v2(ds).validate(), Ok(()));
+            assert_eq!(mobilenet_v3("small", ds).validate(), Ok(()));
+            assert_eq!(mobilenet_v3("large", ds).validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn v3_small_lighter_than_large() {
+        let s = mobilenet_v3("small", &CIFAR10);
+        let l = mobilenet_v3("large", &CIFAR10);
+        assert!(s.num_params() < l.num_params());
+        assert!(s.flops_per_example() < l.flops_per_example());
+    }
+
+    #[test]
+    fn mobilenets_are_depthwise_heavy() {
+        for g in [
+            mobilenet_v2(&CIFAR10),
+            mobilenet_v3("small", &CIFAR10),
+            mobilenet_v3("large", &CIFAR10),
+        ] {
+            // Depthwise convs are FLOP-cheap by design, so even a
+            // depthwise-dominated net has a modest grouped FLOP share.
+            assert!(
+                g.grouped_flop_fraction() > 0.05,
+                "{} grouped fraction {}",
+                g.name,
+                g.grouped_flop_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn v3_uses_squeeze_excite() {
+        let g = mobilenet_v3("small", &CIFAR10);
+        let muls = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == pddl_graph::OpKind::Mul)
+            .count();
+        assert!(muls >= 8, "SE gates missing: {muls}");
+    }
+
+    #[test]
+    fn v2_params_in_range() {
+        // ~3.5M at 1000 classes; ~2.3M with a 10-class head.
+        let p = mobilenet_v2(&CIFAR10).num_params() as f64 / 1e6;
+        assert!(p > 1.5 && p < 4.5, "params {p}M");
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per architecture family. Each exposes builder functions taking
+//! a [`DatasetDesc`](crate::dataset::DatasetDesc) and returning a validated
+//! [`CompGraph`](pddl_graph::CompGraph).
+
+pub mod alexnet;
+pub mod densenet;
+pub mod efficientnet;
+pub mod googlenet;
+pub mod mnasnet;
+pub mod mobilenet;
+pub mod resnet;
+pub mod shufflenet;
+pub mod squeezenet;
+pub mod vgg;

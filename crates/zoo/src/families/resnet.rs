@@ -1,0 +1,198 @@
+//! The ResNet family (He et al., 2016), including the ResNeXt grouped
+//! variants (Xie et al.) and Wide-ResNets — 9 of the paper's 31 models.
+
+use crate::builder::{strided, Act, NetBuilder};
+use crate::dataset::DatasetDesc;
+use pddl_graph::CompGraph;
+
+/// Residual block flavor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Block {
+    /// Two 3×3 convs (ResNet-18/34).
+    Basic,
+    /// 1×1 → 3×3 → 1×1 with 4× expansion (ResNet-50+).
+    Bottleneck,
+}
+
+/// Configuration shared across the family.
+struct ResNetCfg {
+    name: &'static str,
+    block: Block,
+    layers: [usize; 4],
+    /// Convolution groups in the 3×3 of a bottleneck (ResNeXt cardinality).
+    groups: usize,
+    /// Bottleneck base width (64 vanilla, 128 wide, 4·groups ResNeXt).
+    width_per_group: usize,
+}
+
+fn cfg(name: &str) -> ResNetCfg {
+    match name {
+        "resnet18" => ResNetCfg { name: "resnet18", block: Block::Basic, layers: [2, 2, 2, 2], groups: 1, width_per_group: 64 },
+        "resnet34" => ResNetCfg { name: "resnet34", block: Block::Basic, layers: [3, 4, 6, 3], groups: 1, width_per_group: 64 },
+        "resnet50" => ResNetCfg { name: "resnet50", block: Block::Bottleneck, layers: [3, 4, 6, 3], groups: 1, width_per_group: 64 },
+        "resnet101" => ResNetCfg { name: "resnet101", block: Block::Bottleneck, layers: [3, 4, 23, 3], groups: 1, width_per_group: 64 },
+        "resnet152" => ResNetCfg { name: "resnet152", block: Block::Bottleneck, layers: [3, 8, 36, 3], groups: 1, width_per_group: 64 },
+        "resnext50_32x4d" => ResNetCfg { name: "resnext50_32x4d", block: Block::Bottleneck, layers: [3, 4, 6, 3], groups: 32, width_per_group: 4 },
+        "resnext101_32x8d" => ResNetCfg { name: "resnext101_32x8d", block: Block::Bottleneck, layers: [3, 4, 23, 3], groups: 32, width_per_group: 8 },
+        "wide_resnet50_2" => ResNetCfg { name: "wide_resnet50_2", block: Block::Bottleneck, layers: [3, 4, 6, 3], groups: 1, width_per_group: 128 },
+        "wide_resnet101_2" => ResNetCfg { name: "wide_resnet101_2", block: Block::Bottleneck, layers: [3, 4, 23, 3], groups: 1, width_per_group: 128 },
+        other => panic!("unknown resnet variant {other}"),
+    }
+}
+
+/// Builds one of the nine ResNet-family variants.
+pub fn resnet(variant: &str, ds: &DatasetDesc) -> CompGraph {
+    let c = cfg(variant);
+    let mut b = NetBuilder::new(c.name, ds.channels, ds.resolution);
+    // Stem: 7×7/2 conv + 3×3/2 maxpool.
+    b.conv_bn_act(64, 7, 2, Act::Relu, "stem.conv");
+    b.max_pool(3, 2, "stem.pool");
+
+    let mut in_planes = 64usize;
+    for (stage, &blocks) in c.layers.iter().enumerate() {
+        let planes = 64 << stage; // 64, 128, 256, 512
+        for blk in 0..blocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let label = format!("layer{}.{}", stage + 1, blk);
+            in_planes = match c.block {
+                Block::Basic => basic_block(&mut b, in_planes, planes, stride, &label),
+                Block::Bottleneck => bottleneck(
+                    &mut b,
+                    in_planes,
+                    planes,
+                    stride,
+                    c.groups,
+                    c.width_per_group,
+                    &label,
+                ),
+            };
+        }
+    }
+    b.classifier(ds.num_classes);
+    b.finish()
+}
+
+/// Two 3×3 convs plus identity (or 1×1-projected) skip. Returns out planes.
+fn basic_block(b: &mut NetBuilder, in_planes: usize, planes: usize, stride: usize, label: &str) -> usize {
+    let entry = b.cursor();
+    b.conv_bn_act(planes, 3, stride, Act::Relu, &format!("{label}.conv1"));
+    b.conv(planes, 3, 1, &format!("{label}.conv2"));
+    b.bn(&format!("{label}.bn2"));
+    let main = b.cursor();
+    let skip = if stride != 1 || in_planes != planes {
+        b.set(entry);
+        b.conv(planes, 1, stride, &format!("{label}.downsample"));
+        b.bn(&format!("{label}.downsample.bn"))
+    } else {
+        entry
+    };
+    b.set(main);
+    b.sum_with(skip, &format!("{label}.add"));
+    b.act(Act::Relu, &format!("{label}.relu"));
+    planes
+}
+
+/// 1×1 reduce → (grouped) 3×3 → 1×1 expand (4×). Returns out planes.
+fn bottleneck(
+    b: &mut NetBuilder,
+    in_planes: usize,
+    planes: usize,
+    stride: usize,
+    groups: usize,
+    width_per_group: usize,
+    label: &str,
+) -> usize {
+    // torchvision: width = planes * (width_per_group / 64) * groups.
+    let width = (planes * width_per_group * groups / 64).max(groups);
+    let out_planes = planes * 4;
+    let entry = b.cursor();
+    b.conv_bn_act(width, 1, 1, Act::Relu, &format!("{label}.conv1"));
+    if groups > 1 {
+        b.group_conv(width, 3, stride, groups, &format!("{label}.conv2"));
+        b.bn(&format!("{label}.bn2"));
+        b.act(Act::Relu, &format!("{label}.relu2"));
+    } else {
+        b.conv_bn_act(width, 3, stride, Act::Relu, &format!("{label}.conv2"));
+    }
+    b.conv(out_planes, 1, 1, &format!("{label}.conv3"));
+    b.bn(&format!("{label}.bn3"));
+    let main = b.cursor();
+    let skip = if stride != 1 || in_planes != out_planes {
+        b.set(entry);
+        b.conv(out_planes, 1, stride, &format!("{label}.downsample"));
+        b.bn(&format!("{label}.downsample.bn"))
+    } else {
+        entry
+    };
+    b.set(main);
+    debug_assert_eq!(main.spatial, strided(entry.spatial, stride));
+    b.sum_with(skip, &format!("{label}.add"));
+    b.act(Act::Relu, &format!("{label}.relu"));
+    out_planes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{CIFAR10, TINY_IMAGENET};
+
+    #[test]
+    fn all_variants_validate() {
+        for v in [
+            "resnet18",
+            "resnet34",
+            "resnet50",
+            "resnet101",
+            "resnet152",
+            "resnext50_32x4d",
+            "resnext101_32x8d",
+            "wide_resnet50_2",
+            "wide_resnet101_2",
+        ] {
+            for ds in [&CIFAR10, &TINY_IMAGENET] {
+                let g = resnet(v, ds);
+                assert_eq!(g.validate(), Ok(()), "{v} on {}", ds.name);
+            }
+        }
+    }
+
+    #[test]
+    fn resnet18_layer_count() {
+        // 1 stem + 16 block convs + 3 downsample 1×1 + 1 fc = 21 weight layers.
+        let g = resnet("resnet18", &CIFAR10);
+        assert_eq!(g.num_layers(), 21);
+    }
+
+    #[test]
+    fn resnet50_params_in_expected_range() {
+        // torchvision ResNet-50 has ~25.6M parameters at 1000 classes;
+        // with 10 classes it loses the big FC → ~23.5M.
+        let g = resnet("resnet50", &CIFAR10);
+        let p = g.num_params() as f64 / 1e6;
+        assert!(p > 20.0 && p < 30.0, "params {p}M");
+    }
+
+    #[test]
+    fn depth_ordering_holds() {
+        let f18 = resnet("resnet18", &CIFAR10).flops_per_example();
+        let f50 = resnet("resnet50", &CIFAR10).flops_per_example();
+        let f152 = resnet("resnet152", &CIFAR10).flops_per_example();
+        assert!(f18 < f50 && f50 < f152);
+    }
+
+    #[test]
+    fn wide_is_heavier_than_vanilla() {
+        let v = resnet("resnet50", &CIFAR10);
+        let w = resnet("wide_resnet50_2", &CIFAR10);
+        assert!(w.num_params() > 2 * v.num_params() / 2 && w.num_params() > v.num_params());
+        assert!(w.flops_per_example() > v.flops_per_example());
+    }
+
+    #[test]
+    fn resnext_uses_grouped_convs() {
+        let g = resnet("resnext50_32x4d", &CIFAR10);
+        assert!(g.grouped_flop_fraction() > 0.05, "{}", g.grouped_flop_fraction());
+        let plain = resnet("resnet50", &CIFAR10);
+        assert_eq!(plain.grouped_flop_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! ShuffleNet-V2 (Ma et al., 2018): channel-split units with channel shuffle.
+
+use crate::builder::{Act, NetBuilder};
+use crate::dataset::DatasetDesc;
+use pddl_graph::CompGraph;
+
+/// Stage output channels per width multiplier, plus head width.
+fn channels(mult: &str) -> ([usize; 3], usize) {
+    match mult {
+        "x0_5" => ([48, 96, 192], 1024),
+        "x1_0" => ([116, 232, 464], 1024),
+        other => panic!("unknown shufflenet width {other}"),
+    }
+}
+
+/// Stride-1 unit: split channels, right branch 1×1 → dw3×3 → 1×1, concat,
+/// shuffle. The split is modeled as two 1×1 identity-width convs feeding the
+/// branches (the graph carries data flow, not tensor views).
+fn unit_stride1(b: &mut NetBuilder, label: &str) {
+    let entry = b.cursor();
+    let half = entry.channels / 2;
+    // Left branch: pass-through of half the channels.
+    b.set(entry);
+    let left = b.conv(half, 1, 1, &format!("{label}.split_left"));
+    // Right branch.
+    b.set(entry);
+    b.conv_bn_act(half, 1, 1, Act::Relu, &format!("{label}.conv1"));
+    b.dw_bn_act(3, 1, Act::None, &format!("{label}.dw"));
+    let right = b.conv_bn_act(half, 1, 1, Act::Relu, &format!("{label}.conv2"));
+    b.concat(&[left, right], &format!("{label}.cat"));
+    b.channel_shuffle(&format!("{label}.shuffle"));
+}
+
+/// Stride-2 unit: both branches downsample; output channels double to c_out.
+fn unit_stride2(b: &mut NetBuilder, c_out: usize, label: &str) {
+    let entry = b.cursor();
+    let half = c_out / 2;
+    // Left: dw3×3/2 → 1×1.
+    b.set(entry);
+    b.dw_bn_act(3, 2, Act::None, &format!("{label}.left.dw"));
+    let left = b.conv_bn_act(half, 1, 1, Act::Relu, &format!("{label}.left.conv"));
+    // Right: 1×1 → dw3×3/2 → 1×1.
+    b.set(entry);
+    b.conv_bn_act(half, 1, 1, Act::Relu, &format!("{label}.right.conv1"));
+    b.dw_bn_act(3, 2, Act::None, &format!("{label}.right.dw"));
+    let right = b.conv_bn_act(half, 1, 1, Act::Relu, &format!("{label}.right.conv2"));
+    b.concat(&[left, right], &format!("{label}.cat"));
+    b.channel_shuffle(&format!("{label}.shuffle"));
+}
+
+/// Builds ShuffleNet-V2; `mult` is "x0_5" or "x1_0".
+pub fn shufflenet_v2(mult: &str, ds: &DatasetDesc) -> CompGraph {
+    let (stage_channels, head) = channels(mult);
+    let repeats = [4usize, 8, 4];
+    let mut b = NetBuilder::new(&format!("shufflenet_v2_{mult}"), ds.channels, ds.resolution);
+    b.conv_bn_act(24, 3, 2, Act::Relu, "stem.conv");
+    b.max_pool(3, 2, "stem.pool");
+    for (stage, (&c_out, &n)) in stage_channels.iter().zip(&repeats).enumerate() {
+        unit_stride2(&mut b, c_out, &format!("stage{}.0", stage + 2));
+        for i in 1..n {
+            unit_stride1(&mut b, &format!("stage{}.{}", stage + 2, i));
+        }
+    }
+    b.conv_bn_act(head, 1, 1, Act::Relu, "head.conv");
+    b.classifier(ds.num_classes);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CIFAR10;
+
+    #[test]
+    fn both_widths_validate() {
+        for m in ["x0_5", "x1_0"] {
+            assert_eq!(shufflenet_v2(m, &CIFAR10).validate(), Ok(()), "{m}");
+        }
+    }
+
+    #[test]
+    fn wider_costs_more() {
+        let small = shufflenet_v2("x0_5", &CIFAR10);
+        let big = shufflenet_v2("x1_0", &CIFAR10);
+        assert!(big.flops_per_example() > small.flops_per_example());
+        assert!(big.num_params() > small.num_params());
+    }
+
+    #[test]
+    fn has_channel_shuffles() {
+        let g = shufflenet_v2("x1_0", &CIFAR10);
+        let shuffles = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == pddl_graph::OpKind::ChannelShuffle)
+            .count();
+        assert_eq!(shuffles, 16, "one shuffle per unit");
+    }
+}

@@ -1,0 +1,106 @@
+//! SqueezeNet 1.0/1.1 (Iandola et al., 2016): fire modules.
+
+use crate::builder::{Act, NetBuilder};
+use crate::dataset::DatasetDesc;
+use pddl_graph::CompGraph;
+
+/// Fire module: squeeze 1×1 → (expand 1×1 ‖ expand 3×3) → concat.
+fn fire(b: &mut NetBuilder, s: usize, e1: usize, e3: usize, label: &str) {
+    b.conv(s, 1, 1, &format!("{label}.squeeze"));
+    b.act(Act::Relu, &format!("{label}.squeeze.relu"));
+    let root = b.cursor();
+    let left = {
+        b.conv(e1, 1, 1, &format!("{label}.expand1x1"));
+        b.act(Act::Relu, &format!("{label}.expand1x1.relu"))
+    };
+    b.set(root);
+    let right = {
+        b.conv(e3, 3, 1, &format!("{label}.expand3x3"));
+        b.act(Act::Relu, &format!("{label}.expand3x3.relu"))
+    };
+    b.concat(&[left, right], &format!("{label}.cat"));
+}
+
+/// Builds SqueezeNet; `version` is "1_0" or "1_1".
+pub fn squeezenet(version: &str, ds: &DatasetDesc) -> CompGraph {
+    let name = format!("squeezenet{version}");
+    let mut b = NetBuilder::new(&name, ds.channels, ds.resolution);
+    match version {
+        "1_0" => {
+            b.conv(96, 7, 2, "features.0");
+            b.act(Act::Relu, "features.0.relu");
+            b.max_pool(3, 2, "features.pool0");
+            fire(&mut b, 16, 64, 64, "fire2");
+            fire(&mut b, 16, 64, 64, "fire3");
+            fire(&mut b, 32, 128, 128, "fire4");
+            b.max_pool(3, 2, "features.pool1");
+            fire(&mut b, 32, 128, 128, "fire5");
+            fire(&mut b, 48, 192, 192, "fire6");
+            fire(&mut b, 48, 192, 192, "fire7");
+            fire(&mut b, 64, 256, 256, "fire8");
+            b.max_pool(3, 2, "features.pool2");
+            fire(&mut b, 64, 256, 256, "fire9");
+        }
+        "1_1" => {
+            b.conv(64, 3, 2, "features.0");
+            b.act(Act::Relu, "features.0.relu");
+            b.max_pool(3, 2, "features.pool0");
+            fire(&mut b, 16, 64, 64, "fire2");
+            fire(&mut b, 16, 64, 64, "fire3");
+            b.max_pool(3, 2, "features.pool1");
+            fire(&mut b, 32, 128, 128, "fire4");
+            fire(&mut b, 32, 128, 128, "fire5");
+            b.max_pool(3, 2, "features.pool2");
+            fire(&mut b, 48, 192, 192, "fire6");
+            fire(&mut b, 48, 192, 192, "fire7");
+            fire(&mut b, 64, 256, 256, "fire8");
+            fire(&mut b, 64, 256, 256, "fire9");
+        }
+        other => panic!("unknown squeezenet version {other}"),
+    }
+    b.dropout("classifier.drop");
+    // SqueezeNet's classifier is a 1×1 conv, not an FC.
+    b.conv(ds.num_classes, 1, 1, "classifier.conv");
+    b.act(Act::Relu, "classifier.relu");
+    b.classifier(ds.num_classes);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CIFAR10;
+
+    #[test]
+    fn both_versions_validate() {
+        for v in ["1_0", "1_1"] {
+            assert_eq!(squeezenet(v, &CIFAR10).validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn squeezenet_is_tiny() {
+        // SqueezeNet's claim to fame: ~1.2M params.
+        let g = squeezenet("1_0", &CIFAR10);
+        let p = g.num_params() as f64 / 1e6;
+        assert!(p < 3.0, "params {p}M");
+    }
+
+    #[test]
+    fn v11_cheaper_than_v10() {
+        let f0 = squeezenet("1_0", &CIFAR10).flops_per_example();
+        let f1 = squeezenet("1_1", &CIFAR10).flops_per_example();
+        assert!(f1 < f0);
+    }
+
+    #[test]
+    fn fire_modules_concat() {
+        let g = squeezenet("1_0", &CIFAR10);
+        let concats = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == pddl_graph::OpKind::Concat)
+            .count();
+        assert_eq!(concats, 8, "one concat per fire module");
+    }
+}

@@ -1,0 +1,77 @@
+//! VGG (Simonyan & Zisserman, 2014): configurations A/B/D/E = VGG-11/13/16/19.
+
+use crate::builder::{Act, NetBuilder};
+use crate::dataset::DatasetDesc;
+use pddl_graph::CompGraph;
+
+/// Marker for a max-pool in the configuration string.
+const M: usize = 0;
+
+/// torchvision configuration tables ("M" = maxpool 2×2/2).
+fn config(depth: usize) -> &'static [usize] {
+    match depth {
+        11 => &[64, M, 128, M, 256, 256, M, 512, 512, M, 512, 512, M],
+        13 => &[64, 64, M, 128, 128, M, 256, 256, M, 512, 512, M, 512, 512, M],
+        16 => &[
+            64, 64, M, 128, 128, M, 256, 256, 256, M, 512, 512, 512, M, 512, 512, 512, M,
+        ],
+        19 => &[
+            64, 64, M, 128, 128, M, 256, 256, 256, 256, M, 512, 512, 512, 512, M, 512, 512,
+            512, 512, M,
+        ],
+        other => panic!("no VGG-{other} configuration"),
+    }
+}
+
+/// Builds a batch-normalized VGG of the given depth (11/13/16/19).
+pub fn vgg(depth: usize, ds: &DatasetDesc) -> CompGraph {
+    let mut b = NetBuilder::new(&format!("vgg{depth}"), ds.channels, ds.resolution);
+    let mut conv_idx = 0usize;
+    for &c in config(depth) {
+        if c == M {
+            b.max_pool(2, 2, &format!("pool{conv_idx}"));
+        } else {
+            b.conv_bn_act(c, 3, 1, Act::Relu, &format!("conv{conv_idx}"));
+            conv_idx += 1;
+        }
+    }
+    b.dense(4096, "classifier.fc1");
+    b.act(Act::Relu, "classifier.relu1");
+    b.dropout("classifier.drop1");
+    b.dense(4096, "classifier.fc2");
+    b.act(Act::Relu, "classifier.relu2");
+    b.dropout("classifier.drop2");
+    b.classifier(ds.num_classes);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CIFAR10;
+
+    #[test]
+    fn depths_have_expected_layer_counts() {
+        // #weight layers = depth − 3 convs + 3 FCs = depth.
+        for d in [11, 13, 16, 19] {
+            let g = vgg(d, &CIFAR10);
+            assert_eq!(g.validate(), Ok(()));
+            assert_eq!(g.num_layers(), d, "vgg{d}");
+        }
+    }
+
+    #[test]
+    fn vgg16_is_flop_heavy() {
+        let g16 = vgg(16, &CIFAR10);
+        let g11 = vgg(11, &CIFAR10);
+        assert!(g16.flops_per_example() > g11.flops_per_example());
+        // Well over 100 MFLOPs even at 32×32.
+        assert!(g16.flops_per_example() > 1e8);
+    }
+
+    #[test]
+    #[should_panic(expected = "no VGG-17")]
+    fn unknown_depth_panics() {
+        let _ = vgg(17, &CIFAR10);
+    }
+}

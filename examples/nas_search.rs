@@ -1,0 +1,87 @@
+//! Neural-architecture-search acceleration — the paper's second motivating
+//! application (§III-A: performance prediction "can be extended for neural
+//! architecture search algorithms").
+//!
+//! Here PredictDDL prices *novel* architectures (random DARTS-style cells,
+//! never seen by the predictor) so a NAS loop can discard candidates whose
+//! training would blow the time budget — without running any of them.
+//!
+//! ```sh
+//! cargo run --release -p predictddl --example nas_search
+//! ```
+
+use pddl_cluster::{ClusterState, ServerClass};
+use pddl_ddlsim::{SimConfig, TraceConfig};
+use pddl_ghn::train::TrainConfig;
+use pddl_ghn::SynthGenerator;
+use pddl_zoo::CIFAR10;
+use predictddl::{ModelRef, OfflineTrainer, PredictionRequest};
+
+fn main() {
+    let mut trainer = OfflineTrainer {
+        ghn_train: TrainConfig { num_graphs: 80, epochs: 20, ..TrainConfig::default() },
+        trace: TraceConfig {
+            models: [
+                "resnet18", "resnet50", "vgg11", "vgg16", "alexnet", "squeezenet1_1",
+                "mobilenet_v2", "efficientnet_b0", "googlenet", "densenet121",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            dataset_clusters: vec![("cifar10".into(), ServerClass::GpuP100)],
+            server_counts: (1..=16).collect(),
+            batch_sizes: vec![128],
+            epochs: 10,
+            sim: SimConfig::default(),
+        },
+        ..OfflineTrainer::default()
+    };
+    trainer.seed = 4242;
+    println!("=== NAS candidate screening with PredictDDL ===");
+    println!("training the predictor once on the zoo trace ...\n");
+    let system = trainer.train_full();
+
+    // Sample NAS candidates from the DARTS-style space and price them.
+    let mut gen = SynthGenerator::new(CIFAR10, 99);
+    let cluster = ClusterState::homogeneous(ServerClass::GpuP100, 8);
+    let budget_secs = 60.0;
+    let n_candidates = 12;
+
+    println!(
+        "{:<22} {:>7} {:>10} {:>12} {:>14} {:>8}",
+        "candidate", "nodes", "MFLOPs", "params(K)", "pred. time", "verdict"
+    );
+    let mut kept = 0;
+    for _ in 0..n_candidates {
+        let graph = gen.sample();
+        let req = PredictionRequest {
+            model: ModelRef::Graph(graph.clone()),
+            dataset: "cifar10".into(),
+            batch_size: 128,
+            epochs: 10,
+            cluster: cluster.clone(),
+        };
+        let pred = system.predict(&req).expect("prediction");
+        let within = pred.seconds <= budget_secs;
+        if within {
+            kept += 1;
+        }
+        println!(
+            "{:<22} {:>7} {:>10.1} {:>12.1} {:>12.1}s {:>8}",
+            graph.name,
+            graph.num_nodes(),
+            graph.flops_per_example() / 1e6,
+            graph.num_params() as f64 / 1e3,
+            pred.seconds,
+            if within { "keep" } else { "prune" }
+        );
+        if let Some((nearest, sim)) = pred.nearest_architecture {
+            println!("{:<22}   ↳ closest known architecture: {nearest} (cos {sim:.3})", "");
+        }
+    }
+    println!(
+        "\n{kept}/{n_candidates} candidates fit the {budget_secs:.0}s training budget on {} servers.",
+        cluster.num_servers()
+    );
+    println!("Each verdict cost one GHN embedding + one regression — no training runs.");
+}

@@ -1,0 +1,55 @@
+//! The original GHN capability, end-to-end: predicting *parameters* for
+//! unseen architectures (Zhang et al. 2019 / Knyazev et al. 2021 — the
+//! "last module" PredictDDL skips, implemented in `pddl_ghn::hypernet`).
+//!
+//! Meta-trains the hypernetwork on MLP classifiers of widths {2,4,6,8} over
+//! a fixed synthetic 2-D task, then compares predicted weights against
+//! random initialization on *unseen* widths — the GHN-2 headline result in
+//! miniature.
+//!
+//! ```sh
+//! cargo run --release -p predictddl --example weight_prediction
+//! ```
+
+use pddl_ghn::hypernet::{task_dataset, TargetArch, WeightHyperNet};
+use pddl_ghn::GhnConfig;
+use pddl_tensor::Rng;
+
+fn main() {
+    println!("=== GHN weight prediction for unseen architectures ===\n");
+    let mut rng = Rng::new(42);
+    let mut hyper = WeightHyperNet::new(GhnConfig::tiny(), &mut rng);
+
+    let train_widths = [2usize, 4, 6, 8];
+    println!("meta-training on widths {train_widths:?} (1,500 steps) ...");
+    let losses = hyper.meta_train(&train_widths, 1500, 5e-3, 11);
+    println!(
+        "  task loss: {:.4} -> {:.4}\n",
+        losses[..50].iter().sum::<f32>() / 50.0,
+        losses[losses.len() - 50..].iter().sum::<f32>() / 50.0
+    );
+
+    let (x, y) = task_dataset(96, 11);
+    println!(
+        "{:<18} {:>16} {:>16} {:>10}",
+        "architecture", "predicted loss", "random init", "factor"
+    );
+    for h in [3usize, 5, 7, 9, 10] {
+        let arch = TargetArch { hidden: h };
+        let predicted = hyper.task_loss(&arch, &x, &y);
+        let random: f32 = (0..8)
+            .map(|s| WeightHyperNet::random_init_loss(&arch, &x, &y, 100 + s))
+            .sum::<f32>()
+            / 8.0;
+        let seen = if train_widths.contains(&h) { "" } else { " (unseen)" };
+        println!(
+            "mlp2-{h:<2}-2{seen:<9} {predicted:>16.4} {random:>16.4} {:>9.1}×",
+            random / predicted
+        );
+    }
+    println!("\nPredicted parameters for architectures the GHN never saw beat");
+    println!("random initialization without a single gradient step on the");
+    println!("target network (capacity-limited tiny widths excepted) — the");
+    println!("property PredictDDL reuses as a complexity signal rather than");
+    println!("for initialization.");
+}

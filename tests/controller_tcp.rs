@@ -1,0 +1,87 @@
+//! Controller integration over real TCP: the Fig. 7 listener path.
+
+use pddl_cluster::{ClusterState, ServerClass};
+use pddl_ddlsim::Workload;
+use predictddl::{Controller, ControllerClient, OfflineTrainer, PredictionRequest, RequestError};
+
+fn serve_tiny() -> Controller {
+    let system = OfflineTrainer::tiny().train_full();
+    Controller::serve("127.0.0.1:0", system).expect("bind")
+}
+
+#[test]
+fn predict_over_tcp() {
+    let controller = serve_tiny();
+    let mut client = ControllerClient::connect(controller.addr()).unwrap();
+    let req = PredictionRequest::zoo(
+        Workload::new("resnet18", "cifar10", 128, 2),
+        ClusterState::homogeneous(ServerClass::GpuP100, 4),
+    );
+    let pred = client.predict(&req).unwrap().unwrap();
+    assert!(pred.seconds > 0.0);
+    assert_eq!(controller.requests_served(), 1);
+}
+
+#[test]
+fn multiple_requests_on_one_connection() {
+    let controller = serve_tiny();
+    let mut client = ControllerClient::connect(controller.addr()).unwrap();
+    for model in ["resnet18", "vgg16", "squeezenet1_1"] {
+        let req = PredictionRequest::zoo(
+            Workload::new(model, "cifar10", 128, 2),
+            ClusterState::homogeneous(ServerClass::GpuP100, 2),
+        );
+        let pred = client.predict(&req).unwrap().unwrap();
+        assert!(pred.seconds > 0.0, "{model}");
+    }
+    assert_eq!(controller.requests_served(), 3);
+}
+
+#[test]
+fn concurrent_clients() {
+    let controller = serve_tiny();
+    let addr = controller.addr();
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = ControllerClient::connect(addr).unwrap();
+                let req = PredictionRequest::zoo(
+                    Workload::new("resnet18", "cifar10", 128, 2),
+                    ClusterState::homogeneous(ServerClass::GpuP100, 1 + i % 4),
+                );
+                client.predict(&req).unwrap().unwrap().seconds
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(h.join().unwrap() > 0.0);
+    }
+    assert_eq!(controller.requests_served(), 6);
+}
+
+#[test]
+fn error_propagates_over_wire() {
+    let controller = serve_tiny();
+    let mut client = ControllerClient::connect(controller.addr()).unwrap();
+    let req = PredictionRequest::zoo(
+        Workload::new("resnet18", "tiny-imagenet", 128, 2), // no GHN in tiny trace
+        ClusterState::homogeneous(ServerClass::CpuE5_2630, 2),
+    );
+    let result = client.predict(&req).unwrap();
+    assert!(matches!(result, Err(RequestError::NeedsOfflineTraining { .. })));
+}
+
+#[test]
+fn malformed_line_gets_typed_error() {
+    use std::io::{BufRead, BufReader, Write};
+    let controller = serve_tiny();
+    let stream = std::net::TcpStream::connect(controller.addr()).unwrap();
+    let mut w = stream.try_clone().unwrap();
+    w.write_all(b"this is not json\n").unwrap();
+    w.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("err"), "{line}");
+    assert!(line.contains("malformed"), "{line}");
+}

@@ -1,0 +1,86 @@
+//! The §III-G offline-retraining loop: when a request arrives for a dataset
+//! with no pretrained GHN, the system collects a trace, trains that
+//! dataset's GHN, refits the regression on the union — and existing GHNs
+//! are reused, not retrained.
+
+use pddl_cluster::{ClusterState, ServerClass};
+use pddl_ddlsim::{TraceConfig, Workload};
+use predictddl::{OfflineTrainer, RequestError};
+
+fn tiny_trainer() -> OfflineTrainer {
+    let mut t = OfflineTrainer::tiny();
+    // Keep the extension trace small: restrict models and sweep.
+    t.trace = TraceConfig {
+        models: vec!["resnet18".into(), "vgg16".into(), "squeezenet1_1".into()],
+        dataset_clusters: vec![("cifar10".into(), ServerClass::GpuP100)],
+        server_counts: vec![1, 2, 4, 8],
+        batch_sizes: vec![128],
+        epochs: 2,
+        sim: Default::default(),
+    };
+    t
+}
+
+#[test]
+fn extension_enables_previously_failing_dataset() {
+    let trainer = tiny_trainer();
+    let mut system = trainer.train_full(); // CIFAR-10 only
+    let cpu = ClusterState::homogeneous(ServerClass::CpuE5_2630, 4);
+    let w = Workload::new("resnet18", "tiny-imagenet", 128, 2);
+
+    // Before: the Task Checker routes to offline training.
+    assert!(matches!(
+        system.predict_workload(&w, &cpu),
+        Err(RequestError::NeedsOfflineTraining { .. })
+    ));
+
+    // Extend (collects a Tiny-ImageNet trace, trains its GHN, refits).
+    let mut ext = tiny_trainer();
+    ext.trace.dataset_clusters = vec![("tiny-imagenet".into(), ServerClass::CpuE5_2630)];
+    ext.extend_with_dataset(&mut system, "tiny-imagenet").unwrap();
+
+    // After: predictions work for both datasets.
+    let pred = system.predict_workload(&w, &cpu).unwrap();
+    assert!(pred.seconds > 0.0);
+    let gpu = ClusterState::homogeneous(ServerClass::GpuP100, 4);
+    let old = system
+        .predict_workload(&Workload::new("vgg16", "cifar10", 128, 2), &gpu)
+        .unwrap();
+    assert!(old.seconds > 0.0, "old dataset must keep working");
+}
+
+#[test]
+fn existing_ghn_is_reused_not_retrained() {
+    let trainer = tiny_trainer();
+    let mut system = trainer.train_full();
+    // Fingerprint the CIFAR-10 GHN through an embedding.
+    let g = pddl_zoo::build_model("resnet18", &pddl_zoo::CIFAR10).unwrap();
+    let before = system.registry.get("cifar10").unwrap().embed_graph(&g);
+
+    let mut ext = tiny_trainer();
+    ext.trace.dataset_clusters = vec![("tiny-imagenet".into(), ServerClass::CpuE5_2630)];
+    ext.extend_with_dataset(&mut system, "tiny-imagenet").unwrap();
+
+    let after = system.registry.get("cifar10").unwrap().embed_graph(&g);
+    assert_eq!(before, after, "CIFAR-10 GHN must be byte-identical after extension");
+    assert!(system.registry.has("tiny-imagenet"));
+}
+
+#[test]
+fn extending_known_dataset_is_a_noop() {
+    let trainer = tiny_trainer();
+    let mut system = trainer.train_full();
+    let n_records = system.records.len();
+    trainer.extend_with_dataset(&mut system, "cifar10").unwrap();
+    assert_eq!(system.records.len(), n_records);
+}
+
+#[test]
+fn unknown_dataset_extension_errors() {
+    let trainer = tiny_trainer();
+    let mut system = trainer.train_full();
+    let err = trainer
+        .extend_with_dataset(&mut system, "imagenet-21k")
+        .unwrap_err();
+    assert!(err.contains("imagenet-21k"), "{err}");
+}

@@ -1,0 +1,97 @@
+//! Ernest baseline end-to-end: experiment design → simulated collection →
+//! NNLS fit → prediction, plus the pooled-vs-per-workload contrast that
+//! drives the paper's Fig. 9 comparison.
+
+use pddl_cluster::{ClusterState, ServerClass};
+use pddl_ddlsim::{SimConfig, Simulator, Workload};
+use pddl_ernest::design::{default_candidates, greedy_a_optimal};
+use pddl_ernest::model::{ErnestModel, ErnestSample};
+
+fn collect_samples(sim: &Simulator, w: &Workload, class: ServerClass) -> Vec<ErnestSample> {
+    let candidates = default_candidates(8);
+    let picks = greedy_a_optimal(&candidates, 7);
+    picks
+        .iter()
+        .map(|&i| {
+            let c = candidates[i];
+            let cluster = ClusterState::homogeneous(class, c.machines);
+            let mut probe = w.clone();
+            probe.epochs = 1;
+            let secs = sim.expected_time(&probe, &cluster).unwrap() * c.scale;
+            ErnestSample { scale: c.scale, machines: c.machines, time_secs: secs }
+        })
+        .collect()
+}
+
+/// Per-workload Ernest (its NSDI use case) predicts the SAME workload's
+/// scaling with moderate error on CPU clusters, where runtime is dominated
+/// by the s/m work term Ernest models well.
+#[test]
+fn per_workload_ernest_is_reasonable_on_cpu_scaling() {
+    let sim = Simulator::new(SimConfig::default());
+    let w = Workload::new("vgg16", "tiny-imagenet", 128, 1);
+    let samples = collect_samples(&sim, &w, ServerClass::CpuE5_2630);
+    let model = ErnestModel::fit(&samples);
+    assert!(model.is_physical());
+    for n in [4usize, 8] {
+        let cluster = ClusterState::homogeneous(ServerClass::CpuE5_2630, n);
+        let actual = sim.expected_time(&w, &cluster).unwrap();
+        let pred = model.predict(1.0, n);
+        let ratio = pred / actual;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "per-workload Ernest ratio {ratio} at n={n}"
+        );
+    }
+}
+
+/// Pooled Ernest (one black-box model over many architectures — the
+/// reusability scenario of Fig. 9) collapses to an average curve: fast
+/// architectures are over-predicted and slow ones under-predicted.
+#[test]
+fn pooled_ernest_averages_across_architectures() {
+    let sim = Simulator::new(SimConfig::default());
+    let models = ["squeezenet1_1", "vgg16", "resnet50", "alexnet"];
+    // Pool full-scale observations from all workloads, as a black box that
+    // cannot distinguish them.
+    let mut pooled = Vec::new();
+    for m in models {
+        let w = Workload::new(m, "cifar10", 128, 2);
+        for n in [1usize, 2, 4, 8, 16] {
+            let cluster = ClusterState::homogeneous(ServerClass::GpuP100, n);
+            pooled.push(ErnestSample {
+                scale: 1.0,
+                machines: n,
+                time_secs: sim.expected_time(&w, &cluster).unwrap(),
+            });
+        }
+    }
+    let model = ErnestModel::fit(&pooled);
+
+    let cluster = ClusterState::homogeneous(ServerClass::GpuP100, 4);
+    let fast = Workload::new("squeezenet1_1", "cifar10", 128, 2);
+    let slow = Workload::new("vgg16", "cifar10", 128, 2);
+    let fast_ratio =
+        model.predict(1.0, 4) / sim.expected_time(&fast, &cluster).unwrap();
+    let slow_ratio =
+        model.predict(1.0, 4) / sim.expected_time(&slow, &cluster).unwrap();
+    assert!(fast_ratio > 1.3, "fast workload should be over-predicted: {fast_ratio}");
+    assert!(slow_ratio < 0.8, "slow workload should be under-predicted: {slow_ratio}");
+}
+
+/// The experiment design picks cheap (small-scale, few-machine) runs — total
+/// collection cost must be far below one full training run of the target.
+#[test]
+fn designed_collection_is_cheaper_than_full_run() {
+    let sim = Simulator::new(SimConfig::default());
+    let w = Workload::new("resnet50", "cifar10", 128, 10);
+    let samples = collect_samples(&sim, &w, ServerClass::GpuP100);
+    let collection: f64 = samples.iter().map(|s| s.time_secs).sum();
+    let full = sim
+        .expected_time(&w, &ClusterState::homogeneous(ServerClass::GpuP100, 4))
+        .unwrap();
+    assert!(
+        collection < 2.0 * full,
+        "collection {collection:.0}s vs full run {full:.0}s"
+    );
+}

@@ -1,0 +1,124 @@
+//! Property-based tests (proptest) over cross-crate invariants.
+
+use pddl_cluster::{ClusterState, ServerClass};
+use pddl_ddlsim::{SimConfig, Simulator, Workload};
+use pddl_ghn::{cosine_similarity, Ghn, GhnConfig};
+use pddl_graph::{CompGraph, NodeAttrs, OpKind};
+use pddl_regress::poly::PolyFeatures;
+use pddl_regress::split::train_test_split;
+use pddl_tensor::linalg::qr;
+use pddl_tensor::{Matrix, Rng};
+use proptest::prelude::*;
+
+/// Random small DAG built layer-by-layer (always valid).
+fn arb_graph() -> impl Strategy<Value = CompGraph> {
+    (2usize..10, any::<u64>()).prop_map(|(layers, seed)| {
+        let mut rng = Rng::new(seed);
+        let mut g = CompGraph::new("prop");
+        let mut prev = g.add_node(OpKind::Input, NodeAttrs::elementwise(3, 16), "in");
+        let mut frontier = vec![prev];
+        for i in 0..layers {
+            let kind = *rng.pick(&[
+                OpKind::Conv,
+                OpKind::Relu,
+                OpKind::BatchNorm,
+                OpKind::MaxPool,
+                OpKind::DepthwiseConv,
+            ]);
+            let c = 4 << rng.below(4);
+            let attrs = match kind {
+                OpKind::Conv => NodeAttrs::conv(c, c, 3, 1, 16),
+                OpKind::DepthwiseConv => NodeAttrs::group_conv(c, c, 3, 1, c, 16),
+                _ => NodeAttrs::elementwise(c, 16),
+            };
+            let src = frontier[rng.below(frontier.len())];
+            prev = g.chain(src, kind, attrs, format!("n{i}"));
+            frontier.push(prev);
+        }
+        let _ = g.chain(prev, OpKind::Output, NodeAttrs::elementwise(8, 16), "out");
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// QR reconstruction holds for random matrices.
+    #[test]
+    fn qr_reconstructs_random_matrices(seed in any::<u64>(), m in 3usize..12, extra in 0usize..6) {
+        let n = (m - 2).max(1);
+        let _ = extra;
+        let mut rng = Rng::new(seed);
+        let a = Matrix::rand_normal(m, n, 1.0, &mut rng);
+        let (q, r) = qr(&a);
+        let recon = q.matmul(&r);
+        prop_assert!((&recon - &a).max_abs() < 1e-3);
+    }
+
+    /// Polynomial expansion always has the closed-form width.
+    #[test]
+    fn poly_dim_formula_holds(d in 1usize..8, rows in 1usize..5, seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let x = Matrix::rand_normal(rows, d, 1.0, &mut rng);
+        for degree in 1..=3usize {
+            let p = PolyFeatures::new(degree, true);
+            let t = p.transform(&x);
+            prop_assert_eq!(t.cols(), p.out_dim(d));
+            prop_assert_eq!(t.rows(), rows);
+        }
+    }
+
+    /// Random generated DAGs validate, topo-sort, and embed to finite
+    /// fixed-size vectors; cosine self-similarity is 1.
+    #[test]
+    fn random_graphs_embed_cleanly(g in arb_graph()) {
+        prop_assert_eq!(g.validate(), Ok(()));
+        let order = g.topo_order().unwrap();
+        prop_assert_eq!(order.len(), g.num_nodes());
+        let mut rng = Rng::new(1234);
+        let ghn = Ghn::new(GhnConfig::tiny(), &mut rng);
+        let e = ghn.embed_graph(&g);
+        prop_assert_eq!(e.len(), GhnConfig::tiny().hidden_dim);
+        prop_assert!(e.iter().all(|x| x.is_finite()));
+        prop_assert!((cosine_similarity(&e, &e) - 1.0).abs() < 1e-5);
+    }
+
+    /// Train/test splits always partition the index set.
+    #[test]
+    fn splits_partition(n in 2usize..500, frac in 0.1f64..0.9, seed in any::<u64>()) {
+        let (tr, te) = train_test_split(n, frac, seed);
+        prop_assert!(!tr.is_empty() && !te.is_empty());
+        let mut all: Vec<usize> = tr.iter().chain(&te).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n);
+    }
+
+    /// Simulator output is positive, finite, and monotone in epochs.
+    #[test]
+    fn simulator_monotone_in_epochs(
+        epochs in 1usize..8,
+        servers in 1usize..12,
+        model_idx in 0usize..5,
+    ) {
+        let models = ["resnet18", "vgg16", "squeezenet1_1", "alexnet", "mobilenet_v2"];
+        let sim = Simulator::new(SimConfig::default());
+        let cluster = ClusterState::homogeneous(ServerClass::GpuP100, servers);
+        let t1 = sim
+            .expected_time(&Workload::new(models[model_idx], "cifar10", 64, epochs), &cluster)
+            .unwrap();
+        let t2 = sim
+            .expected_time(&Workload::new(models[model_idx], "cifar10", 64, epochs + 1), &cluster)
+            .unwrap();
+        prop_assert!(t1.is_finite() && t1 > 0.0);
+        prop_assert!(t2 > t1, "more epochs must take longer: {} vs {}", t1, t2);
+    }
+
+    /// Cluster feature vectors are always finite and fixed-width.
+    #[test]
+    fn cluster_features_always_finite(n in 1usize..30, class_idx in 0usize..3) {
+        let class = [ServerClass::CpuE5_2630, ServerClass::CpuE5_2650, ServerClass::GpuP100][class_idx];
+        let f = ClusterState::homogeneous(class, n).feature_vector();
+        prop_assert!(f.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,130 @@
+//! The paper's central claim: the prediction model is trained **once per
+//! dataset** and reused for architectures it never saw, without retraining.
+
+use pddl_cluster::{ClusterState, ServerClass};
+use pddl_ddlsim::{generate_trace, SimConfig, Simulator, TraceConfig, Workload};
+use pddl_regress::metrics::mean_relative_error;
+use predictddl::OfflineTrainer;
+
+/// Train on a subset of architectures; predict an architecture that is NOT
+/// in the training trace (same dataset). Error must stay bounded — the GHN
+/// embedding generalizes across architectures.
+#[test]
+fn predicts_unseen_architecture_without_retraining() {
+    // Train WITHOUT resnet34/vgg13 (held-out architectures).
+    let mut cfg = TraceConfig::small();
+    cfg.models = vec![
+        "resnet18".into(),
+        "resnet50".into(),
+        "vgg11".into(),
+        "vgg16".into(),
+        "squeezenet1_0".into(),
+        "squeezenet1_1".into(),
+        "alexnet".into(),
+        "mobilenet_v2".into(),
+        "mobilenet_v3_small".into(),
+        "efficientnet_b0".into(),
+        "densenet121".into(),
+    ];
+    cfg.server_counts = vec![1, 2, 4, 8, 12, 16];
+    let records = generate_trace(&cfg);
+
+    let mut trainer = OfflineTrainer::tiny();
+    trainer.ghn_train.num_graphs = 64;
+    trainer.ghn_train.epochs = 20;
+    let system = trainer.train_from_records(&records);
+
+    // Predict the held-out architectures at configs inside the sweep range.
+    let sim = Simulator::new(SimConfig::default());
+    let mut pred = Vec::new();
+    let mut actual = Vec::new();
+    for model in ["resnet34", "vgg13"] {
+        for n in [2usize, 4, 8] {
+            let w = Workload::new(model, "cifar10", 128, 2);
+            let cluster = ClusterState::homogeneous(ServerClass::GpuP100, n);
+            pred.push(system.predict_workload(&w, &cluster).unwrap().seconds as f32);
+            actual.push(sim.expected_time(&w, &cluster).unwrap() as f32);
+        }
+    }
+    let err = mean_relative_error(&pred, &actual);
+    // Unseen-architecture error is necessarily larger than in-trace error,
+    // but must remain usable (paper's motivation: black boxes fail here
+    // entirely).
+    assert!(err < 0.5, "unseen-architecture error {err}");
+}
+
+/// Interpolation between family members: resnet34 predictions must land
+/// between resnet18 and resnet50 at the same cluster config.
+#[test]
+fn unseen_family_member_interpolates() {
+    let mut cfg = TraceConfig::small();
+    cfg.models = vec![
+        "resnet18".into(),
+        "resnet50".into(),
+        "vgg16".into(),
+        "squeezenet1_1".into(),
+    ];
+    cfg.server_counts = vec![1, 2, 4, 8];
+    let records = generate_trace(&cfg);
+    let mut trainer = OfflineTrainer::tiny();
+    trainer.ghn_config.hidden_dim = 16;
+    trainer.ghn_config.mlp_hidden = 16;
+    trainer.ghn_train.num_graphs = 80;
+    trainer.ghn_train.epochs = 25;
+    let system = trainer.train_from_records(&records);
+
+    let cluster = ClusterState::homogeneous(ServerClass::GpuP100, 4);
+    let t = |m: &str| {
+        system
+            .predict_workload(&Workload::new(m, "cifar10", 128, 2), &cluster)
+            .unwrap()
+            .seconds
+    };
+    let (t18, t34, t50) = (t("resnet18"), t("resnet34"), t("resnet50"));
+    // The unseen resnet34 must land strictly above resnet18 and at most
+    // marginally above resnet50 (small-GHN test config gets a 15% slack on
+    // the upper bound).
+    assert!(
+        t18 < t34 && t34 < 1.15 * t50,
+        "family ordering broken: r18={t18:.1} r34={t34:.1} r50={t50:.1}"
+    );
+}
+
+/// Changing only the cluster (not the workload) requires no retraining and
+/// tracks the scaling direction of the simulator.
+#[test]
+fn same_model_different_cluster_no_retraining() {
+    let system = {
+        let mut cfg = TraceConfig::small();
+        cfg.server_counts = vec![1, 2, 4, 8, 16];
+        let records = generate_trace(&cfg);
+        let mut trainer = OfflineTrainer::tiny();
+        trainer.ghn_train.num_graphs = 32;
+        trainer.ghn_train.epochs = 12;
+        trainer.train_from_records(&records)
+    };
+    let sim = Simulator::new(SimConfig::default());
+    let w = Workload::new("vgg16", "cifar10", 128, 2);
+    let t_pred: Vec<f64> = [1usize, 4, 16]
+        .iter()
+        .map(|&n| {
+            system
+                .predict_workload(&w, &ClusterState::homogeneous(ServerClass::GpuP100, n))
+                .unwrap()
+                .seconds
+        })
+        .collect();
+    let t_sim: Vec<f64> = [1usize, 4, 16]
+        .iter()
+        .map(|&n| {
+            sim.expected_time(&w, &ClusterState::homogeneous(ServerClass::GpuP100, n))
+                .unwrap()
+        })
+        .collect();
+    // Both should agree that 16 servers beat 1 server for VGG-16.
+    assert!(t_sim[2] < t_sim[0]);
+    assert!(
+        t_pred[2] < t_pred[0],
+        "prediction misses scaling: {t_pred:?} vs {t_sim:?}"
+    );
+}
