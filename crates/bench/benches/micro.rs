@@ -119,6 +119,35 @@ fn bench_ernest_fit(c: &mut Criterion) {
     });
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    // Overhead of the observability layer on hot paths: everything here is
+    // plain atomics on cached `&'static` handles — no locks, no allocation.
+    let counter = pddl_telemetry::counter("bench.telemetry_counter");
+    let hist = pddl_telemetry::histogram("bench.telemetry_hist");
+    let mut group = c.benchmark_group("telemetry");
+    group.bench_function("counter_inc", |bench| {
+        bench.iter(|| {
+            counter.inc();
+            black_box(counter)
+        })
+    });
+    group.bench_function("histogram_record", |bench| {
+        let mut v = 0u64;
+        bench.iter(|| {
+            v = v.wrapping_add(1097);
+            hist.record(black_box(v & 0xffff));
+            black_box(hist)
+        })
+    });
+    group.bench_function("span_enter_exit", |bench| {
+        bench.iter(|| {
+            let span = pddl_telemetry::Span::on(hist, "bench.span");
+            black_box(span).exit()
+        })
+    });
+    group.finish();
+}
+
 fn bench_ghn_training_step(c: &mut Criterion) {
     // One meta-training epoch over a small synthetic set (the dominant cost
     // of PredictDDL's one-time offline phase).
@@ -152,6 +181,7 @@ criterion_group!(
     bench_simulator,
     bench_regressors,
     bench_ernest_fit,
+    bench_telemetry,
     bench_ghn_training_step
 );
 criterion_main!(benches);

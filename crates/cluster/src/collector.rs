@@ -18,16 +18,53 @@ use crate::protocol::{read_msg, write_msg, ClientMsg, ServerMsg};
 use crate::spec::ServerSpec;
 use crate::state::{ClusterState, ServerStatus};
 use parking_lot::RwLock;
+use pddl_telemetry::{tlog, Counter, Gauge, Histogram, Level};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 #[derive(Default)]
 struct Inventory {
     servers: HashMap<String, ServerStatus>,
+}
+
+/// Collector metric handles, resolved once (heartbeat-path updates stay
+/// lock-free).
+struct Metrics {
+    heartbeats: &'static Counter,
+    registrations: &'static Counter,
+    leaves: &'static Counter,
+    rejected_msgs: &'static Counter,
+    servers_joined: &'static Gauge,
+    lock_wait: &'static Histogram,
+}
+
+fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| Metrics {
+        heartbeats: pddl_telemetry::counter("collector.heartbeats"),
+        registrations: pddl_telemetry::counter("collector.registrations"),
+        leaves: pddl_telemetry::counter("collector.leaves"),
+        rejected_msgs: pddl_telemetry::counter("collector.rejected_msgs"),
+        servers_joined: pddl_telemetry::gauge("collector.servers_joined"),
+        lock_wait: pddl_telemetry::histogram("collector.inventory_lock_wait"),
+    })
+}
+
+/// Acquires the inventory write lock, recording the wait in the
+/// `collector.inventory_lock_wait` histogram (nanoseconds).
+fn write_inventory<'a>(
+    inv: &'a RwLock<Inventory>,
+    m: &Metrics,
+) -> parking_lot::RwLockWriteGuard<'a, Inventory> {
+    let t0 = Instant::now();
+    let guard = inv.write();
+    m.lock_wait.record_duration(t0.elapsed());
+    guard
 }
 
 /// The collector service handle. Dropping it shuts the service down.
@@ -114,6 +151,7 @@ impl Drop for CollectorServer {
 }
 
 fn handle_connection(stream: TcpStream, inv: &RwLock<Inventory>) -> std::io::Result<()> {
+    let m = metrics();
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut registered: Option<String> = None;
@@ -121,22 +159,36 @@ fn handle_connection(stream: TcpStream, inv: &RwLock<Inventory>) -> std::io::Res
         match msg {
             ClientMsg::Register { spec } => {
                 registered = Some(spec.hostname.clone());
-                inv.write()
-                    .servers
-                    .insert(spec.hostname.clone(), ServerStatus::idle(spec));
+                let hostname = spec.hostname.clone();
+                let mut guard = write_inventory(inv, m);
+                guard.servers.insert(spec.hostname.clone(), ServerStatus::idle(spec));
+                let joined = guard.servers.len();
+                drop(guard);
+                m.registrations.inc();
+                m.servers_joined.set(joined as i64);
+                tlog!(Level::Info, "collector", "server joined", hostname = hostname, joined = joined);
                 write_msg(&mut writer, &ServerMsg::Ack)?;
             }
             ClientMsg::Heartbeat { hostname, cpu_util, gpus_busy } => {
-                let mut guard = inv.write();
+                let mut guard = write_inventory(inv, m);
                 match guard.servers.get_mut(&hostname) {
                     Some(status) if (0.0..=1.0).contains(&cpu_util) => {
                         status.cpu_util = cpu_util;
                         status.gpus_busy = gpus_busy.min(status.spec.gpus);
                         drop(guard);
+                        m.heartbeats.inc();
+                        tlog!(
+                            Level::Trace,
+                            "collector.heartbeat",
+                            "heartbeat",
+                            hostname = hostname,
+                            cpu_util = cpu_util,
+                        );
                         write_msg(&mut writer, &ServerMsg::Ack)?;
                     }
                     Some(_) => {
                         drop(guard);
+                        m.rejected_msgs.inc();
                         write_msg(
                             &mut writer,
                             &ServerMsg::Error { reason: "utilization out of [0,1]".into() },
@@ -144,6 +196,7 @@ fn handle_connection(stream: TcpStream, inv: &RwLock<Inventory>) -> std::io::Res
                     }
                     None => {
                         drop(guard);
+                        m.rejected_msgs.inc();
                         write_msg(
                             &mut writer,
                             &ServerMsg::Error { reason: format!("unknown host {hostname}") },
@@ -152,7 +205,13 @@ fn handle_connection(stream: TcpStream, inv: &RwLock<Inventory>) -> std::io::Res
                 }
             }
             ClientMsg::Leave { hostname } => {
-                inv.write().servers.remove(&hostname);
+                let mut guard = write_inventory(inv, m);
+                guard.servers.remove(&hostname);
+                let joined = guard.servers.len();
+                drop(guard);
+                m.leaves.inc();
+                m.servers_joined.set(joined as i64);
+                tlog!(Level::Info, "collector", "server left", hostname = hostname, joined = joined);
                 write_msg(&mut writer, &ServerMsg::Ack)?;
                 break;
             }

@@ -6,14 +6,22 @@
 //!                        --dataset cifar10 --servers 8 [--gpu|--cpu]
 //!                        [--batch 128] [--epochs 10]
 //! predictddl-cli serve --system system.json --addr 127.0.0.1:7077
+//! predictddl-cli stats --addr 127.0.0.1:7077
 //! predictddl-cli models
 //! ```
+//!
+//! Every command accepts `--metrics-dump` to print the local telemetry
+//! snapshot (JSON) to stderr on exit; `serve` always prints its final
+//! snapshot when shut down (Ctrl-C / SIGTERM). Set `PDDL_LOG` (e.g.
+//! `PDDL_LOG=info,controller=debug`) for structured JSON logs on stderr.
 
 use pddl_cluster::{ClusterState, ServerClass};
 use pddl_ddlsim::{TraceConfig, Workload};
-use predictddl::{Controller, OfflineTrainer, PredictDdl, PredictionRequest};
+use predictddl::{Controller, ControllerClient, OfflineTrainer, PredictDdl, PredictionRequest};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,12 +34,16 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "predict" => cmd_predict(&flags),
         "serve" => cmd_serve(&flags),
+        "stats" => cmd_stats(&flags),
         "models" => cmd_models(),
         _ => {
             eprintln!("unknown command '{cmd}'\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
+    if flags.contains_key("metrics-dump") {
+        eprintln!("{}", pddl_telemetry::snapshot_json());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -46,7 +58,11 @@ const USAGE: &str = "usage:
   predictddl-cli predict --system <file> --model <name> --dataset <name>
                          --servers <n> [--gpu|--cpu] [--batch 128] [--epochs 10]
   predictddl-cli serve   --system <file> [--addr 127.0.0.1:7077]
-  predictddl-cli models";
+  predictddl-cli stats   [--addr 127.0.0.1:7077] [--timeout-ms 5000]
+  predictddl-cli models
+options:
+  --metrics-dump   print the local telemetry snapshot (JSON) to stderr on exit
+  PDDL_LOG=<spec>  structured JSON logs, e.g. PDDL_LOG=info,controller=debug";
 
 type Flags = HashMap<String, String>;
 
@@ -129,15 +145,64 @@ fn cmd_predict(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Set by the SIGINT/SIGTERM handler; polled by the serve loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_shutdown_handler() {
+    // std already links libc; declaring `signal` directly avoids a libc
+    // crate dependency. The handler only does an atomic store, which is
+    // async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler() {}
+
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let system = PredictDdl::load(required(flags, "system")?).map_err(|e| e.to_string())?;
     let addr = flags.get("addr").map_or("127.0.0.1:7077", |s| s.as_str());
     let controller = Controller::serve(addr, system).map_err(|e| e.to_string())?;
     println!("PredictDDL controller listening on {}", controller.addr());
     println!("protocol: one JSON PredictionRequest per line; Ctrl-C to stop");
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    install_shutdown_handler();
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(200));
     }
+    eprintln!(
+        "shutting down after {} requests; final metrics snapshot:",
+        controller.requests_served()
+    );
+    eprintln!("{}", pddl_telemetry::snapshot_json());
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let addr = flags.get("addr").map_or("127.0.0.1:7077", |s| s.as_str());
+    let timeout_ms: u64 = flags
+        .get("timeout-ms")
+        .map_or(Ok(5000), |s| s.parse())
+        .map_err(|_| "--timeout-ms must be an integer")?;
+    let sock: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("--addr '{addr}' is not a socket address"))?;
+    let mut client = ControllerClient::connect_with_timeout(sock, Duration::from_millis(timeout_ms))
+        .map_err(|e| format!("connect to {addr}: {e}"))?;
+    let snapshot = client.stats().map_err(|e| e.to_string())?;
+    println!("{}", snapshot.to_json());
+    Ok(())
 }
 
 fn cmd_models() -> Result<(), String> {

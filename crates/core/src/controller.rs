@@ -4,16 +4,21 @@
 //!
 //! The Listener speaks newline-delimited JSON over TCP — the same framing
 //! as the Cluster Resource Collector. Each connection may send any number
-//! of requests and receives one response line per request.
+//! of requests and receives one response line per request. Besides
+//! prediction requests, the wire protocol carries one control op:
+//! `{"op":"stats"}` returns a live JSON snapshot of the telemetry registry
+//! (see the README's "Observability" section for the metric catalogue).
 
 use crate::offline::PredictDdl;
 use crate::request::{Prediction, PredictionRequest, RequestError};
+use pddl_telemetry::{tlog, Counter, Gauge, Histogram, Level, Snapshot};
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpStream, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Wire response.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -21,6 +26,42 @@ use std::thread::JoinHandle;
 pub enum WireResponse {
     Ok { prediction: Prediction },
     Err { error: RequestError },
+}
+
+/// Control operations multiplexed onto the request stream. Tried before
+/// [`PredictionRequest`] parsing; the `op` tag cannot collide with a
+/// prediction request's fields.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+enum ControlOp {
+    /// Return a JSON snapshot of the telemetry registry.
+    #[allow(dead_code)] // constructed only through the derived Deserialize
+    Stats,
+}
+
+/// Controller-side metric handles, resolved once (increments stay
+/// lock-free on the request path).
+struct Metrics {
+    requests_total: &'static Counter,
+    requests_ok: &'static Counter,
+    requests_err: &'static Counter,
+    stats_requests: &'static Counter,
+    connections_total: &'static Counter,
+    active_connections: &'static Gauge,
+    request_latency: &'static Histogram,
+}
+
+fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| Metrics {
+        requests_total: pddl_telemetry::counter("controller.requests_total"),
+        requests_ok: pddl_telemetry::counter("controller.requests_ok"),
+        requests_err: pddl_telemetry::counter("controller.requests_err"),
+        stats_requests: pddl_telemetry::counter("controller.stats_requests"),
+        connections_total: pddl_telemetry::counter("controller.connections_total"),
+        active_connections: pddl_telemetry::gauge("controller.active_connections"),
+        request_latency: pddl_telemetry::histogram("controller.request_latency"),
+    })
 }
 
 /// A running prediction service. Dropping the handle stops the listener.
@@ -34,7 +75,9 @@ pub struct Controller {
 impl Controller {
     /// Serves a trained system on `addr` (port 0 = ephemeral). Each
     /// connection is handled on its own thread; the system is shared
-    /// read-only.
+    /// read-only. Finished handler threads are reaped in the accept loop,
+    /// so a long-lived controller does not accumulate dead `JoinHandle`s;
+    /// the live count is exported as `controller.active_connections`.
     pub fn serve(addr: &str, system: PredictDdl) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -42,24 +85,36 @@ impl Controller {
         let shutdown = Arc::new(AtomicBool::new(false));
         let requests_served = Arc::new(AtomicU64::new(0));
         let system = Arc::new(system);
+        tlog!(Level::Info, "controller", "listening", addr = local.to_string());
 
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
             let served = Arc::clone(&requests_served);
             std::thread::spawn(move || {
+                let m = metrics();
                 let mut handlers: Vec<JoinHandle<()>> = Vec::new();
                 while !shutdown.load(Ordering::Relaxed) {
+                    reap_finished(&mut handlers);
                     match listener.accept() {
-                        Ok((stream, _)) => {
+                        Ok((stream, peer)) => {
                             stream.set_nonblocking(false).ok();
+                            m.connections_total.inc();
+                            m.active_connections.inc();
+                            tlog!(
+                                Level::Debug,
+                                "controller",
+                                "connection accepted",
+                                peer = peer.to_string(),
+                            );
                             let system = Arc::clone(&system);
                             let served = Arc::clone(&served);
                             handlers.push(std::thread::spawn(move || {
                                 let _ = handle_conn(stream, &system, &served);
+                                metrics().active_connections.dec();
                             }));
                         }
                         Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            std::thread::sleep(Duration::from_millis(5));
                         }
                         Err(_) => break,
                     }
@@ -97,11 +152,24 @@ impl Drop for Controller {
     }
 }
 
+/// Joins (and drops) every handler thread that has already finished.
+fn reap_finished(handlers: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < handlers.len() {
+        if handlers[i].is_finished() {
+            let _ = handlers.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
 fn handle_conn(
     stream: TcpStream,
     system: &PredictDdl,
     served: &AtomicU64,
 ) -> std::io::Result<()> {
+    let m = metrics();
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
@@ -109,6 +177,25 @@ fn handle_conn(
         if line.trim().is_empty() {
             continue;
         }
+        let t0 = Instant::now();
+        // Control ops first: `{"op":"stats"}` has no overlap with the
+        // prediction-request schema.
+        if let Ok(op) = serde_json::from_str::<ControlOp>(&line) {
+            match op {
+                ControlOp::Stats => {
+                    m.stats_requests.inc();
+                    let mut out = format!(
+                        "{{\"status\":\"stats\",\"snapshot\":{}}}",
+                        pddl_telemetry::snapshot().to_json()
+                    );
+                    out.push('\n');
+                    writer.write_all(out.as_bytes())?;
+                    writer.flush()?;
+                }
+            }
+            continue;
+        }
+        m.requests_total.inc();
         let response = match serde_json::from_str::<PredictionRequest>(&line) {
             Ok(req) => match system.predict(&req) {
                 Ok(prediction) => WireResponse::Ok { prediction },
@@ -123,8 +210,45 @@ fn handle_conn(
         out.push('\n');
         writer.write_all(out.as_bytes())?;
         writer.flush()?;
+        let elapsed = t0.elapsed();
+        m.request_latency.record_duration(elapsed);
+        match &response {
+            WireResponse::Ok { .. } => {
+                m.requests_ok.inc();
+                tlog!(
+                    Level::Debug,
+                    "controller.request",
+                    "served",
+                    latency_us = elapsed.as_micros() as u64,
+                );
+            }
+            WireResponse::Err { error } => {
+                m.requests_err.inc();
+                tlog!(
+                    Level::Warn,
+                    "controller.request",
+                    "request failed",
+                    error = error.to_string(),
+                    latency_us = elapsed.as_micros() as u64,
+                );
+            }
+        }
     }
     Ok(())
+}
+
+/// Client-side metric handles.
+struct ClientMetrics {
+    requests: &'static Counter,
+    timeouts: &'static Counter,
+}
+
+fn client_metrics() -> &'static ClientMetrics {
+    static METRICS: OnceLock<ClientMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ClientMetrics {
+        requests: pddl_telemetry::counter("controller_client.requests"),
+        timeouts: pddl_telemetry::counter("controller_client.timeouts"),
+    })
 }
 
 /// Blocking client for the controller protocol.
@@ -134,8 +258,27 @@ pub struct ControllerClient {
 }
 
 impl ControllerClient {
+    /// Connects without timeouts: a dead or stalled server blocks
+    /// indefinitely. Prefer [`Self::connect_with_timeout`] for anything
+    /// beyond tests on localhost.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects with `timeout` applied to the TCP connect and to every
+    /// subsequent read and write. Timed-out requests surface as
+    /// `TimedOut`/`WouldBlock` errors and are counted in the
+    /// `controller_client.timeouts` counter.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout).inspect_err(|_| {
+            client_metrics().timeouts.inc();
+        })?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Self::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
         let writer = stream.try_clone()?;
         Ok(Self { writer, reader: BufReader::new(stream) })
     }
@@ -145,22 +288,55 @@ impl ControllerClient {
         &mut self,
         req: &PredictionRequest,
     ) -> std::io::Result<Result<Prediction, RequestError>> {
-        let mut line = serde_json::to_string(req)?;
-        line.push('\n');
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.flush()?;
-        let mut resp = String::new();
-        self.reader.read_line(&mut resp)?;
-        if resp.is_empty() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "controller closed connection",
-            ));
-        }
+        let line = serde_json::to_string(req)?;
+        let resp = self.round_trip(&line)?;
         let wire: WireResponse = serde_json::from_str(resp.trim_end())?;
         Ok(match wire {
             WireResponse::Ok { prediction } => Ok(prediction),
             WireResponse::Err { error } => Err(error),
         })
     }
+
+    /// Requests a live telemetry snapshot from the controller
+    /// (`{"op":"stats"}` on the wire).
+    pub fn stats(&mut self) -> std::io::Result<Snapshot> {
+        let resp = self.round_trip("{\"op\":\"stats\"}")?;
+        let doc = pddl_telemetry::JsonValue::parse(resp.trim_end())
+            .map_err(invalid_data)?;
+        if doc.get("status").and_then(|s| s.as_str()) != Some("stats") {
+            return Err(invalid_data("response is not a stats payload".to_string()));
+        }
+        let snapshot = doc.get("snapshot").ok_or_else(|| {
+            invalid_data("stats response missing 'snapshot'".to_string())
+        })?;
+        Snapshot::from_value(snapshot).map_err(invalid_data)
+    }
+
+    /// Writes one line, reads one line; counts requests and timeouts.
+    fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+        let m = client_metrics();
+        m.requests.inc();
+        let io = |e: std::io::Error| {
+            if matches!(e.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock) {
+                m.timeouts.inc();
+            }
+            e
+        };
+        self.writer.write_all(line.as_bytes()).map_err(io)?;
+        self.writer.write_all(b"\n").map_err(io)?;
+        self.writer.flush().map_err(io)?;
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).map_err(io)?;
+        if resp.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "controller closed connection",
+            ));
+        }
+        Ok(resp)
+    }
+}
+
+fn invalid_data(e: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e)
 }

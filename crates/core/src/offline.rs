@@ -16,9 +16,28 @@ use pddl_ddlsim::{generate_trace, TraceConfig, TraceRecord, Workload};
 use pddl_ghn::GhnConfig;
 use pddl_ghn::train::TrainConfig;
 use pddl_regress::{Kernel, Regression};
+use pddl_telemetry::{tlog, Counter, Histogram, Level, Span};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::Instant;
+
+/// Inference-path metric handles, resolved once (the predict path stays
+/// lock-free).
+struct InferenceMetrics {
+    predictions: &'static Counter,
+    embed_latency: &'static Histogram,
+    regress_latency: &'static Histogram,
+}
+
+fn inference_metrics() -> &'static InferenceMetrics {
+    static METRICS: OnceLock<InferenceMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| InferenceMetrics {
+        predictions: pddl_telemetry::counter("inference.predictions"),
+        embed_latency: pddl_telemetry::histogram("inference.embed_latency"),
+        regress_latency: pddl_telemetry::histogram("inference.regress_latency"),
+    })
+}
 
 /// Serializable choice of regression model (the `Regression` enum itself
 /// holds fitted state and is not `Clone`).
@@ -116,6 +135,7 @@ impl OfflineTrainer {
     ) -> PredictDdl {
         assert!(!records.is_empty(), "empty training trace");
         let t0 = Instant::now();
+        let ghn_span = Span::enter("offline.train_ghn");
         let mut datasets: Vec<String> = records
             .iter()
             .map(|r| r.workload.dataset.to_ascii_lowercase())
@@ -129,10 +149,12 @@ impl OfflineTrainer {
                     .unwrap_or_else(|e| panic!("GHN training failed for {ds}: {e}"));
             }
         }
+        ghn_span.exit();
         let ghn_secs = t0.elapsed().as_secs_f64();
 
         // Embed each distinct (model, dataset) once.
         let t1 = Instant::now();
+        let embed_span = Span::enter("offline.embed_trace");
         let mut embeddings = EmbeddingsGenerator::new();
         let mut cache: HashMap<(String, String), Vec<f32>> = HashMap::new();
         for r in records {
@@ -148,10 +170,12 @@ impl OfflineTrainer {
                 slot.insert(emb);
             }
         }
+        embed_span.exit();
         let embed_secs = t1.elapsed().as_secs_f64();
 
         // Assemble engine samples and fit the regression.
         let t2 = Instant::now();
+        let fit_span = Span::enter("offline.fit_regressor");
         let samples: Vec<EngineSample> = records
             .iter()
             .map(|r| {
@@ -171,7 +195,18 @@ impl OfflineTrainer {
             log_target: self.log_target,
         });
         engine.fit(&samples);
+        fit_span.exit();
         let fit_secs = t2.elapsed().as_secs_f64();
+        tlog!(
+            Level::Info,
+            "offline",
+            "trained",
+            datasets = datasets.len(),
+            samples = samples.len(),
+            ghn_secs = ghn_secs,
+            embed_secs = embed_secs,
+            fit_secs = fit_secs,
+        );
 
         PredictDdl {
             registry,
@@ -265,11 +300,15 @@ impl PredictDdl {
                 return Err(RequestError::NeedsOfflineTraining { dataset })
             }
         };
+        let m = inference_metrics();
         let t0 = Instant::now();
+        let embed_timer = m.embed_latency.start_timer();
         let embedding = self
             .embeddings
             .embed(&self.registry, &req.dataset, &graph)
             .expect("registry checked by TaskChecker");
+        embed_timer.observe();
+        let regress_timer = m.regress_latency.start_timer();
         let seconds = self.engine.predict(
             &embedding,
             &req.cluster,
@@ -277,6 +316,8 @@ impl PredictDdl {
             req.epochs,
             &req.dataset,
         );
+        regress_timer.observe();
+        m.predictions.inc();
         let nearest = self.embeddings.nearest(&req.dataset, &embedding);
         Ok(Prediction {
             seconds,

@@ -6,8 +6,30 @@ use crate::workload::Workload;
 use pddl_cluster::equations::available_flops;
 use pddl_cluster::{ClusterState, ServerStatus};
 use pddl_tensor::Rng;
+use pddl_telemetry::{Counter, Histogram};
 use pddl_zoo::ModelSpec;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Simulator metric handles, resolved once. The simulator is the trace
+/// generator's hot loop (run under rayon), so everything here must stay
+/// lock-free: counters and the latency histogram are relaxed atomics.
+struct Metrics {
+    simulations: &'static Counter,
+    iterations_simulated: &'static Counter,
+    oom_rejections: &'static Counter,
+    simulate_latency: &'static Histogram,
+}
+
+fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| Metrics {
+        simulations: pddl_telemetry::counter("ddlsim.simulations"),
+        iterations_simulated: pddl_telemetry::counter("ddlsim.iterations_simulated"),
+        oom_rejections: pddl_telemetry::counter("ddlsim.oom_rejections"),
+        simulate_latency: pddl_telemetry::histogram("ddlsim.simulate_latency"),
+    })
+}
 
 /// Simulator parameters (the "physics" of the synthetic testbed).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -107,12 +129,18 @@ impl Simulator {
         ds: &pddl_zoo::DatasetDesc,
         cluster: &ClusterState,
     ) -> Result<f64, SimError> {
+        let m = metrics();
+        let timer = m.simulate_latency.start_timer();
         let n = cluster.num_servers();
         if n == 0 {
             return Err(SimError::EmptyCluster);
         }
         let batch_per_worker = w.batch_size.max(1);
-        self.check_memory(spec, batch_per_worker, ds, cluster)?;
+        self.check_memory(spec, batch_per_worker, ds, cluster).inspect_err(|e| {
+            if matches!(e, SimError::OutOfMemory { .. }) {
+                m.oom_rejections.inc();
+            }
+        })?;
 
         // Straggler: iteration time is gated by the slowest worker.
         let mut worst_compute = 0.0f64;
@@ -140,6 +168,9 @@ impl Simulator {
         let t_iter = worst_compute.max(load) + exposed_comm;
         let global_batch = batch_per_worker * n;
         let iters_per_epoch = ds.num_examples.div_ceil(global_batch);
+        m.simulations.inc();
+        m.iterations_simulated.add((w.epochs * iters_per_epoch) as u64);
+        timer.observe();
         Ok(w.epochs as f64 * iters_per_epoch as f64 * t_iter + startup_secs(n))
     }
 

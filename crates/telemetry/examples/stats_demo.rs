@@ -1,0 +1,58 @@
+//! Demonstrates the full telemetry surface: counters, gauges, histograms,
+//! spans, `PDDL_LOG`-filtered structured logging, and the JSON snapshot
+//! round-trip. Run with e.g.
+//!
+//! ```sh
+//! PDDL_LOG=info,demo.inner=debug cargo run -p pddl-telemetry --example stats_demo
+//! ```
+
+use pddl_telemetry::{tlog, Level, Snapshot, Span};
+use std::time::Duration;
+
+fn main() {
+    // Counters and gauges: cached &'static handles, atomic updates.
+    let requests = pddl_telemetry::counter("demo.requests");
+    let active = pddl_telemetry::gauge("demo.active");
+    for _ in 0..128 {
+        requests.inc();
+    }
+    active.set(3);
+
+    // Histogram with a known distribution so the printed quantiles can be
+    // eyeballed: 1..=1000 microseconds-ish values.
+    let hist = pddl_telemetry::histogram("demo.latency");
+    for v in 1..=1000u64 {
+        hist.record(v);
+    }
+
+    // Spans record wall time into a histogram named after the span and
+    // emit a debug-level log line when the filter allows it.
+    for _ in 0..3 {
+        let span = Span::enter("demo.inner");
+        std::thread::sleep(Duration::from_millis(2));
+        span.exit();
+    }
+
+    tlog!(
+        Level::Info,
+        "demo",
+        "workload done",
+        requests = requests.get(),
+        active = active.get()
+    );
+
+    // Export, then parse our own export back (the same path
+    // `ControllerClient::stats()` uses on the wire).
+    let json = pddl_telemetry::snapshot_json();
+    let parsed = Snapshot::from_json(&json).expect("snapshot json round-trips");
+    assert_eq!(parsed.counter("demo.requests"), Some(128));
+    assert_eq!(parsed.gauge("demo.active"), Some(3));
+    let lat = parsed.histogram("demo.latency").expect("histogram present");
+    assert_eq!(lat.count, 1000);
+    assert!(lat.p50 <= lat.p95 && lat.p95 <= lat.p99);
+    println!("{json}");
+    eprintln!(
+        "demo.latency: count={} min={} max={} p50={:.0} p95={:.0} p99={:.0}",
+        lat.count, lat.min, lat.max, lat.p50, lat.p95, lat.p99
+    );
+}

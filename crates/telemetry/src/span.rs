@@ -1,0 +1,85 @@
+//! Lightweight timing spans. A span measures the wall-clock between its
+//! creation and drop, records it into a histogram of the same name, and
+//! (when `PDDL_LOG` enables debug for the span's target) emits a
+//! structured completion line.
+
+use crate::metrics::Histogram;
+use crate::{histogram, tlog, Level};
+use std::time::Instant;
+
+/// An in-flight timing span.
+///
+/// ```
+/// # use pddl_telemetry::Span;
+/// {
+///     let _span = Span::enter("doc.example");
+///     // ... timed work ...
+/// } // records into histogram "doc.example" here
+/// assert!(pddl_telemetry::snapshot().histogram("doc.example").unwrap().count >= 1);
+/// ```
+pub struct Span {
+    hist: &'static Histogram,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span recording into the global histogram `name`. Resolves
+    /// the handle through the registry — for hot loops prefer [`Span::on`]
+    /// with a cached handle, which is lock-free.
+    pub fn enter(name: &'static str) -> Span {
+        Span::on(histogram(name), name)
+    }
+
+    /// Opens a span on a pre-resolved histogram handle (lock-free).
+    pub fn on(hist: &'static Histogram, name: &'static str) -> Span {
+        Span { hist, name, start: Instant::now() }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Ends the span now, recording its duration (same as dropping it).
+    pub fn exit(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.hist.record_duration(elapsed);
+        tlog!(
+            Level::Debug,
+            self.name,
+            "span",
+            elapsed_us = elapsed.as_micros() as u64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_named_histogram() {
+        {
+            let _s = Span::enter("test.span_records");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = crate::snapshot();
+        let h = snap.histogram("test.span_records").expect("histogram registered");
+        assert!(h.count >= 1);
+        assert!(h.max >= 1_000_000, "recorded ns, got max {}", h.max);
+    }
+
+    #[test]
+    fn span_on_cached_handle_is_equivalent() {
+        let h = crate::histogram("test.span_on");
+        {
+            let _s = Span::on(h, "test.span_on");
+        }
+        assert!(h.count() >= 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! parking_lot stub over std::sync primitives (poison panics instead of
+//! being recoverable — fine for compile checks and tests).
+
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -1,0 +1,3 @@
+//! Empty proptest stub: present so dependency resolution succeeds offline.
+//! Targets that use `proptest!` are excluded from offline compile checks
+//! (see scripts/offline_check.sh).

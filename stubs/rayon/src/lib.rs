@@ -1,0 +1,75 @@
+//! Sequential rayon stub: `par_*` methods return ordinary std iterators,
+//! which provide the same adapter surface (`map`, `filter_map`, `collect`,
+//! `min_by`, `enumerate`, `for_each`, ...).
+
+pub mod prelude {
+    pub trait IntoParallelRefIterator<'data> {
+        type Item;
+        fn par_iter(&'data self) -> std::slice::Iter<'data, Self::Item>;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> std::slice::Iter<'data, T> {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> std::slice::Iter<'data, T> {
+            self.iter()
+        }
+    }
+
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item;
+        fn par_iter_mut(&'data mut self) -> std::slice::IterMut<'data, Self::Item>;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter_mut(&'data mut self) -> std::slice::IterMut<'data, T> {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&'data mut self) -> std::slice::IterMut<'data, T> {
+            self.iter_mut()
+        }
+    }
+
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    pub trait IntoParallelIterator {
+        type IntoIter;
+        fn into_par_iter(self) -> Self::IntoIter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type IntoIter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+}

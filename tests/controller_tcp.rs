@@ -72,6 +72,66 @@ fn error_propagates_over_wire() {
 }
 
 #[test]
+fn stats_op_reflects_served_requests() {
+    // The telemetry registry is process-global, so other tests running in
+    // this binary contribute too: assert deltas with >=, never exact counts.
+    let controller = serve_tiny();
+    let mut client =
+        ControllerClient::connect_with_timeout(controller.addr(), std::time::Duration::from_secs(10))
+            .unwrap();
+
+    let before = client.stats().unwrap();
+    let ok_before = before.counter("controller.requests_ok").unwrap_or(0);
+    let err_before = before.counter("controller.requests_err").unwrap_or(0);
+
+    for _ in 0..3 {
+        let req = PredictionRequest::zoo(
+            Workload::new("resnet18", "cifar10", 128, 2),
+            ClusterState::homogeneous(ServerClass::GpuP100, 2),
+        );
+        client.predict(&req).unwrap().unwrap();
+    }
+    let bad = PredictionRequest::zoo(
+        Workload::new("resnet18", "tiny-imagenet", 128, 2), // no GHN in tiny trace
+        ClusterState::homogeneous(ServerClass::GpuP100, 2),
+    );
+    assert!(client.predict(&bad).unwrap().is_err());
+
+    let after = client.stats().unwrap();
+    let ok_after = after.counter("controller.requests_ok").unwrap();
+    let err_after = after.counter("controller.requests_err").unwrap();
+    assert!(ok_after >= ok_before + 3, "ok: {ok_before} -> {ok_after}");
+    assert!(err_after > err_before, "err: {err_before} -> {err_after}");
+    assert!(ok_after > 0);
+
+    let latency = after.histogram("controller.request_latency").unwrap();
+    assert!(latency.count >= 4);
+    assert!(latency.p50 <= latency.p95, "{latency:?}");
+    assert!(latency.p95 <= latency.p99, "{latency:?}");
+    assert!(latency.min <= latency.max, "{latency:?}");
+
+    // The live-connection gauge counts at least this client's connection.
+    assert!(after.gauge("controller.active_connections").unwrap_or(0) >= 1);
+}
+
+#[test]
+fn stats_op_over_raw_wire() {
+    use std::io::{BufRead, BufReader, Write};
+    let controller = serve_tiny();
+    let stream = std::net::TcpStream::connect(controller.addr()).unwrap();
+    let mut w = stream.try_clone().unwrap();
+    w.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+    w.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"status\":\"stats\""), "{line}");
+    assert!(line.contains("\"snapshot\""), "{line}");
+    // Stats requests are not prediction requests and must not count as one.
+    assert_eq!(controller.requests_served(), 0);
+}
+
+#[test]
 fn malformed_line_gets_typed_error() {
     use std::io::{BufRead, BufReader, Write};
     let controller = serve_tiny();
