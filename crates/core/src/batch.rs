@@ -26,13 +26,16 @@ use std::time::Instant;
 /// A batch prediction job: several workloads targeting one cluster.
 #[derive(Clone, Debug)]
 pub struct BatchJob {
+    /// The workloads submitted together.
     pub workloads: Vec<Workload>,
+    /// The shared target cluster.
     pub cluster: ClusterState,
 }
 
 /// Result of running a batch both ways.
 #[derive(Clone, Debug)]
 pub struct BatchComparison {
+    /// Number of workloads in the batch.
     pub batch_size: usize,
     /// PredictDDL one-time training cost (wall-clock seconds), including
     /// GHN meta-training.
@@ -53,10 +56,12 @@ pub struct BatchComparison {
 }
 
 impl BatchComparison {
+    /// PredictDDL total cost: one-time training plus batch inference.
     pub fn pddl_total(&self) -> f64 {
         self.pddl_train_secs + self.pddl_infer_secs
     }
 
+    /// Ernest total cost: per-workload data collection plus fitting.
     pub fn ernest_total(&self) -> f64 {
         self.ernest_collect_secs + self.ernest_fit_secs
     }
@@ -77,56 +82,89 @@ impl BatchComparison {
 /// Number of training runs Ernest's experiment design selects per workload.
 const ERNEST_DESIGN_RUNS: usize = 7;
 
-/// Runs one batch job through a trained PredictDDL system and through
-/// per-workload Ernest (collection simulated, fitting measured).
-pub fn compare_batch(
+/// Per-workload cost breakdown — the unit of work both the serial and the
+/// pooled batch paths compute, then reduce in workload order so the two
+/// paths produce identical [`BatchComparison`]s.
+struct WorkloadCosts {
+    /// (PredictDDL, Ernest) predicted seconds.
+    predictions: (f64, f64),
+    /// Measured PredictDDL embed+regress wall-clock.
+    pddl_infer_secs: f64,
+    /// Ernest simulated data-collection seconds.
+    ernest_collect_secs: f64,
+    /// Ernest measured fit+predict wall-clock.
+    ernest_fit_secs: f64,
+}
+
+/// Runs one workload of a batch job through both predictors.
+fn compare_one(
     system: &PredictDdl,
     sim: &Simulator,
+    cluster: &ClusterState,
+    w: &Workload,
+) -> Result<WorkloadCosts, RequestError> {
+    // --- PredictDDL: embed + regress (measured wall-clock). ---
+    let t0 = Instant::now();
+    let pred = system.predict_workload(w, cluster)?;
+    let pddl_infer_secs = t0.elapsed().as_secs_f64();
+
+    // --- Ernest: design runs → collect (simulated) → fit → predict. ---
+    let mut ernest_collect = 0.0f64;
+    let candidates = default_candidates(8);
+    let picks = greedy_a_optimal(&candidates, ERNEST_DESIGN_RUNS);
+    let mut samples = Vec::with_capacity(picks.len());
+    for &i in &picks {
+        let c = candidates[i];
+        let probe_cluster = homogeneous_like(cluster, c.machines);
+        // One-epoch run on a `scale` fraction of the data.
+        let mut probe = w.clone();
+        probe.epochs = 1;
+        let full = sim
+            .expected_time(&probe, &probe_cluster)
+            .map_err(|e| RequestError::InvalidParams(e.to_string()))?;
+        let run_secs = full * c.scale;
+        ernest_collect += run_secs;
+        samples.push(ErnestSample {
+            scale: c.scale,
+            machines: c.machines,
+            time_secs: run_secs,
+        });
+    }
+    let t1 = Instant::now();
+    let model = ErnestModel::fit(&samples);
+    // Extrapolate to the full job: full scale × epochs on the target
+    // cluster size (Ernest's per-iteration model scales linearly in
+    // epochs).
+    let ernest_pred = model.predict(1.0, cluster.num_servers()) * w.epochs as f64;
+    let ernest_fit_secs = t1.elapsed().as_secs_f64();
+
+    Ok(WorkloadCosts {
+        predictions: (pred.seconds, ernest_pred),
+        pddl_infer_secs,
+        ernest_collect_secs: ernest_collect,
+        ernest_fit_secs,
+    })
+}
+
+/// Reduces per-workload costs in workload order (fixed floating-point
+/// grouping, so serial and pooled paths agree bit-for-bit on the
+/// deterministic fields).
+fn reduce(
+    system: &PredictDdl,
     job: &BatchJob,
+    per_workload: Vec<Result<WorkloadCosts, RequestError>>,
 ) -> Result<BatchComparison, RequestError> {
     let mut pddl_infer = 0.0f64;
     let mut ernest_collect = 0.0f64;
     let mut ernest_fit = 0.0f64;
-    let mut predictions = Vec::with_capacity(job.workloads.len());
-
-    for w in &job.workloads {
-        // --- PredictDDL: embed + regress (measured wall-clock). ---
-        let t0 = Instant::now();
-        let pred = system.predict_workload(w, &job.cluster)?;
-        pddl_infer += t0.elapsed().as_secs_f64();
-
-        // --- Ernest: design runs → collect (simulated) → fit → predict. ---
-        let candidates = default_candidates(8);
-        let picks = greedy_a_optimal(&candidates, ERNEST_DESIGN_RUNS);
-        let mut samples = Vec::with_capacity(picks.len());
-        for &i in &picks {
-            let c = candidates[i];
-            let cluster = homogeneous_like(&job.cluster, c.machines);
-            // One-epoch run on a `scale` fraction of the data.
-            let mut probe = w.clone();
-            probe.epochs = 1;
-            let full = sim
-                .expected_time(&probe, &cluster)
-                .map_err(|e| RequestError::InvalidParams(e.to_string()))?;
-            let run_secs = full * c.scale;
-            ernest_collect += run_secs;
-            samples.push(ErnestSample {
-                scale: c.scale,
-                machines: c.machines,
-                time_secs: run_secs,
-            });
-        }
-        let t1 = Instant::now();
-        let model = ErnestModel::fit(&samples);
-        // Extrapolate to the full job: full scale × epochs on the target
-        // cluster size (Ernest's per-iteration model scales linearly in
-        // epochs).
-        let ernest_pred =
-            model.predict(1.0, job.cluster.num_servers()) * w.epochs as f64;
-        ernest_fit += t1.elapsed().as_secs_f64();
-        predictions.push((pred.seconds, ernest_pred));
+    let mut predictions = Vec::with_capacity(per_workload.len());
+    for costs in per_workload {
+        let c = costs?;
+        pddl_infer += c.pddl_infer_secs;
+        ernest_collect += c.ernest_collect_secs;
+        ernest_fit += c.ernest_fit_secs;
+        predictions.push(c.predictions);
     }
-
     Ok(BatchComparison {
         batch_size: job.workloads.len(),
         pddl_train_secs: system.train_cost.total(),
@@ -136,6 +174,41 @@ pub fn compare_batch(
         ernest_fit_secs: ernest_fit,
         predictions,
     })
+}
+
+/// Runs one batch job through a trained PredictDDL system and through
+/// per-workload Ernest (collection simulated, fitting measured), fanning
+/// the per-workload work out across the global work pool.
+///
+/// The `predictions` and `ernest_collect_secs` fields are deterministic
+/// and bit-identical to [`compare_batch_serial`]; the measured wall-clock
+/// fields (`pddl_infer_secs`, `ernest_fit_secs`) are timings and vary run
+/// to run on either path.
+pub fn compare_batch(
+    system: &PredictDdl,
+    sim: &Simulator,
+    job: &BatchJob,
+) -> Result<BatchComparison, RequestError> {
+    let per_workload = pddl_par::par_map(&job.workloads, |w| {
+        compare_one(system, sim, &job.cluster, w)
+    });
+    reduce(system, job, per_workload)
+}
+
+/// Single-threaded reference implementation of [`compare_batch`] — the
+/// baseline the pooled path is benchmarked (and determinism-tested)
+/// against.
+pub fn compare_batch_serial(
+    system: &PredictDdl,
+    sim: &Simulator,
+    job: &BatchJob,
+) -> Result<BatchComparison, RequestError> {
+    let per_workload = job
+        .workloads
+        .iter()
+        .map(|w| compare_one(system, sim, &job.cluster, w))
+        .collect();
+    reduce(system, job, per_workload)
 }
 
 /// A cluster of the same server class as `like`, resized to `n`.
@@ -201,6 +274,39 @@ mod tests {
             large.speedup(),
             small.speedup()
         );
+    }
+
+    #[test]
+    fn pooled_batch_matches_serial_bit_for_bit() {
+        // Determinism contract: the pooled path must produce byte-identical
+        // predictions and simulated collection time to the serial reference
+        // — only the measured wall-clock fields may differ.
+        let system = OfflineTrainer::tiny().train_full();
+        let sim = Simulator::new(SimConfig::default());
+        let job = batch(&[
+            "resnet18",
+            "vgg16",
+            "squeezenet1_1",
+            "alexnet",
+            "resnet18", // repeated architecture exercises the embedding cache
+            "vgg16",
+        ]);
+        let pooled = compare_batch(&system, &sim, &job).unwrap();
+        let serial = compare_batch_serial(&system, &sim, &job).unwrap();
+        assert_eq!(pooled.batch_size, serial.batch_size);
+        assert_eq!(
+            pooled.ernest_collect_secs.to_bits(),
+            serial.ernest_collect_secs.to_bits(),
+            "simulated collection seconds must be deterministic"
+        );
+        assert_eq!(pooled.predictions.len(), serial.predictions.len());
+        for (i, (p, s)) in pooled.predictions.iter().zip(&serial.predictions).enumerate() {
+            assert_eq!(
+                (p.0.to_bits(), p.1.to_bits()),
+                (s.0.to_bits(), s.1.to_bits()),
+                "workload {i}: pooled and serial predictions diverged"
+            );
+        }
     }
 
     #[test]

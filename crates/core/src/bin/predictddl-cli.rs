@@ -31,6 +31,10 @@ fn main() -> ExitCode {
     };
     let flags = parse_flags(rest);
     let result = match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
         "train" => cmd_train(&flags),
         "predict" => cmd_predict(&flags),
         "serve" => cmd_serve(&flags),
@@ -60,6 +64,7 @@ const USAGE: &str = "usage:
   predictddl-cli serve   --system <file> [--addr 127.0.0.1:7077]
   predictddl-cli stats   [--addr 127.0.0.1:7077] [--timeout-ms 5000]
   predictddl-cli models
+  predictddl-cli help | --help | -h
 options:
   --metrics-dump   print the local telemetry snapshot (JSON) to stderr on exit
   PDDL_LOG=<spec>  structured JSON logs, e.g. PDDL_LOG=info,controller=debug";
@@ -176,7 +181,10 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let addr = flags.get("addr").map_or("127.0.0.1:7077", |s| s.as_str());
     let controller = Controller::serve(addr, system).map_err(|e| e.to_string())?;
     println!("PredictDDL controller listening on {}", controller.addr());
-    println!("protocol: one JSON PredictionRequest per line; Ctrl-C to stop");
+    println!(
+        "protocol: one JSON PredictionRequest per line (a JSON array is a \
+         pooled batch); {{\"op\":\"stats\"}} for metrics; Ctrl-C to stop"
+    );
     install_shutdown_handler();
     while !SHUTDOWN.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(200));

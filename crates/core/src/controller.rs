@@ -4,10 +4,13 @@
 //!
 //! The Listener speaks newline-delimited JSON over TCP — the same framing
 //! as the Cluster Resource Collector. Each connection may send any number
-//! of requests and receives one response line per request. Besides
-//! prediction requests, the wire protocol carries one control op:
-//! `{"op":"stats"}` returns a live JSON snapshot of the telemetry registry
-//! (see the README's "Observability" section for the metric catalogue).
+//! of requests and receives one response line per request. A line holding
+//! a JSON *array* of prediction requests is a batch: the controller fans
+//! the batch out across the [`pddl_par`] work pool and answers with one
+//! JSON array of responses in request order. Besides prediction requests,
+//! the wire protocol carries one control op: `{"op":"stats"}` returns a
+//! live JSON snapshot of the telemetry registry (see the README's
+//! "Observability" section for the metric catalogue).
 
 use crate::offline::PredictDdl;
 use crate::request::{Prediction, PredictionRequest, RequestError};
@@ -24,8 +27,16 @@ use std::time::{Duration, Instant};
 #[derive(Clone, Debug, Serialize, Deserialize)]
 #[serde(tag = "status", rename_all = "snake_case")]
 pub enum WireResponse {
-    Ok { prediction: Prediction },
-    Err { error: RequestError },
+    /// Successful prediction.
+    Ok {
+        /// The prediction payload.
+        prediction: Prediction,
+    },
+    /// Rejected or failed request.
+    Err {
+        /// Why the request failed.
+        error: RequestError,
+    },
 }
 
 /// Control operations multiplexed onto the request stream. Tried before
@@ -46,6 +57,7 @@ struct Metrics {
     requests_ok: &'static Counter,
     requests_err: &'static Counter,
     stats_requests: &'static Counter,
+    batch_requests: &'static Counter,
     connections_total: &'static Counter,
     active_connections: &'static Gauge,
     request_latency: &'static Histogram,
@@ -58,6 +70,7 @@ fn metrics() -> &'static Metrics {
         requests_ok: pddl_telemetry::counter("controller.requests_ok"),
         requests_err: pddl_telemetry::counter("controller.requests_err"),
         stats_requests: pddl_telemetry::counter("controller.stats_requests"),
+        batch_requests: pddl_telemetry::counter("controller.batch_requests"),
         connections_total: pddl_telemetry::counter("controller.connections_total"),
         active_connections: pddl_telemetry::gauge("controller.active_connections"),
         request_latency: pddl_telemetry::histogram("controller.request_latency"),
@@ -133,6 +146,7 @@ impl Controller {
         })
     }
 
+    /// The address the listener is bound to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
@@ -188,6 +202,61 @@ fn handle_conn(
                         "{{\"status\":\"stats\",\"snapshot\":{}}}",
                         pddl_telemetry::snapshot().to_json()
                     );
+                    out.push('\n');
+                    writer.write_all(out.as_bytes())?;
+                    writer.flush()?;
+                }
+            }
+            continue;
+        }
+        // Batch requests: a JSON *array* of prediction requests. The
+        // per-request work fans out across the work pool via
+        // [`PredictDdl::predict_many`]; the response is one JSON array of
+        // wire responses, in request order.
+        if line.trim_start().starts_with('[') {
+            match serde_json::from_str::<Vec<PredictionRequest>>(&line) {
+                Ok(reqs) => {
+                    m.batch_requests.inc();
+                    m.requests_total.add(reqs.len() as u64);
+                    let results = system.predict_many(&reqs);
+                    let responses: Vec<WireResponse> = results
+                        .into_iter()
+                        .map(|r| match r {
+                            Ok(prediction) => {
+                                m.requests_ok.inc();
+                                WireResponse::Ok { prediction }
+                            }
+                            Err(error) => {
+                                m.requests_err.inc();
+                                WireResponse::Err { error }
+                            }
+                        })
+                        .collect();
+                    served.fetch_add(responses.len() as u64, Ordering::Relaxed);
+                    let mut out = serde_json::to_string(&responses)?;
+                    out.push('\n');
+                    writer.write_all(out.as_bytes())?;
+                    writer.flush()?;
+                    let elapsed = t0.elapsed();
+                    m.request_latency.record_duration(elapsed);
+                    tlog!(
+                        Level::Debug,
+                        "controller.request",
+                        "served batch",
+                        batch_size = responses.len() as u64,
+                        latency_us = elapsed.as_micros() as u64,
+                    );
+                }
+                Err(e) => {
+                    m.requests_total.inc();
+                    m.requests_err.inc();
+                    served.fetch_add(1, Ordering::Relaxed);
+                    let response = WireResponse::Err {
+                        error: RequestError::InvalidParams(format!(
+                            "malformed batch request: {e}"
+                        )),
+                    };
+                    let mut out = serde_json::to_string(&response)?;
                     out.push('\n');
                     writer.write_all(out.as_bytes())?;
                     writer.flush()?;
@@ -295,6 +364,25 @@ impl ControllerClient {
             WireResponse::Ok { prediction } => Ok(prediction),
             WireResponse::Err { error } => Err(error),
         })
+    }
+
+    /// Sends a batch of requests as one JSON-array line and waits for the
+    /// JSON array of per-request responses (request order is preserved).
+    /// Server-side the batch fans out across the work pool.
+    pub fn predict_batch(
+        &mut self,
+        reqs: &[PredictionRequest],
+    ) -> std::io::Result<Vec<Result<Prediction, RequestError>>> {
+        let line = serde_json::to_string(&reqs.to_vec())?;
+        let resp = self.round_trip(&line)?;
+        let wire: Vec<WireResponse> = serde_json::from_str(resp.trim_end())?;
+        Ok(wire
+            .into_iter()
+            .map(|w| match w {
+                WireResponse::Ok { prediction } => Ok(prediction),
+                WireResponse::Err { error } => Err(error),
+            })
+            .collect())
     }
 
     /// Requests a live telemetry snapshot from the controller

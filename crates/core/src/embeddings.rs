@@ -3,13 +3,18 @@
 //! Selects the GHN matching the request's dataset, feeds it the workload's
 //! computational graph, and returns the fixed-size complexity vector. Also
 //! maintains the per-dataset embedding atlas used for cosine closest-match
-//! queries (Fig. 5).
+//! queries (Fig. 5), and the sharded [`EmbeddingCache`] that amortizes the
+//! GHN forward pass across repeated workloads ("train once, reuse
+//! everywhere" applied to the embedding itself).
 
 use crate::registry::GhnRegistry;
 use pddl_ghn::EmbeddingSet;
 use pddl_graph::CompGraph;
+use pddl_telemetry::{Counter, Gauge};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The embeddings generator: GHN registry + per-dataset embedding atlas.
 #[derive(Serialize, Deserialize)]
@@ -24,6 +29,7 @@ impl Default for EmbeddingsGenerator {
 }
 
 impl EmbeddingsGenerator {
+    /// Creates an empty generator with no recorded embeddings.
     pub fn new() -> Self {
         Self { atlas: HashMap::new() }
     }
@@ -50,11 +56,18 @@ impl EmbeddingsGenerator {
         graph: &CompGraph,
     ) -> Option<Vec<f32>> {
         let v = self.embed(registry, dataset, graph)?;
+        self.record(dataset, &graph.name, v.clone());
+        Some(v)
+    }
+
+    /// Records an externally computed embedding in the dataset's atlas —
+    /// the insertion half of [`Self::embed_and_record`], used when the
+    /// embeddings themselves were computed on the work pool.
+    pub fn record(&mut self, dataset: &str, name: &str, v: Vec<f32>) {
         self.atlas
             .entry(dataset.to_ascii_lowercase())
             .or_default()
-            .insert(graph.name.clone(), v.clone());
-        Some(v)
+            .insert(name.to_string(), v);
     }
 
     /// Nearest known architecture to a query embedding, per dataset.
@@ -70,6 +83,207 @@ impl EmbeddingsGenerator {
         self.atlas
             .get(&dataset.to_ascii_lowercase())
             .map_or(0, |s| s.len())
+    }
+}
+
+/// Default total capacity of the service-level embedding cache. Embeddings
+/// are ≤ 64 floats, so even the full zoo × both datasets fits in a few
+/// hundred KB; the default leaves ample headroom for custom graphs.
+pub const DEFAULT_EMBED_CACHE_CAPACITY: usize = 1024;
+
+/// Global telemetry handles for the embedding cache (shared by every cache
+/// instance in the process; per-instance numbers live in [`CacheStats`]).
+struct CacheMetrics {
+    hits: &'static Counter,
+    misses: &'static Counter,
+    evictions: &'static Counter,
+    ghn_embeds: &'static Counter,
+    entries: &'static Gauge,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CacheMetrics {
+        hits: pddl_telemetry::counter("embed_cache.hits"),
+        misses: pddl_telemetry::counter("embed_cache.misses"),
+        evictions: pddl_telemetry::counter("embed_cache.evictions"),
+        ghn_embeds: pddl_telemetry::counter("embed_cache.ghn_embeds"),
+        entries: pddl_telemetry::gauge("embed_cache.entries"),
+    })
+}
+
+/// Cache key: normalized dataset name + structural graph fingerprint
+/// ([`CompGraph::fingerprint`]). The dataset is part of the key because the
+/// same architecture embeds differently under different per-dataset GHNs.
+type CacheKey = (String, u64);
+
+/// One cached (or in-flight) embedding. The [`OnceLock`] doubles as the
+/// single-flight mechanism: concurrent requests for the same key block in
+/// `get_or_init` while the first computes, so a key's GHN forward pass runs
+/// at most once per residency.
+struct CacheEntry {
+    cell: Arc<OnceLock<Vec<f32>>>,
+    last_used: u64,
+}
+
+struct CacheShard {
+    map: HashMap<CacheKey, CacheEntry>,
+    /// Monotonic access clock for LRU recency (per shard).
+    tick: u64,
+}
+
+/// Point-in-time counters of one cache instance (test- and
+/// diagnostics-friendly; the process-wide `embed_cache.*` telemetry
+/// counters aggregate across instances).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the key present (including in-flight entries,
+    /// which never re-invoke the GHN).
+    pub hits: u64,
+    /// Lookups that inserted a fresh entry.
+    pub misses: u64,
+    /// Entries dropped by LRU pressure.
+    pub evictions: u64,
+    /// GHN forward passes actually executed on behalf of this cache.
+    pub computes: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// A sharded, mutex-striped, LRU-bounded cache of GHN embeddings keyed by
+/// `(dataset, graph fingerprint)`.
+///
+/// * **Sharded** — keys stripe over up to 16 independent `Mutex`es, so
+///   concurrent predictions rarely contend; the critical section is a
+///   `HashMap` probe, never a GHN forward pass.
+/// * **Single-flight** — a miss publishes an in-flight entry before
+///   computing, so N threads racing on one new key run the GHN exactly
+///   once; the others block on the entry and reuse the result.
+/// * **LRU-bounded** — each shard evicts its least-recently-used entry
+///   beyond its share of [`EmbeddingCache::capacity`].
+///
+/// Hit/miss/eviction counts are exported both process-wide (telemetry
+/// counters `embed_cache.*`, visible in the controller's `{"op":"stats"}`
+/// snapshot) and per instance ([`EmbeddingCache::stats`]).
+pub struct EmbeddingCache {
+    shards: Vec<Mutex<CacheShard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    computes: AtomicU64,
+}
+
+impl Default for EmbeddingCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_EMBED_CACHE_CAPACITY)
+    }
+}
+
+impl EmbeddingCache {
+    /// A cache bounded to roughly `capacity` entries (rounded up to a
+    /// multiple of the shard count; the exact bound is
+    /// [`EmbeddingCache::capacity`]). `capacity` must be ≥ 1.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = capacity.min(16);
+        let shard_capacity = capacity.div_ceil(shards);
+        // Touch the global handles now so `embed_cache.*` metrics appear in
+        // stats snapshots as soon as a cache exists, not on first traffic.
+        let _ = cache_metrics();
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(CacheShard { map: HashMap::new(), tick: 0 }))
+                .collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            computes: AtomicU64::new(0),
+        }
+    }
+
+    /// The enforced entry bound (shard count × per-shard capacity).
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.shard_capacity
+    }
+
+    /// Point-in-time per-instance counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            computes: self.computes.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().unwrap().map.len() as u64).sum(),
+        }
+    }
+
+    /// Returns the dataset's embedding of `graph`, computing it with the
+    /// dataset's GHN on a miss and reusing the cached vector on a hit.
+    /// `None` if no GHN is trained for the dataset (never cached, so the
+    /// Task-Checker → offline-training path stays visible).
+    pub fn get_or_embed(
+        &self,
+        registry: &GhnRegistry,
+        dataset: &str,
+        graph: &CompGraph,
+    ) -> Option<Vec<f32>> {
+        let ghn = registry.get(dataset)?;
+        let key: CacheKey = (dataset.to_ascii_lowercase(), graph.fingerprint());
+        let m = cache_metrics();
+
+        // Mix the dataset into the shard choice so one dataset's keys do
+        // not pile onto the fingerprint's shard distribution alone.
+        let mut mix = key.1 ^ 0x9e3779b97f4a7c15;
+        for b in key.0.bytes() {
+            mix = (mix ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        let shard = &self.shards[(mix % self.shards.len() as u64) as usize];
+
+        let cell = {
+            let mut s = shard.lock().unwrap();
+            s.tick += 1;
+            let tick = s.tick;
+            if let Some(entry) = s.map.get_mut(&key) {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                m.hits.inc();
+                Arc::clone(&entry.cell)
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                m.misses.inc();
+                let cell = Arc::new(OnceLock::new());
+                s.map.insert(key, CacheEntry { cell: Arc::clone(&cell), last_used: tick });
+                m.entries.inc();
+                if s.map.len() > self.shard_capacity {
+                    // Evict the least-recently-used entry. O(shard size),
+                    // which is small by construction; an in-flight victim
+                    // still completes for its waiters — it just loses
+                    // residency.
+                    if let Some(victim) = s
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| k.clone())
+                    {
+                        s.map.remove(&victim);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        m.evictions.inc();
+                        m.entries.dec();
+                    }
+                }
+                cell
+            }
+        };
+
+        // Outside the shard lock: compute (first caller) or wait (racers).
+        let v = cell.get_or_init(|| {
+            self.computes.fetch_add(1, Ordering::Relaxed);
+            m.ghn_embeds.inc();
+            ghn.embed_graph(graph)
+        });
+        Some(v.clone())
     }
 }
 
@@ -117,6 +331,125 @@ mod tests {
         let (name, sim) = gen.nearest("cifar10", &e).unwrap();
         assert_eq!(name, "vgg16");
         assert!(sim > 0.999);
+    }
+
+    /// A tiny but valid graph: input → conv(c_out) → output. Distinct
+    /// `c_out` values produce structurally distinct graphs (distinct
+    /// fingerprints) without the cost of full zoo models.
+    fn synth_graph(c_out: usize) -> CompGraph {
+        use pddl_graph::{NodeAttrs, OpKind};
+        let mut g = CompGraph::new(format!("synth{c_out}"));
+        let input = g.add_node(OpKind::Input, NodeAttrs::elementwise(3, 8), "in");
+        let conv = g.chain(input, OpKind::Conv, NodeAttrs::conv(3, c_out, 3, 1, 8), "c");
+        let _out = g.chain(conv, OpKind::Output, NodeAttrs::elementwise(c_out, 8), "out");
+        g
+    }
+
+    #[test]
+    fn cache_hit_returns_the_same_vector_as_direct_embedding() {
+        let reg = registry();
+        let gen = EmbeddingsGenerator::new();
+        let cache = EmbeddingCache::new(64);
+        let g = build_model("resnet18", &CIFAR10).unwrap();
+        let direct = gen.embed(&reg, "cifar10", &g).unwrap();
+        let first = cache.get_or_embed(&reg, "cifar10", &g).unwrap();
+        let second = cache.get_or_embed(&reg, "cifar10", &g).unwrap();
+        assert_eq!(direct, first);
+        assert_eq!(direct, second);
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits, s.computes, s.entries), (1, 1, 1, 1));
+        // The global counters must be registered so the controller's
+        // `{"op":"stats"}` snapshot carries them.
+        let snap = pddl_telemetry::snapshot();
+        for name in [
+            "embed_cache.hits",
+            "embed_cache.misses",
+            "embed_cache.evictions",
+            "embed_cache.ghn_embeds",
+        ] {
+            assert!(snap.counter(name).is_some(), "{name} missing from snapshot");
+        }
+        assert!(snap.counter("embed_cache.hits").unwrap() >= 1);
+    }
+
+    #[test]
+    fn cache_misses_on_unknown_dataset_are_not_cached() {
+        let reg = registry(); // cifar10 only
+        let cache = EmbeddingCache::new(64);
+        let g = build_model("resnet18", &CIFAR10).unwrap();
+        assert!(cache.get_or_embed(&reg, "tiny-imagenet", &g).is_none());
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn cache_distinguishes_datasets_for_the_same_graph() {
+        let mut reg = registry();
+        reg.train_for_dataset("tiny-imagenet").unwrap();
+        let cache = EmbeddingCache::new(64);
+        let g = synth_graph(16);
+        let a = cache.get_or_embed(&reg, "cifar10", &g).unwrap();
+        let b = cache.get_or_embed(&reg, "tiny-imagenet", &g).unwrap();
+        assert_ne!(a, b, "per-dataset GHNs must yield distinct cached entries");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_bound_is_respected_under_pressure() {
+        let reg = registry();
+        let cache = EmbeddingCache::new(4);
+        assert_eq!(cache.capacity(), 4);
+        for c_out in 1..=12 {
+            cache.get_or_embed(&reg, "cifar10", &synth_graph(c_out)).unwrap();
+        }
+        let s = cache.stats();
+        assert!(s.entries <= 4, "entries {} exceed capacity", s.entries);
+        assert_eq!(s.misses, 12);
+        assert!(s.evictions >= 8, "expected ≥8 evictions, got {}", s.evictions);
+    }
+
+    #[test]
+    fn concurrent_embedding_deduplicates_ghn_invocations() {
+        // N threads embed a mix of shared (repeated) and thread-unique
+        // graphs through one cache: every distinct key must run the GHN
+        // exactly once, hit counters must account for every other lookup,
+        // and the LRU bound must hold throughout.
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 20;
+        let reg = registry();
+        let gen = EmbeddingsGenerator::new();
+        let cache = EmbeddingCache::default();
+        let shared: Vec<CompGraph> = (1..=4).map(|c| synth_graph(100 + c)).collect();
+
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = &cache;
+                let reg = &reg;
+                let gen = &gen;
+                let shared = &shared;
+                scope.spawn(move || {
+                    let unique = synth_graph(200 + t);
+                    let direct = gen.embed(reg, "cifar10", &unique).unwrap();
+                    let got = cache.get_or_embed(reg, "cifar10", &unique).unwrap();
+                    assert_eq!(direct, got, "cached value must equal direct embedding");
+                    for round in 0..ROUNDS {
+                        let g = &shared[(t + round) % shared.len()];
+                        let v = cache.get_or_embed(reg, "cifar10", g).unwrap();
+                        assert_eq!(v, gen.embed(reg, "cifar10", g).unwrap());
+                    }
+                });
+            }
+        });
+
+        let distinct = (shared.len() + THREADS) as u64;
+        let lookups = (THREADS * (ROUNDS + 1)) as u64;
+        let s = cache.stats();
+        assert_eq!(s.computes, distinct, "a cached key must never re-invoke the GHN");
+        assert_eq!(s.misses, distinct);
+        assert_eq!(s.hits, lookups - distinct);
+        assert_eq!(s.entries, distinct);
+        assert_eq!(s.evictions, 0);
+        assert!(s.entries <= cache.capacity() as u64);
     }
 
     #[test]

@@ -35,11 +35,17 @@ impl Default for InferenceConfig {
 
 /// One training sample for the engine.
 pub struct EngineSample {
+    /// GHN embedding of the workload's computational graph.
     pub embedding: Vec<f32>,
+    /// Cluster the measurement was taken on.
     pub cluster: ClusterState,
+    /// Per-worker batch size.
     pub batch_size: usize,
+    /// Training epochs.
     pub epochs: usize,
+    /// Dataset name (selects the dataset indicator feature).
     pub dataset: String,
+    /// Measured training time, seconds (the regression target).
     pub time_secs: f64,
 }
 
@@ -52,6 +58,7 @@ pub struct InferenceEngine {
 }
 
 impl InferenceEngine {
+    /// Creates an unfitted engine with the given configuration.
     pub fn new(cfg: InferenceConfig) -> Self {
         Self { cfg, scaler: None, embed_dim: 0 }
     }

@@ -38,7 +38,28 @@
 //! Listener accepts requests, the [`task_checker`] validates them and routes
 //! unknown datasets to the [`offline`] trainer, the [`embeddings`] generator
 //! turns computational graphs into vectors, and the [`inference`] engine
-//! regresses training time.
+//! regresses training time. See `ARCHITECTURE.md` at the repository root
+//! for the full paper-section-to-module map.
+//!
+//! ## Wire protocol
+//!
+//! The controller speaks newline-delimited JSON over TCP. Three request
+//! shapes share the stream:
+//!
+//! * a single [`PredictionRequest`] object → one [`Prediction`] (or error)
+//!   response line;
+//! * a JSON **array** of prediction requests → a batch, fanned out across
+//!   the [`pddl_par`] work pool, answered as one JSON array in request
+//!   order;
+//! * `{"op":"stats"}` → a live snapshot of every telemetry counter, gauge,
+//!   and histogram (including the `embed_cache.*` hit/miss/eviction
+//!   counters), as `{"status":"stats","snapshot":{...}}`.
+//!
+//! Logging verbosity is controlled by the `PDDL_LOG` environment variable
+//! (see [`pddl_telemetry`] for the `level[,target=level]*` filter syntax,
+//! e.g. `PDDL_LOG=info,controller=debug`).
+
+#![warn(missing_docs)]
 
 pub mod batch;
 pub mod controller;
@@ -50,9 +71,9 @@ pub mod registry;
 pub mod request;
 pub mod task_checker;
 
-pub use batch::{BatchComparison, BatchJob};
+pub use batch::{compare_batch, compare_batch_serial, BatchComparison, BatchJob};
 pub use controller::{Controller, ControllerClient};
-pub use embeddings::EmbeddingsGenerator;
+pub use embeddings::{CacheStats, EmbeddingCache, EmbeddingsGenerator};
 pub use inference::{InferenceEngine, InferenceConfig};
 pub use offline::{OfflineTrainer, PredictDdl};
 pub use registry::GhnRegistry;

@@ -6,7 +6,7 @@
 //! Afterwards the system predicts *any* architecture on the trained
 //! datasets without retraining (the paper's headline reusability property).
 
-use crate::embeddings::EmbeddingsGenerator;
+use crate::embeddings::{EmbeddingCache, EmbeddingsGenerator};
 use crate::inference::{EngineSample, InferenceConfig, InferenceEngine};
 use crate::registry::GhnRegistry;
 use crate::request::{Prediction, PredictionRequest, RequestError};
@@ -43,18 +43,46 @@ fn inference_metrics() -> &'static InferenceMetrics {
 /// holds fitted state and is not `Clone`).
 #[derive(Clone, Copy, Debug)]
 pub enum RegressionSpec {
+    /// Ordinary least squares on the raw features.
     Linear,
     /// Second-order polynomial with full pairwise interactions.
-    Polynomial { degree: usize, lambda: f32 },
+    Polynomial {
+        /// Polynomial degree.
+        degree: usize,
+        /// Ridge regularization strength.
+        lambda: f32,
+    },
     /// Second-order polynomial with squares only — the default over the
     /// wide embedding feature space (full interactions would exceed the
     /// trace's sample count).
-    PolynomialSquares { degree: usize, lambda: f32 },
-    Svr { rbf_gamma: Option<f32>, c: f32, epsilon: f32 },
-    Mlp { hidden: usize, epochs: usize, lr: f32 },
+    PolynomialSquares {
+        /// Polynomial degree.
+        degree: usize,
+        /// Ridge regularization strength.
+        lambda: f32,
+    },
+    /// Support-vector regression; `rbf_gamma: None` selects the linear kernel.
+    Svr {
+        /// RBF kernel width; `None` selects the linear kernel.
+        rbf_gamma: Option<f32>,
+        /// Regularization strength.
+        c: f32,
+        /// Epsilon-insensitive tube width.
+        epsilon: f32,
+    },
+    /// Single-hidden-layer perceptron regressor.
+    Mlp {
+        /// Hidden-layer width.
+        hidden: usize,
+        /// Training epochs.
+        epochs: usize,
+        /// Learning rate.
+        lr: f32,
+    },
 }
 
 impl RegressionSpec {
+    /// Instantiates the (unfitted) regression model this spec describes.
     pub fn build(&self, seed: u64) -> Regression {
         match *self {
             RegressionSpec::Linear => Regression::linear(),
@@ -76,11 +104,17 @@ impl RegressionSpec {
 
 /// Offline-training configuration.
 pub struct OfflineTrainer {
+    /// GHN architecture hyperparameters.
     pub ghn_config: GhnConfig,
+    /// GHN meta-training schedule.
     pub ghn_train: TrainConfig,
+    /// Execution-trace sweep to train the regressor on.
     pub trace: TraceConfig,
+    /// Which regression model to fit on the trace.
     pub regression: RegressionSpec,
+    /// Fit the regressor on `log(time)` instead of raw seconds.
     pub log_target: bool,
+    /// Master RNG seed; every sub-seed derives deterministically from it.
     pub seed: u64,
 }
 
@@ -142,33 +176,47 @@ impl OfflineTrainer {
             .collect();
         datasets.sort();
         datasets.dedup();
-        for ds in &datasets {
-            if !registry.has(ds) {
-                registry
-                    .train_for_dataset(ds)
-                    .unwrap_or_else(|e| panic!("GHN training failed for {ds}: {e}"));
-            }
+        // Per-dataset GHN trainings are independent (each derives its RNG
+        // seed from the dataset name), so they fan out across the work
+        // pool; results are inserted in sorted-dataset order, identical to
+        // a serial run.
+        let missing: Vec<String> =
+            datasets.iter().filter(|ds| !registry.has(ds)).cloned().collect();
+        let trained = pddl_par::par_map(&missing, |ds| {
+            GhnRegistry::train_one(self.ghn_config, self.ghn_train, self.seed, ds)
+                .unwrap_or_else(|e| panic!("GHN training failed for {ds}: {e}"))
+        });
+        for (key, ghn, _report) in trained {
+            registry.insert(&key, ghn);
         }
         ghn_span.exit();
         let ghn_secs = t0.elapsed().as_secs_f64();
 
-        // Embed each distinct (model, dataset) once.
+        // Embed each distinct (model, dataset) once. The GHN forward
+        // passes are independent, so they run on the work pool; the atlas
+        // and the sample cache are then filled in first-appearance order,
+        // keeping the result identical to the serial loop.
         let t1 = Instant::now();
         let embed_span = Span::enter("offline.embed_trace");
         let mut embeddings = EmbeddingsGenerator::new();
-        let mut cache: HashMap<(String, String), Vec<f32>> = HashMap::new();
+        let mut distinct: Vec<((String, String), &Workload)> = Vec::new();
         for r in records {
             let key = (r.workload.model.clone(), r.workload.dataset.to_ascii_lowercase());
-            if let std::collections::hash_map::Entry::Vacant(slot) = cache.entry(key.clone()) {
-                let graph = r
-                    .workload
-                    .build_graph()
-                    .unwrap_or_else(|| panic!("trace references unknown model {}", r.workload.model));
-                let emb = embeddings
-                    .embed_and_record(&registry, &key.1, &graph)
-                    .expect("GHN trained above");
-                slot.insert(emb);
+            if !distinct.iter().any(|(k, _)| *k == key) {
+                distinct.push((key, &r.workload));
             }
+        }
+        let embedded = pddl_par::par_map(&distinct, |((model, ds), w)| {
+            let graph = w
+                .build_graph()
+                .unwrap_or_else(|| panic!("trace references unknown model {model}"));
+            let ghn = registry.get(ds).expect("GHN trained above");
+            (graph.name.clone(), ghn.embed_graph(&graph))
+        });
+        let mut cache: HashMap<(String, String), Vec<f32>> = HashMap::new();
+        for ((key, _), (graph_name, emb)) in distinct.into_iter().zip(embedded) {
+            embeddings.record(&key.1, &graph_name, emb.clone());
+            cache.insert(key, emb);
         }
         embed_span.exit();
         let embed_secs = t1.elapsed().as_secs_f64();
@@ -214,6 +262,7 @@ impl OfflineTrainer {
             engine,
             train_cost: TrainCost { ghn_secs, embed_secs, fit_secs },
             records: records.to_vec(),
+            cache: EmbeddingCache::default(),
         }
     }
 
@@ -266,12 +315,16 @@ impl OfflineTrainer {
 /// Wall-clock breakdown of offline training (reported in Fig. 13).
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct TrainCost {
+    /// GHN meta-training wall-clock seconds (one GHN per dataset).
     pub ghn_secs: f64,
+    /// Trace-embedding wall-clock seconds.
     pub embed_secs: f64,
+    /// Regressor-fitting wall-clock seconds.
     pub fit_secs: f64,
 }
 
 impl TrainCost {
+    /// Total offline-training wall-clock seconds.
     pub fn total(&self) -> f64 {
         self.ghn_secs + self.embed_secs + self.fit_secs
     }
@@ -280,14 +333,23 @@ impl TrainCost {
 /// The assembled, trained PredictDDL system.
 #[derive(Serialize, Deserialize)]
 pub struct PredictDdl {
+    /// Per-dataset GHNs (the paper's reusable offline assets).
     pub registry: GhnRegistry,
+    /// Embedding atlas for nearest-architecture queries.
     pub embeddings: EmbeddingsGenerator,
+    /// The fitted regression over the unified feature space.
     pub engine: InferenceEngine,
+    /// Wall-clock breakdown of offline training (Fig. 13 accounting).
     pub train_cost: TrainCost,
     /// The trace the engine was fitted on, kept so a new dataset can be
     /// folded in later (§III-G: offline retraining "when a new dataset is
     /// introduced") without re-collecting the old measurements.
     pub records: Vec<TraceRecord>,
+    /// Service-level embedding cache keyed by `(dataset, graph hash)`.
+    /// Runtime state, not part of the trained model: rebuilt empty on
+    /// deserialization.
+    #[serde(skip, default)]
+    pub cache: EmbeddingCache,
 }
 
 impl PredictDdl {
@@ -303,9 +365,11 @@ impl PredictDdl {
         let m = inference_metrics();
         let t0 = Instant::now();
         let embed_timer = m.embed_latency.start_timer();
+        // Cached GHN embedding: repeated workloads (same dataset + same
+        // graph structure) skip the forward pass entirely.
         let embedding = self
-            .embeddings
-            .embed(&self.registry, &req.dataset, &graph)
+            .cache
+            .get_or_embed(&self.registry, &req.dataset, &graph)
             .expect("registry checked by TaskChecker");
         embed_timer.observe();
         let regress_timer = m.regress_latency.start_timer();
@@ -324,6 +388,20 @@ impl PredictDdl {
             nearest_architecture: nearest,
             inference_secs: t0.elapsed().as_secs_f64(),
         })
+    }
+
+    /// Handles a batch of prediction requests, fanning the per-request
+    /// embed + regression work out across the global work pool
+    /// ([`pddl_par`]). Results are returned in request order and are
+    /// identical to calling [`Self::predict`] serially — repeated
+    /// architectures additionally coalesce in the embedding cache, so a
+    /// 32-workload batch of, say, 8 distinct models runs 8 GHN forward
+    /// passes, not 32.
+    pub fn predict_many(
+        &self,
+        reqs: &[PredictionRequest],
+    ) -> Vec<Result<Prediction, RequestError>> {
+        pddl_par::par_map(reqs, |r| self.predict(r))
     }
 
     /// Convenience: predict a zoo workload on a cluster.

@@ -12,7 +12,9 @@ use std::path::Path;
 /// Persistence failures.
 #[derive(Debug)]
 pub enum PersistError {
+    /// Filesystem read/write failure.
     Io(std::io::Error),
+    /// (De)serialization failure.
     Serde(serde_json::Error),
 }
 

@@ -16,12 +16,15 @@ use std::collections::HashMap;
 #[derive(Clone, Serialize, Deserialize)]
 pub struct GhnRegistry {
     ghns: HashMap<String, Ghn>,
+    /// GHN architecture used for every dataset's model.
     pub ghn_config: GhnConfig,
+    /// Meta-training schedule used for every dataset's model.
     pub train_config: TrainConfig,
     seed: u64,
 }
 
 impl GhnRegistry {
+    /// Creates an empty registry; GHNs are added by [`Self::train_for_dataset`].
     pub fn new(ghn_config: GhnConfig, train_config: TrainConfig, seed: u64) -> Self {
         Self { ghns: HashMap::new(), ghn_config, train_config, seed }
     }
@@ -31,10 +34,12 @@ impl GhnRegistry {
         self.ghns.contains_key(&normalize(dataset))
     }
 
+    /// The pretrained GHN for `dataset`, if one exists (case-insensitive).
     pub fn get(&self, dataset: &str) -> Option<&Ghn> {
         self.ghns.get(&normalize(dataset))
     }
 
+    /// Names of every dataset with a pretrained GHN.
     pub fn datasets(&self) -> impl Iterator<Item = &str> {
         self.ghns.keys().map(|s| s.as_str())
     }
@@ -43,14 +48,32 @@ impl GhnRegistry {
     /// stores it. Returns the training report. Errors if the dataset has no
     /// descriptor (nothing to condition the synthetic generator on).
     pub fn train_for_dataset(&mut self, dataset: &str) -> Result<TrainReport, String> {
-        let key = normalize(dataset);
-        let desc = dataset_by_name(&key).ok_or_else(|| format!("no descriptor for dataset '{dataset}'"))?;
-        let mut rng = Rng::new(self.seed ^ fnv(&key));
-        let mut ghn = Ghn::new(self.ghn_config, &mut rng);
-        let mut gen = SynthGenerator::new(desc.clone(), self.seed ^ fnv(&key) ^ 0x6e6e);
-        let report = GhnTrainer::new(self.train_config).train(&mut ghn, &mut gen);
+        let (key, ghn, report) =
+            Self::train_one(self.ghn_config, self.train_config, self.seed, dataset)?;
         self.ghns.insert(key, ghn);
         Ok(report)
+    }
+
+    /// Trains one dataset's GHN without touching any registry state — the
+    /// building block the parallel offline trainer fans out over datasets
+    /// (each worker trains independently, results are [`Self::insert`]ed in
+    /// deterministic order afterwards). The RNG seed is derived from
+    /// `seed` and the normalized dataset name, so a pooled run produces
+    /// bit-identical GHNs to a serial one.
+    pub fn train_one(
+        ghn_config: GhnConfig,
+        train_config: TrainConfig,
+        seed: u64,
+        dataset: &str,
+    ) -> Result<(String, Ghn, TrainReport), String> {
+        let key = normalize(dataset);
+        let desc = dataset_by_name(&key)
+            .ok_or_else(|| format!("no descriptor for dataset '{dataset}'"))?;
+        let mut rng = Rng::new(seed ^ fnv(&key));
+        let mut ghn = Ghn::new(ghn_config, &mut rng);
+        let mut gen = SynthGenerator::new(desc.clone(), seed ^ fnv(&key) ^ 0x6e6e);
+        let report = GhnTrainer::new(train_config).train(&mut ghn, &mut gen);
+        Ok((key, ghn, report))
     }
 
     /// Inserts an externally trained GHN (tests, persistence).

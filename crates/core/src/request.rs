@@ -21,11 +21,13 @@ pub enum ModelRef {
 /// cluster (steps ①–② of Fig. 7).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PredictionRequest {
+    /// The model to predict for (zoo name or explicit graph).
     pub model: ModelRef,
     /// Dataset name — the GHN-registry key.
     pub dataset: String,
     /// Per-worker batch size.
     pub batch_size: usize,
+    /// Training epochs.
     pub epochs: usize,
     /// Target cluster description (from the Cluster Resource Collector).
     pub cluster: ClusterState,
@@ -83,7 +85,10 @@ pub enum RequestError {
     UnknownModel(String),
     /// No GHN trained for this dataset → offline training required
     /// (step ④ of Fig. 7).
-    NeedsOfflineTraining { dataset: String },
+    NeedsOfflineTraining {
+        /// The dataset with no pretrained GHN.
+        dataset: String,
+    },
     /// Structural validation of a submitted graph failed.
     InvalidGraph(String),
     /// Empty or malformed cluster description.

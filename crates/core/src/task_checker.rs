@@ -13,7 +13,12 @@ pub enum TaskDecision {
     Proceed(CompGraph),
     /// A GHN must be trained for the request's dataset first
     /// (step ④ of Fig. 7).
-    OfflineTrainingRequired { dataset: String, graph: CompGraph },
+    OfflineTrainingRequired {
+        /// The dataset needing a GHN.
+        dataset: String,
+        /// The validated graph, kept so the request can resume after training.
+        graph: CompGraph,
+    },
 }
 
 /// Stateless validator over a GHN registry.

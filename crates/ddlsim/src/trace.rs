@@ -6,7 +6,6 @@ use crate::simulate::{SimConfig, Simulator};
 use crate::workload::Workload;
 use pddl_cluster::{ClusterState, ServerClass};
 use pddl_zoo::model_names;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One collected measurement.
@@ -76,9 +75,10 @@ impl TraceConfig {
     }
 }
 
-/// Generates the full execution trace (rayon-parallel over configurations).
-/// Configurations that fail (e.g. OOM at small cluster sizes) are skipped,
-/// exactly as failed testbed runs would be.
+/// Generates the full execution trace, fanning configurations out across
+/// the [`pddl_par`] work pool (order-preserving, so the trace is identical
+/// to a serial sweep). Configurations that fail (e.g. OOM at small cluster
+/// sizes) are skipped, exactly as failed testbed runs would be.
 pub fn generate_trace(cfg: &TraceConfig) -> Vec<TraceRecord> {
     let sim = Simulator::new(cfg.sim);
     let mut jobs = Vec::new();
@@ -91,21 +91,19 @@ pub fn generate_trace(cfg: &TraceConfig) -> Vec<TraceRecord> {
             }
         }
     }
-    jobs.par_iter()
-        .filter_map(|(model, dataset, class, n, b)| {
-            let w = Workload::new(model, dataset, *b, cfg.epochs);
-            let cluster = ClusterState::homogeneous(*class, *n);
-            let expected = sim.expected_time(&w, &cluster).ok()?;
-            let time = sim.measure(&w, &cluster, 0).ok()?;
-            Some(TraceRecord {
-                workload: w,
-                server_class: *class,
-                num_servers: *n,
-                time_secs: time,
-                expected_secs: expected,
-            })
+    pddl_par::par_filter_map(&jobs, |(model, dataset, class, n, b)| {
+        let w = Workload::new(model, dataset, *b, cfg.epochs);
+        let cluster = ClusterState::homogeneous(*class, *n);
+        let expected = sim.expected_time(&w, &cluster).ok()?;
+        let time = sim.measure(&w, &cluster, 0).ok()?;
+        Some(TraceRecord {
+            workload: w,
+            server_class: *class,
+            num_servers: *n,
+            time_secs: time,
+            expected_secs: expected,
         })
-        .collect()
+    })
 }
 
 /// Serializes a trace to JSON lines.

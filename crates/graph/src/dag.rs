@@ -296,6 +296,40 @@ impl CompGraph {
         best
     }
 
+    /// A stable 64-bit structural fingerprint of the graph: FNV-1a over
+    /// every node's op kind and attributes plus the full edge list, in
+    /// storage order. Two graphs built the same way (e.g. the same zoo
+    /// model resolved twice) hash identically regardless of `name` or node
+    /// labels, which makes the fingerprint a usable cache key for derived
+    /// artifacts such as GHN embeddings. Not a cryptographic hash; the
+    /// value is stable across processes and platforms.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut fold = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        fold(self.nodes.len() as u64);
+        for n in &self.nodes {
+            fold(n.kind.index() as u64);
+            fold(n.attrs.c_in as u64);
+            fold(n.attrs.c_out as u64);
+            fold(n.attrs.kernel as u64);
+            fold(n.attrs.stride as u64);
+            fold(n.attrs.groups as u64);
+            fold(n.attrs.spatial as u64);
+        }
+        for (u, outs) in self.out_edges.iter().enumerate() {
+            for &v in outs {
+                fold(u as u64);
+                fold(v as u64);
+            }
+        }
+        h
+    }
+
     /// JSON serialization (the on-disk format for traces and registries).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("CompGraph serializes")
@@ -321,6 +355,30 @@ mod tests {
         g.add_edge(input, sum);
         let _out = g.chain(sum, OpKind::Output, NodeAttrs::elementwise(16, 32), "out");
         g
+    }
+
+    #[test]
+    fn fingerprint_ignores_names_but_sees_structure() {
+        let a = small_graph();
+        let mut b = small_graph();
+        b.name = "renamed".into();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "name must not affect the hash");
+
+        // A structural change (one extra edge) must change the hash.
+        let mut c = small_graph();
+        c.add_edge(0, 2);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        // An attribute change must change the hash.
+        let mut d = CompGraph::new("tiny");
+        let input = d.add_node(OpKind::Input, NodeAttrs::elementwise(3, 32), "in");
+        let conv = d.chain(input, OpKind::Conv, NodeAttrs::conv(3, 32, 3, 1, 32), "c1");
+        let relu = d.chain(conv, OpKind::Relu, NodeAttrs::elementwise(32, 32), "r1");
+        let sum = d.add_node(OpKind::Sum, NodeAttrs::elementwise(32, 32), "s");
+        d.add_edge(relu, sum);
+        d.add_edge(input, sum);
+        let _out = d.chain(sum, OpKind::Output, NodeAttrs::elementwise(32, 32), "out");
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

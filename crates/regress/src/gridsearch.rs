@@ -9,7 +9,6 @@ use crate::split::k_fold;
 use crate::svr::{Kernel, Svr};
 use crate::{MlpRegressor, Regressor};
 use pddl_tensor::Matrix;
-use rayon::prelude::*;
 
 /// One SVR hyperparameter candidate.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -55,15 +54,18 @@ fn cv_rmse<M: Regressor>(
 }
 
 /// Grid-searches SVR hyperparameters; returns the best params and their CV
-/// RMSE. Candidates evaluate in parallel with rayon.
+/// RMSE. Candidates evaluate in parallel on the [`pddl_par`] work pool;
+/// the argmin runs serially over the order-preserved scores, so the winner
+/// is independent of thread scheduling.
 pub fn grid_search_svr(x: &Matrix, y: &[f32], k: usize, seed: u64) -> (SvrParams, f32) {
     let folds = k_fold(x.rows(), k, seed);
     let grid = svr_grid();
-    grid.par_iter()
-        .map(|&p| {
-            let score = cv_rmse(|| Svr::new(p.kernel, p.c, p.epsilon), x, y, &folds);
-            (p, score)
-        })
+    let scored = pddl_par::par_map(&grid, |&p| {
+        let score = cv_rmse(|| Svr::new(p.kernel, p.c, p.epsilon), x, y, &folds);
+        (p, score)
+    });
+    scored
+        .into_iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
         .expect("non-empty grid")
 }
@@ -78,13 +80,13 @@ pub fn grid_search_mlp(
     lr: f32,
 ) -> (usize, f32) {
     let folds = k_fold(x.rows(), k, seed);
-    (1..=5usize)
-        .collect::<Vec<_>>()
-        .par_iter()
-        .map(|&h| {
-            let score = cv_rmse(|| MlpRegressor::new(h, epochs, lr, seed), x, y, &folds);
-            (h, score)
-        })
+    let widths: Vec<usize> = (1..=5).collect();
+    let scored = pddl_par::par_map(&widths, |&h| {
+        let score = cv_rmse(|| MlpRegressor::new(h, epochs, lr, seed), x, y, &folds);
+        (h, score)
+    });
+    scored
+        .into_iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
         .expect("non-empty grid")
 }

@@ -38,11 +38,17 @@ pub(crate) fn push_f64(out: &mut String, v: f64) {
 /// 2⁵³ round-trip exactly, which covers any realistic counter.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JsonValue {
+    /// JSON `null`.
     Null,
+    /// JSON boolean.
     Bool(bool),
+    /// JSON number (stored as `f64`).
     Number(f64),
+    /// JSON string.
     String(String),
+    /// JSON array.
     Array(Vec<JsonValue>),
+    /// JSON object, keys sorted.
     Object(BTreeMap<String, JsonValue>),
 }
 
@@ -59,6 +65,7 @@ impl JsonValue {
         Ok(v)
     }
 
+    /// Object member lookup; `None` on non-objects or missing keys.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
             JsonValue::Object(m) => m.get(key),
@@ -66,6 +73,7 @@ impl JsonValue {
         }
     }
 
+    /// The numeric value, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             JsonValue::Number(n) => Some(*n),
@@ -73,14 +81,17 @@ impl JsonValue {
         }
     }
 
+    /// The numeric value truncated to `u64`; `None` on negatives.
     pub fn as_u64(&self) -> Option<u64> {
         self.as_f64().filter(|n| *n >= 0.0).map(|n| n as u64)
     }
 
+    /// The numeric value truncated to `i64`.
     pub fn as_i64(&self) -> Option<i64> {
         self.as_f64().map(|n| n as i64)
     }
 
+    /// The string value, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             JsonValue::String(s) => Some(s),
@@ -88,6 +99,7 @@ impl JsonValue {
         }
     }
 
+    /// The member map, if this is an object.
     pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
         match self {
             JsonValue::Object(m) => Some(m),

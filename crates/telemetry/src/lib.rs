@@ -37,6 +37,21 @@
 //! let back = tel::Snapshot::from_json(&json).unwrap();
 //! assert_eq!(back.counter("demo.requests"), snap.counter("demo.requests"));
 //! ```
+//!
+//! ## `PDDL_LOG` filter syntax
+//!
+//! `PDDL_LOG=<default>[,<target-prefix>=<level>]*` where a level is one of
+//! `off`, `error`, `warn`, `info`, `debug`, `trace`. The longest matching
+//! target prefix wins. Examples:
+//!
+//! * `PDDL_LOG=info` — everything at info and above;
+//! * `PDDL_LOG=warn,controller=debug` — debug for the controller (and
+//!   `controller.request` etc.), warnings elsewhere;
+//! * `PDDL_LOG=off` — silence all structured logging.
+//!
+//! Unset, logging defaults to off; parsing is lazy and happens once.
+
+#![warn(missing_docs)]
 
 mod json;
 mod log;

@@ -23,14 +23,20 @@ use std::time::{SystemTime, UNIX_EPOCH};
 /// Log severity, most severe first.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Level {
+    /// Unrecoverable failures.
     Error = 1,
+    /// Degraded but continuing.
     Warn = 2,
+    /// High-level lifecycle events.
     Info = 3,
+    /// Per-request detail.
     Debug = 4,
+    /// Hot-loop detail.
     Trace = 5,
 }
 
 impl Level {
+    /// Lowercase name, as used in `PDDL_LOG` and the JSON output.
     pub fn as_str(self) -> &'static str {
         match self {
             Level::Error => "error",
@@ -140,10 +146,15 @@ pub fn log_enabled(level: Level, target: &str) -> bool {
 /// A structured log field value.
 #[derive(Clone, Debug)]
 pub enum FieldValue {
+    /// Unsigned integer field.
     U64(u64),
+    /// Signed integer field.
     I64(i64),
+    /// Floating-point field.
     F64(f64),
+    /// Boolean field.
     Bool(bool),
+    /// String field.
     Str(String),
 }
 
@@ -176,7 +187,7 @@ impl From<String> for FieldValue {
     }
 }
 
-/// Emits one structured JSON log line to stderr. Prefer the [`tlog!`]
+/// Emits one structured JSON log line to stderr. Prefer the [`tlog!`](crate::tlog)
 /// macro, which skips field construction when the line is filtered out.
 pub fn log_line(level: Level, target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
     let ts_ms = SystemTime::now()

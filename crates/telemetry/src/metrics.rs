@@ -17,14 +17,17 @@ pub struct Counter {
 }
 
 impl Counter {
+    /// Adds one (relaxed).
     pub fn inc(&self) {
         self.add(1);
     }
 
+    /// Adds `n` (relaxed).
     pub fn add(&self, n: u64) {
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Current value (relaxed).
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
@@ -41,22 +44,27 @@ pub struct Gauge {
 }
 
 impl Gauge {
+    /// Adds one (relaxed).
     pub fn inc(&self) {
         self.add(1);
     }
 
+    /// Subtracts one (relaxed).
     pub fn dec(&self) {
         self.add(-1);
     }
 
+    /// Adds `n`, which may be negative (relaxed).
     pub fn add(&self, n: i64) {
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Overwrites the value (relaxed).
     pub fn set(&self, v: i64) {
         self.value.store(v, Ordering::Relaxed);
     }
 
+    /// Current value (relaxed).
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
@@ -130,6 +138,7 @@ impl Histogram {
         HistTimer { hist: self, start: Instant::now() }
     }
 
+    /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }
@@ -242,22 +251,27 @@ fn resolve<T: Default>(map: &RwLock<HashMap<String, &'static T>>, name: &str) ->
 }
 
 impl Registry {
+    /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Counter handle for `name`, registering it on first use.
     pub fn counter(&self, name: &str) -> &'static Counter {
         resolve(&self.counters, name)
     }
 
+    /// Gauge handle for `name`, registering it on first use.
     pub fn gauge(&self, name: &str) -> &'static Gauge {
         resolve(&self.gauges, name)
     }
 
+    /// Histogram handle for `name`, registering it on first use.
     pub fn histogram(&self, name: &str) -> &'static Histogram {
         resolve(&self.histograms, name)
     }
 
+    /// Reads every registered metric into a [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
         let mut counters: Vec<(String, u64)> = self
             .counters
@@ -286,6 +300,7 @@ impl Registry {
         Snapshot { counters, gauges, histograms }
     }
 
+    /// Zeroes every registered metric (tests and bench harnesses).
     pub fn reset(&self) {
         for c in self.counters.read().unwrap_or_else(|e| e.into_inner()).values() {
             c.reset();

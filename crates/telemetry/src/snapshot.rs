@@ -7,13 +7,21 @@ use crate::json::{push_f64, push_json_string, JsonValue};
 /// Summary of one histogram (latencies in nanoseconds by convention).
 #[derive(Clone, Debug, PartialEq)]
 pub struct HistogramSnapshot {
+    /// Observation count.
     pub count: u64,
+    /// Sum of all observations.
     pub sum: u64,
+    /// Smallest observation.
     pub min: u64,
+    /// Largest observation.
     pub max: u64,
+    /// Arithmetic mean.
     pub mean: f64,
+    /// Median (bucket upper bound).
     pub p50: u64,
+    /// 95th percentile (bucket upper bound).
     pub p95: u64,
+    /// 99th percentile (bucket upper bound).
     pub p99: u64,
 }
 
@@ -22,8 +30,11 @@ pub struct HistogramSnapshot {
 /// are sorted by metric name.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Snapshot {
+    /// (name, value) for every counter, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// (name, value) for every gauge, sorted by name.
     pub gauges: Vec<(String, i64)>,
+    /// (name, summary) for every histogram, sorted by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 

@@ -10,6 +10,7 @@
 # Usage:
 #   scripts/offline_check.sh check            # cargo check, lib/bin/example targets
 #   scripts/offline_check.sh clippy           # cargo clippy -D warnings on the same
+#   scripts/offline_check.sh doc              # cargo doc with -D warnings (CI doc gate)
 #   scripts/offline_check.sh test-telemetry   # run pddl-telemetry's real tests
 #   scripts/offline_check.sh <any cargo args> # e.g. "check -p predictddl --tests"
 #
@@ -63,6 +64,12 @@ case "${1:-check}" in
   clippy)
     cargo clippy --workspace --offline --lib --bins --examples --benches -- -D warnings
     cargo clippy -p predictddl --offline "${NON_PROPTEST_TESTS[@]}" -- -D warnings
+    ;;
+  doc)
+    # Same gate as CI: rustdoc warnings (missing docs, broken intra-doc
+    # links) fail the build. Stub deps keep their own docs out of scope
+    # via --no-deps.
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --offline --no-deps
     ;;
   test-telemetry)
     cargo test -p pddl-telemetry --offline
