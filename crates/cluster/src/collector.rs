@@ -13,23 +13,43 @@
 //! Collector threads parse JSON-line messages and update a shared inventory
 //! behind a `parking_lot::RwLock`. [`CollectorServer::snapshot`] produces
 //! the [`ClusterState`] consumed by the Inference Engine.
+//!
+//! ## Degradation & chaos
+//!
+//! A malformed or over-long frame earns the peer an error reply (and, for
+//! over-long frames, a closed connection) — never a dead collector thread.
+//! Servers whose heartbeats lapse beyond the stale window keep serving
+//! last-known-good specs from [`CollectorServer::snapshot`], flagged
+//! [`ServerStatus::stale`], instead of erroring. When `PDDL_FAULT_PLAN` is
+//! set (see `pddl-faults`), every accepted connection is wrapped in
+//! deterministic fault injectors so integration tests and the CLI can run
+//! identical chaos schedules.
 
-use crate::protocol::{read_msg, write_msg, ClientMsg, ServerMsg};
+use crate::protocol::{read_msg, read_msg_bounded, write_msg, ClientMsg, ServerMsg, WireError, MAX_FRAME_BYTES};
+use crate::retry::{is_transient, Backoff, RetryPolicy};
 use crate::spec::ServerSpec;
 use crate::state::{ClusterState, ServerStatus};
 use parking_lot::RwLock;
+use pddl_faults::{Direction, FaultPlan, FaultyRead, FaultyWrite};
 use pddl_telemetry::{tlog, Counter, Gauge, Histogram, Level};
 use std::collections::HashMap;
-use std::io::BufReader;
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// One registered server plus collector-side bookkeeping that must not
+/// travel over the wire (liveness is an `Instant`, not data).
+struct Entry {
+    status: ServerStatus,
+    last_seen: Instant,
+}
 
 #[derive(Default)]
 struct Inventory {
-    servers: HashMap<String, ServerStatus>,
+    servers: HashMap<String, Entry>,
 }
 
 /// Collector metric handles, resolved once (heartbeat-path updates stay
@@ -39,7 +59,10 @@ struct Metrics {
     registrations: &'static Counter,
     leaves: &'static Counter,
     rejected_msgs: &'static Counter,
+    oversize_frames: &'static Counter,
+    disconnects: &'static Counter,
     servers_joined: &'static Gauge,
+    stale_servers: &'static Gauge,
     lock_wait: &'static Histogram,
 }
 
@@ -50,7 +73,10 @@ fn metrics() -> &'static Metrics {
         registrations: pddl_telemetry::counter("collector.registrations"),
         leaves: pddl_telemetry::counter("collector.leaves"),
         rejected_msgs: pddl_telemetry::counter("collector.rejected_msgs"),
+        oversize_frames: pddl_telemetry::counter("collector.oversize_frames"),
+        disconnects: pddl_telemetry::counter("collector.disconnects"),
         servers_joined: pddl_telemetry::gauge("collector.servers_joined"),
+        stale_servers: pddl_telemetry::gauge("collector.stale_servers"),
         lock_wait: pddl_telemetry::histogram("collector.inventory_lock_wait"),
     })
 }
@@ -67,11 +93,16 @@ fn write_inventory<'a>(
     guard
 }
 
+/// Heartbeat-lapse window after which a server's snapshot entry is flagged
+/// stale (last-known-good data, not live).
+pub const DEFAULT_STALE_AFTER: Duration = Duration::from_secs(30);
+
 /// The collector service handle. Dropping it shuts the service down.
 pub struct CollectorServer {
     addr: SocketAddr,
     inventory: Arc<RwLock<Inventory>>,
     shutdown: Arc<AtomicBool>,
+    stale_after_ms: Arc<AtomicU64>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -80,13 +111,25 @@ impl CollectorServer {
     /// pre-sizes the handler-thread bookkeeping; the pool grows with the
     /// number of connected servers, since heartbeat connections are
     /// long-lived.
+    ///
+    /// If `PDDL_FAULT_PLAN` is set, every accepted connection is wrapped in
+    /// that plan's deterministic fault injectors; an unparseable plan is an
+    /// `InvalidInput` error (misconfigured chaos must not silently become
+    /// no chaos).
     pub fn bind(addr: &str, initial_pool: usize) -> std::io::Result<Self> {
+        let fault_plan = FaultPlan::from_env()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let inventory = Arc::new(RwLock::new(Inventory::default()));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let stale_after_ms =
+            Arc::new(AtomicU64::new(DEFAULT_STALE_AFTER.as_millis() as u64));
         let _ = initial_pool; // sizing hint only; the pool grows on demand
+        if let Some(plan) = &fault_plan {
+            tlog!(Level::Warn, "collector", "fault injection active", plan = plan.to_spec());
+        }
 
         // Accept thread: one detached collector thread per connection.
         // Handlers exit when their client disconnects (clean EOF or error);
@@ -96,17 +139,25 @@ impl CollectorServer {
             let shutdown = Arc::clone(&shutdown);
             let inv = Arc::clone(&inventory);
             std::thread::spawn(move || {
+                let mut next_conn: u64 = 0;
                 while !shutdown.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             stream.set_nonblocking(false).ok();
+                            let conn = next_conn;
+                            next_conn += 1;
                             let inv = Arc::clone(&inv);
                             std::thread::spawn(move || {
-                                let _ = handle_connection(stream, &inv);
+                                let halves = split_stream(stream, fault_plan.as_ref(), conn);
+                                if let Ok((reader, writer)) = halves {
+                                    if handle_connection(reader, writer, &inv).is_err() {
+                                        metrics().disconnects.inc();
+                                    }
+                                }
                             });
                         }
                         Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            std::thread::sleep(Duration::from_millis(5));
                         }
                         Err(_) => break,
                     }
@@ -118,6 +169,7 @@ impl CollectorServer {
             addr: local,
             inventory,
             shutdown,
+            stale_after_ms,
             accept_thread: Some(accept_thread),
         })
     }
@@ -127,15 +179,43 @@ impl CollectorServer {
         self.addr
     }
 
-    /// Number of currently registered servers.
+    /// Overrides the heartbeat-lapse window after which snapshot entries
+    /// are flagged stale (default [`DEFAULT_STALE_AFTER`]).
+    pub fn set_stale_after(&self, window: Duration) {
+        self.stale_after_ms
+            .store(window.as_millis().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+
+    /// Number of currently registered servers (live or stale).
     pub fn num_registered(&self) -> usize {
         self.inventory.read().servers.len()
     }
 
-    /// Current cluster snapshot, hostname-sorted for determinism.
+    /// Current cluster snapshot, hostname-sorted for determinism. Servers
+    /// whose heartbeats have lapsed beyond the stale window are served with
+    /// last-known-good data and [`ServerStatus::stale`] set — degraded, not
+    /// dropped. The live stale count is exported as
+    /// `collector.stale_servers`.
     pub fn snapshot(&self) -> ClusterState {
+        let stale_after =
+            Duration::from_millis(self.stale_after_ms.load(Ordering::Relaxed));
+        let now = Instant::now();
         let inv = self.inventory.read();
-        let mut servers: Vec<ServerStatus> = inv.servers.values().cloned().collect();
+        let mut stale = 0i64;
+        let mut servers: Vec<ServerStatus> = inv
+            .servers
+            .values()
+            .map(|e| {
+                let mut status = e.status.clone();
+                status.stale = now.saturating_duration_since(e.last_seen) > stale_after;
+                if status.stale {
+                    stale += 1;
+                }
+                status
+            })
+            .collect();
+        drop(inv);
+        metrics().stale_servers.set(stale);
         servers.sort_by(|a, b| a.spec.hostname.cmp(&b.spec.hostname));
         ClusterState { servers }
     }
@@ -150,18 +230,56 @@ impl Drop for CollectorServer {
     }
 }
 
-fn handle_connection(stream: TcpStream, inv: &RwLock<Inventory>) -> std::io::Result<()> {
+/// Splits a stream into boxed read/write halves, wearing the fault plan's
+/// injectors when one is active.
+fn split_stream(
+    stream: TcpStream,
+    plan: Option<&FaultPlan>,
+    conn: u64,
+) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+    let writer = stream.try_clone()?;
+    Ok(match plan {
+        Some(p) => (
+            Box::new(FaultyRead::new(stream, p.schedule(conn, Direction::Read))),
+            Box::new(FaultyWrite::new(writer, p.schedule(conn, Direction::Write))),
+        ),
+        None => (Box::new(stream), Box::new(writer)),
+    })
+}
+
+fn handle_connection(
+    reader: Box<dyn Read + Send>,
+    mut writer: Box<dyn Write + Send>,
+    inv: &RwLock<Inventory>,
+) -> std::io::Result<()> {
     let m = metrics();
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut registered: Option<String> = None;
-    while let Some(msg) = read_msg::<ClientMsg>(&mut reader)? {
+    let mut reader = BufReader::new(reader);
+    loop {
+        let msg = match read_msg_bounded::<ClientMsg>(&mut reader, MAX_FRAME_BYTES) {
+            Ok(Some(msg)) => msg,
+            Ok(None) => break, // clean EOF; keep the entry (stale, not gone)
+            Err(WireError::Malformed { detail }) => {
+                // The stream is still line-synchronized: reply and go on.
+                m.rejected_msgs.inc();
+                write_msg(&mut writer, &ServerMsg::Error { reason: format!("malformed frame: {detail}") })?;
+                continue;
+            }
+            Err(e @ WireError::FrameTooLong { .. }) => {
+                // Line sync is lost; reply if possible and drop the peer.
+                m.oversize_frames.inc();
+                let _ = write_msg(&mut writer, &ServerMsg::Error { reason: e.to_string() });
+                break;
+            }
+            Err(WireError::Io(e)) => return Err(e),
+        };
         match msg {
             ClientMsg::Register { spec } => {
-                registered = Some(spec.hostname.clone());
                 let hostname = spec.hostname.clone();
                 let mut guard = write_inventory(inv, m);
-                guard.servers.insert(spec.hostname.clone(), ServerStatus::idle(spec));
+                guard.servers.insert(
+                    spec.hostname.clone(),
+                    Entry { status: ServerStatus::idle(spec), last_seen: Instant::now() },
+                );
                 let joined = guard.servers.len();
                 drop(guard);
                 m.registrations.inc();
@@ -172,9 +290,10 @@ fn handle_connection(stream: TcpStream, inv: &RwLock<Inventory>) -> std::io::Res
             ClientMsg::Heartbeat { hostname, cpu_util, gpus_busy } => {
                 let mut guard = write_inventory(inv, m);
                 match guard.servers.get_mut(&hostname) {
-                    Some(status) if (0.0..=1.0).contains(&cpu_util) => {
-                        status.cpu_util = cpu_util;
-                        status.gpus_busy = gpus_busy.min(status.spec.gpus);
+                    Some(entry) if (0.0..=1.0).contains(&cpu_util) => {
+                        entry.status.cpu_util = cpu_util;
+                        entry.status.gpus_busy = gpus_busy.min(entry.status.spec.gpus);
+                        entry.last_seen = Instant::now();
                         drop(guard);
                         m.heartbeats.inc();
                         tlog!(
@@ -219,42 +338,142 @@ fn handle_connection(stream: TcpStream, inv: &RwLock<Inventory>) -> std::io::Res
     }
     // Abrupt disconnect without Leave: keep the entry (the paper's
     // collector treats missing heartbeats as stale data, not departure).
-    let _ = registered;
     Ok(())
+}
+
+/// Client-side metric handles.
+struct ClientMetrics {
+    retries: &'static Counter,
+    reconnects: &'static Counter,
+}
+
+fn client_metrics() -> &'static ClientMetrics {
+    static METRICS: OnceLock<ClientMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ClientMetrics {
+        retries: pddl_telemetry::counter("collector_client.retries"),
+        reconnects: pddl_telemetry::counter("collector_client.reconnects"),
+    })
 }
 
 /// Client half: runs on each cluster node and reports to the collector.
 pub struct CollectorClient {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
-    hostname: String,
+    spec: ServerSpec,
+    addr: SocketAddr,
+    retry: Option<RetryPolicy>,
 }
 
 impl CollectorClient {
-    /// Connects and registers the given spec.
+    /// Connects and registers the given spec. No retries: a transport
+    /// failure surfaces immediately (see [`Self::register_with_retry`]).
     pub fn register(addr: SocketAddr, spec: ServerSpec) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        let writer = stream.try_clone()?;
-        let reader = BufReader::new(stream);
-        let hostname = spec.hostname.clone();
-        let mut client = Self { writer, reader, hostname };
-        write_msg(&mut client.writer, &ClientMsg::Register { spec })?;
-        client.expect_ack()?;
+        let mut client = Self::connect(addr, spec, None)?;
+        client.send_register()?;
         Ok(client)
     }
 
-    /// Sends a load report.
+    /// Connects and registers under `policy`: capped jittered exponential
+    /// backoff across attempts, with the policy's per-attempt deadline on
+    /// connect, reads, and writes. Subsequent [`Self::heartbeat`]s
+    /// reconnect and re-register under the same policy when the transport
+    /// fails mid-stream.
+    pub fn register_with_retry(
+        addr: SocketAddr,
+        spec: ServerSpec,
+        policy: RetryPolicy,
+    ) -> std::io::Result<Self> {
+        let mut backoff = Backoff::new(policy);
+        loop {
+            let attempt = Self::connect(addr, spec.clone(), Some(policy))
+                .and_then(|mut c| c.send_register().map(|()| c));
+            match attempt {
+                Ok(client) => return Ok(client),
+                Err(e) if is_transient(&e) => match backoff.next_delay() {
+                    Some(delay) => {
+                        client_metrics().retries.inc();
+                        std::thread::sleep(delay);
+                    }
+                    None => return Err(e),
+                },
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn connect(
+        addr: SocketAddr,
+        spec: ServerSpec,
+        retry: Option<RetryPolicy>,
+    ) -> std::io::Result<Self> {
+        let stream = match retry {
+            Some(policy) => {
+                let s = TcpStream::connect_timeout(&addr, policy.attempt_timeout)?;
+                s.set_read_timeout(Some(policy.attempt_timeout))?;
+                s.set_write_timeout(Some(policy.attempt_timeout))?;
+                s
+            }
+            None => TcpStream::connect(addr)?,
+        };
+        let writer = stream.try_clone()?;
+        let reader = BufReader::new(stream);
+        Ok(Self { writer, reader, spec, addr, retry })
+    }
+
+    fn send_register(&mut self) -> std::io::Result<()> {
+        write_msg(&mut self.writer, &ClientMsg::Register { spec: self.spec.clone() })?;
+        self.expect_ack()
+    }
+
+    /// Sends a load report. Under a retry policy, transport failures
+    /// (resets, timeouts, EOF) trigger reconnect + re-register + resend
+    /// with backoff; heartbeats are idempotent (last-write-wins), so a
+    /// retried report cannot corrupt the inventory. Semantic rejections
+    /// (the collector's `Error` reply) are returned without retry.
     pub fn heartbeat(&mut self, cpu_util: f64, gpus_busy: usize) -> std::io::Result<()> {
+        let mut backoff = self.retry.map(Backoff::new);
+        loop {
+            match self.try_heartbeat(cpu_util, gpus_busy) {
+                Ok(()) => return Ok(()),
+                Err(e) if is_transient(&e) => {
+                    let delay = match backoff.as_mut().and_then(Backoff::next_delay) {
+                        Some(d) => d,
+                        None => return Err(e),
+                    };
+                    client_metrics().retries.inc();
+                    std::thread::sleep(delay);
+                    if self.reconnect().is_ok() {
+                        client_metrics().reconnects.inc();
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_heartbeat(&mut self, cpu_util: f64, gpus_busy: usize) -> std::io::Result<()> {
         write_msg(
             &mut self.writer,
-            &ClientMsg::Heartbeat { hostname: self.hostname.clone(), cpu_util, gpus_busy },
+            &ClientMsg::Heartbeat {
+                hostname: self.spec.hostname.clone(),
+                cpu_util,
+                gpus_busy,
+            },
         )?;
         self.expect_ack()
     }
 
+    /// Re-dials the collector and re-registers on the fresh connection.
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        let fresh = Self::connect(self.addr, self.spec.clone(), self.retry)?;
+        self.writer = fresh.writer;
+        self.reader = fresh.reader;
+        self.send_register()
+    }
+
     /// Gracefully leaves the cluster.
     pub fn leave(mut self) -> std::io::Result<()> {
-        write_msg(&mut self.writer, &ClientMsg::Leave { hostname: self.hostname.clone() })?;
+        write_msg(&mut self.writer, &ClientMsg::Leave { hostname: self.spec.hostname.clone() })?;
         self.expect_ack()
     }
 
@@ -290,6 +509,7 @@ mod tests {
         let snap = server.snapshot();
         assert_eq!(snap.num_servers(), 2);
         assert_eq!(snap.servers[0].spec.hostname, "a");
+        assert!(snap.servers.iter().all(|s| !s.stale));
         drop((c1, c2));
     }
 
@@ -330,6 +550,152 @@ mod tests {
         }
         std::thread::sleep(std::time::Duration::from_millis(50));
         assert_eq!(server.num_registered(), 1);
+    }
+
+    #[test]
+    fn lapsed_heartbeats_flag_stale_but_keep_serving() {
+        let server = CollectorServer::bind("127.0.0.1:0", 1).unwrap();
+        server.set_stale_after(Duration::from_millis(30));
+        let mut c = CollectorClient::register(server.addr(), spec("n", ServerClass::GpuP100)).unwrap();
+        c.heartbeat(0.2, 1).unwrap();
+        assert!(!server.snapshot().servers[0].stale, "fresh heartbeat flagged stale");
+        std::thread::sleep(Duration::from_millis(80));
+        let snap = server.snapshot();
+        // Degraded, not dropped: last-known-good data with the flag set.
+        assert_eq!(snap.num_servers(), 1);
+        assert!(snap.servers[0].stale);
+        assert!((snap.servers[0].cpu_util - 0.2).abs() < 1e-9);
+        // A fresh heartbeat revives the entry.
+        c.heartbeat(0.3, 0).unwrap();
+        assert!(!server.snapshot().servers[0].stale);
+    }
+
+    #[test]
+    fn malformed_frame_gets_error_reply_and_connection_survives() {
+        use std::io::{BufRead, Write};
+        let server = CollectorServer::bind("127.0.0.1:0", 1).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        let mut r = std::io::BufReader::new(stream);
+        w.write_all(b"completely bogus\n").unwrap();
+        w.flush().unwrap();
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert!(line.contains("error"), "{line}");
+        // Same connection still works for a real registration.
+        write_msg(&mut w, &ClientMsg::Register { spec: spec("z", ServerClass::GpuP100) }).unwrap();
+        let mut ack = String::new();
+        r.read_line(&mut ack).unwrap();
+        assert!(ack.contains("ack"), "{ack}");
+        assert_eq!(server.num_registered(), 1);
+    }
+
+    #[test]
+    fn oversize_frame_closes_connection_with_error() {
+        use std::io::{BufRead, Write};
+        let server = CollectorServer::bind("127.0.0.1:0", 1).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        let mut r = std::io::BufReader::new(stream);
+        let huge = vec![b'x'; MAX_FRAME_BYTES + 4096];
+        // The collector may reset mid-write once the bound trips; either
+        // way the connection must end with at most one error reply.
+        let _ = w.write_all(&huge);
+        let _ = w.write_all(b"\n");
+        let _ = w.flush();
+        let mut line = String::new();
+        let n = r.read_line(&mut line).unwrap_or(0);
+        assert!(n == 0 || line.contains("error"), "{line}");
+        assert_eq!(server.num_registered(), 0);
+    }
+
+    #[test]
+    fn register_with_retry_waits_out_a_late_collector() {
+        // Reserve an ephemeral port, free it, and bring the collector up on
+        // it only after a delay: early attempts see ConnectionRefused and
+        // must back off rather than fail.
+        let addr = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+        };
+        let server_thread = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            CollectorServer::bind(&addr.to_string(), 1).unwrap()
+        });
+        let c = CollectorClient::register_with_retry(
+            addr,
+            spec("late", ServerClass::GpuP100),
+            RetryPolicy::fast(1),
+        );
+        let server = server_thread.join().unwrap();
+        c.expect("registration should retry until the collector is up");
+        assert_eq!(server.num_registered(), 1);
+    }
+
+    /// A TCP proxy that kills its first connection after `kill_after`
+    /// newline-terminated server replies, then forwards all later
+    /// connections transparently — a deterministic mid-stream death for
+    /// reconnect tests.
+    fn flaky_proxy(upstream: SocketAddr, kill_after: usize) -> SocketAddr {
+        use std::net::Shutdown;
+        fn pump(mut from: TcpStream, mut to: TcpStream, mut newline_budget: usize) {
+            let mut buf = [0u8; 1024];
+            loop {
+                let n = match std::io::Read::read(&mut from, &mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => n,
+                };
+                if std::io::Write::write_all(&mut to, &buf[..n]).is_err() {
+                    break;
+                }
+                for &b in &buf[..n] {
+                    if b == b'\n' {
+                        newline_budget = newline_budget.saturating_sub(1);
+                        if newline_budget == 0 {
+                            let _ = to.shutdown(Shutdown::Both);
+                            let _ = from.shutdown(Shutdown::Both);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut first = true;
+            for conn in listener.incoming() {
+                let Ok(client) = conn else { break };
+                let Ok(server) = TcpStream::connect(upstream) else { break };
+                let budget = if first { kill_after } else { usize::MAX };
+                first = false;
+                let (c2, s2) = (client.try_clone().unwrap(), server.try_clone().unwrap());
+                std::thread::spawn(move || pump(c2, server, usize::MAX));
+                std::thread::spawn(move || pump(s2, client, budget));
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn heartbeat_reconnects_after_midstream_disconnect() {
+        let server = CollectorServer::bind("127.0.0.1:0", 1).unwrap();
+        // Kill the first proxied connection after two server replies: the
+        // register ack and the first heartbeat ack.
+        let proxy = flaky_proxy(server.addr(), 2);
+        let mut c = CollectorClient::register_with_retry(
+            proxy,
+            spec("n", ServerClass::GpuP100),
+            RetryPolicy::fast(2),
+        )
+        .unwrap();
+        c.heartbeat(0.1, 0).unwrap();
+        // The connection is now dead; this heartbeat must reconnect,
+        // re-register, and land the report on a fresh connection.
+        c.heartbeat(0.5, 0).unwrap();
+        let snap = server.snapshot();
+        assert_eq!(snap.num_servers(), 1);
+        assert!((snap.servers[0].cpu_util - 0.5).abs() < 1e-9);
     }
 
     #[test]

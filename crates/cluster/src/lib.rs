@@ -13,10 +13,13 @@
 pub mod collector;
 pub mod equations;
 pub mod protocol;
+pub mod retry;
 pub mod spec;
 pub mod state;
 
-pub use collector::{CollectorClient, CollectorServer};
+pub use collector::{CollectorClient, CollectorServer, DEFAULT_STALE_AFTER};
 pub use equations::{available_flops, available_ram, per_core};
+pub use protocol::{WireError, MAX_FRAME_BYTES};
+pub use retry::{is_transient, Backoff, RetryPolicy};
 pub use spec::{ServerClass, ServerSpec};
 pub use state::{ClusterState, ServerStatus, CLUSTER_FEATURE_DIM};

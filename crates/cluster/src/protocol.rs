@@ -28,6 +28,61 @@ pub enum ServerMsg {
     Error { reason: String },
 }
 
+/// Upper bound on a single wire frame (one JSON line), applied by
+/// [`read_msg`]. A peer that never sends a newline can buffer at most this
+/// much before the read fails with [`WireError::FrameTooLong`].
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Structured wire-layer failures, replacing bare `io::Error`s so callers
+/// can tell a hostile frame from a dead transport.
+#[derive(Debug)]
+pub enum WireError {
+    /// The frame exceeded the length bound before a newline was seen. The
+    /// connection is no longer line-synchronized and should be closed.
+    FrameTooLong {
+        /// The bound that was exceeded.
+        limit: usize,
+    },
+    /// The frame was complete but not valid JSON for the expected type.
+    /// The stream is still line-synchronized; reading may continue.
+    Malformed {
+        /// Parser diagnostic.
+        detail: String,
+    },
+    /// The underlying transport failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::FrameTooLong { limit } => {
+                write!(f, "wire frame exceeds {limit} bytes without a newline")
+            }
+            WireError::Malformed { detail } => write!(f, "malformed wire frame: {detail}"),
+            WireError::Io(e) => write!(f, "wire transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for std::io::Error {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
 /// Writes one message as a JSON line.
 pub fn write_msg<T: Serialize>(w: &mut impl Write, msg: &T) -> std::io::Result<()> {
     let mut line = serde_json::to_string(msg)?;
@@ -36,18 +91,68 @@ pub fn write_msg<T: Serialize>(w: &mut impl Write, msg: &T) -> std::io::Result<(
     w.flush()
 }
 
-/// Reads one JSON-line message; `Ok(None)` on clean EOF.
+/// Reads one newline-terminated line of at most `limit` bytes (exclusive of
+/// the newline). `Ok(None)` on clean EOF; a final unterminated line is
+/// returned as-is, matching `read_line`. Bytes are converted lossily, so a
+/// line corrupted into invalid UTF-8 still surfaces as a (malformed) frame
+/// rather than killing the connection.
+pub fn read_line_bounded(
+    r: &mut impl BufRead,
+    limit: usize,
+) -> Result<Option<String>, WireError> {
+    let mut frame: Vec<u8> = Vec::new();
+    loop {
+        let chunk = r.fill_buf().map_err(WireError::Io)?;
+        if chunk.is_empty() {
+            return if frame.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(String::from_utf8_lossy(&frame).into_owned()))
+            };
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if frame.len().saturating_add(pos) > limit {
+                    return Err(WireError::FrameTooLong { limit });
+                }
+                frame.extend_from_slice(&chunk[..pos]);
+                r.consume(pos + 1);
+                return Ok(Some(String::from_utf8_lossy(&frame).into_owned()));
+            }
+            None => {
+                let n = chunk.len();
+                if frame.len().saturating_add(n) > limit {
+                    return Err(WireError::FrameTooLong { limit });
+                }
+                frame.extend_from_slice(chunk);
+                r.consume(n);
+            }
+        }
+    }
+}
+
+/// Reads one JSON-line message of at most `limit` bytes; `Ok(None)` on
+/// clean EOF, [`WireError::Malformed`] on a complete-but-unparseable frame.
+pub fn read_msg_bounded<T: for<'de> Deserialize<'de>>(
+    r: &mut impl BufRead,
+    limit: usize,
+) -> Result<Option<T>, WireError> {
+    let Some(line) = read_line_bounded(r, limit)? else {
+        return Ok(None);
+    };
+    serde_json::from_str(line.trim_end())
+        .map(Some)
+        .map_err(|e| WireError::Malformed { detail: e.to_string() })
+}
+
+/// Reads one JSON-line message bounded at [`MAX_FRAME_BYTES`]; `Ok(None)`
+/// on clean EOF. Malformed and over-long frames surface as
+/// `InvalidData` `io::Error`s (see [`read_msg_bounded`] for the structured
+/// form).
 pub fn read_msg<T: for<'de> Deserialize<'de>>(
     r: &mut impl BufRead,
 ) -> std::io::Result<Option<T>> {
-    let mut line = String::new();
-    let n = r.read_line(&mut line)?;
-    if n == 0 {
-        return Ok(None);
-    }
-    let msg = serde_json::from_str(line.trim_end())
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    Ok(Some(msg))
+    read_msg_bounded(r, MAX_FRAME_BYTES).map_err(std::io::Error::from)
 }
 
 #[cfg(test)]
@@ -80,6 +185,50 @@ mod tests {
         let mut r = BufReader::new(Cursor::new(b"not json\n".to_vec()));
         let got: std::io::Result<Option<ClientMsg>> = read_msg(&mut r);
         assert!(got.is_err());
+    }
+
+    #[test]
+    fn overlong_frame_rejected_with_structured_error() {
+        // A "peer" that drips bytes without ever sending a newline must be
+        // cut off at the bound, not buffered indefinitely.
+        let bytes = vec![b'x'; 4096];
+        let mut r = BufReader::with_capacity(64, Cursor::new(bytes));
+        let got = read_msg_bounded::<ClientMsg>(&mut r, 1024);
+        assert!(matches!(got, Err(WireError::FrameTooLong { limit: 1024 })));
+    }
+
+    #[test]
+    fn frame_at_limit_is_accepted() {
+        let mut line = vec![b'"'; 1];
+        line.extend_from_slice(&[b'a'; 8]);
+        line.push(b'"');
+        line.push(b'\n');
+        let limit = line.len() - 1;
+        let mut r = BufReader::new(Cursor::new(line));
+        let got: Option<String> = read_msg_bounded(&mut r, limit).expect("within bound");
+        assert_eq!(got.as_deref(), Some("aaaaaaaa"));
+    }
+
+    #[test]
+    fn malformed_frame_keeps_stream_synchronized() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"{\"type\":\"nonsense\"}\n");
+        write_msg(&mut buf, &ClientMsg::Leave { hostname: "a".into() }).unwrap();
+        let mut r = BufReader::new(Cursor::new(buf));
+        let first = read_msg_bounded::<ClientMsg>(&mut r, MAX_FRAME_BYTES);
+        assert!(matches!(first, Err(WireError::Malformed { .. })));
+        // The malformed line was consumed; the next frame parses fine.
+        let second: ClientMsg = read_msg(&mut r).unwrap().unwrap();
+        assert!(matches!(second, ClientMsg::Leave { .. }));
+    }
+
+    #[test]
+    fn invalid_utf8_is_malformed_not_fatal() {
+        let mut r = BufReader::new(Cursor::new(b"\xff\xfe\xfd\n".to_vec()));
+        let got = read_msg_bounded::<ClientMsg>(&mut r, MAX_FRAME_BYTES);
+        assert!(matches!(got, Err(WireError::Malformed { .. })));
+        let eof: Option<ClientMsg> = read_msg(&mut r).unwrap();
+        assert!(eof.is_none());
     }
 
     #[test]

@@ -13,12 +13,19 @@ pub struct ServerStatus {
     pub cpu_util: f64,
     /// GPUs currently allocated to other jobs.
     pub gpus_busy: usize,
+    /// True when the collector has not heard a heartbeat from this server
+    /// recently: the spec and load figures are last-known-good, not live.
+    /// Stale servers still count toward capacity (the paper's collector
+    /// treats missing heartbeats as stale data, not departure) — consumers
+    /// that want to exclude them can filter on this flag.
+    #[serde(default)]
+    pub stale: bool,
 }
 
 impl ServerStatus {
     /// A fully idle server.
     pub fn idle(spec: ServerSpec) -> Self {
-        Self { spec, cpu_util: 0.0, gpus_busy: 0 }
+        Self { spec, cpu_util: 0.0, gpus_busy: 0, stale: false }
     }
 
     /// GPUs free for a new job.

@@ -62,12 +62,16 @@ const USAGE: &str = "usage:
   predictddl-cli predict --system <file> --model <name> --dataset <name>
                          --servers <n> [--gpu|--cpu] [--batch 128] [--epochs 10]
   predictddl-cli serve   --system <file> [--addr 127.0.0.1:7077]
+                         [--fault-plan 'seed=42,delay=0.05:5,reset=0.02']
   predictddl-cli stats   [--addr 127.0.0.1:7077] [--timeout-ms 5000]
   predictddl-cli models
   predictddl-cli help | --help | -h
 options:
   --metrics-dump   print the local telemetry snapshot (JSON) to stderr on exit
-  PDDL_LOG=<spec>  structured JSON logs, e.g. PDDL_LOG=info,controller=debug";
+  --fault-plan     inject deterministic wire faults (sets PDDL_FAULT_PLAN;
+                   see the pddl-faults crate and TESTING.md for the spec)
+  PDDL_LOG=<spec>  structured JSON logs, e.g. PDDL_LOG=info,controller=debug
+  PDDL_FAULT_PLAN  same as --fault-plan, honored by serve and the collector";
 
 type Flags = HashMap<String, String>;
 
@@ -177,6 +181,12 @@ fn install_shutdown_handler() {
 fn install_shutdown_handler() {}
 
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    if let Some(spec) = flags.get("fault-plan") {
+        // Validate before serving so a typo fails fast with the parser's
+        // message instead of a generic bind error.
+        pddl_faults::FaultPlan::parse(spec)?;
+        std::env::set_var(pddl_faults::FAULT_PLAN_ENV, spec);
+    }
     let system = PredictDdl::load(required(flags, "system")?).map_err(|e| e.to_string())?;
     let addr = flags.get("addr").map_or("127.0.0.1:7077", |s| s.as_str());
     let controller = Controller::serve(addr, system).map_err(|e| e.to_string())?;

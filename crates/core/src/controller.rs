@@ -11,17 +11,34 @@
 //! the wire protocol carries one control op: `{"op":"stats"}` returns a
 //! live JSON snapshot of the telemetry registry (see the README's
 //! "Observability" section for the metric catalogue).
+//!
+//! ## Hardening
+//!
+//! Frames are bounded at [`pddl_cluster::MAX_FRAME_BYTES`]; a peer that
+//! never sends a newline is cut off, not buffered. Malformed frames earn a
+//! typed error reply and a counter bump; over-long frames additionally
+//! close the connection (line sync is lost). A request wrapped in a
+//! [`RequestEnvelope`] carries a `(client, id)` identity: the controller
+//! remembers recent responses per identity, so a client retrying after a
+//! lost reply gets the original response back instead of a recomputation —
+//! the dedup behind [`ControllerClient::connect_resilient`]'s exactly-once
+//! semantics. When `PDDL_FAULT_PLAN` is set (see [`pddl_faults`]), every
+//! accepted connection wears deterministic fault injectors.
 
 use crate::offline::PredictDdl;
 use crate::request::{Prediction, PredictionRequest, RequestError};
+use pddl_cluster::protocol::{read_line_bounded, WireError, MAX_FRAME_BYTES};
+use pddl_cluster::retry::{is_transient, Backoff, RetryPolicy};
+use pddl_faults::{Direction, FaultPlan, FaultyRead, FaultyWrite};
 use pddl_telemetry::{tlog, Counter, Gauge, Histogram, Level, Snapshot};
 use serde::{Deserialize, Serialize};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpStream, TcpListener};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Wire response.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -39,6 +56,33 @@ pub enum WireResponse {
     },
 }
 
+/// A prediction request wrapped with a client-chosen identity, enabling
+/// idempotent retry: the controller caches the response under
+/// `(client, id)` and serves it again verbatim if the same identity
+/// reappears (e.g. after the original reply was lost in transit).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Client session token (unique per [`ControllerClient`] instance).
+    pub client: u64,
+    /// Request number within the session.
+    pub id: u64,
+    /// The wrapped request.
+    pub req: PredictionRequest,
+}
+
+/// The response to a [`RequestEnvelope`], echoing its identity so the
+/// client can match replies to requests across retries and reject frames
+/// corrupted in transit.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// Echo of the request's client token.
+    pub client: u64,
+    /// Echo of the request's id.
+    pub id: u64,
+    /// The actual response.
+    pub resp: WireResponse,
+}
+
 /// Control operations multiplexed onto the request stream. Tried before
 /// [`PredictionRequest`] parsing; the `op` tag cannot collide with a
 /// prediction request's fields.
@@ -50,6 +94,41 @@ enum ControlOp {
     Stats,
 }
 
+/// One classified request frame (see [`parse_frame`]).
+#[derive(Clone, Debug)]
+pub enum ParsedFrame {
+    /// `{"op":"stats"}` — telemetry snapshot request.
+    Stats,
+    /// A JSON array of prediction requests (a batch).
+    Batch(Vec<PredictionRequest>),
+    /// An id-wrapped single request (idempotent-retry path).
+    Enveloped(RequestEnvelope),
+    /// A bare single request.
+    Single(Box<PredictionRequest>),
+}
+
+/// Classifies one request line into a [`ParsedFrame`]. This is the
+/// controller's entire peer-facing parser: it must return `Err` — never
+/// panic — for arbitrary bytes (enforced by `tests/wire_fuzz.rs`).
+pub fn parse_frame(line: &str) -> Result<ParsedFrame, String> {
+    if serde_json::from_str::<ControlOp>(line).is_ok() {
+        return Ok(ParsedFrame::Stats);
+    }
+    if line.trim_start().starts_with('[') {
+        return match serde_json::from_str::<Vec<PredictionRequest>>(line) {
+            Ok(reqs) => Ok(ParsedFrame::Batch(reqs)),
+            Err(e) => Err(format!("malformed batch request: {e}")),
+        };
+    }
+    if let Ok(env) = serde_json::from_str::<RequestEnvelope>(line) {
+        return Ok(ParsedFrame::Enveloped(env));
+    }
+    match serde_json::from_str::<PredictionRequest>(line) {
+        Ok(req) => Ok(ParsedFrame::Single(Box::new(req))),
+        Err(e) => Err(format!("malformed request: {e}")),
+    }
+}
+
 /// Controller-side metric handles, resolved once (increments stay
 /// lock-free on the request path).
 struct Metrics {
@@ -58,6 +137,10 @@ struct Metrics {
     requests_err: &'static Counter,
     stats_requests: &'static Counter,
     batch_requests: &'static Counter,
+    malformed_frames: &'static Counter,
+    oversize_frames: &'static Counter,
+    disconnects: &'static Counter,
+    dedup_hits: &'static Counter,
     connections_total: &'static Counter,
     active_connections: &'static Gauge,
     request_latency: &'static Histogram,
@@ -71,10 +154,57 @@ fn metrics() -> &'static Metrics {
         requests_err: pddl_telemetry::counter("controller.requests_err"),
         stats_requests: pddl_telemetry::counter("controller.stats_requests"),
         batch_requests: pddl_telemetry::counter("controller.batch_requests"),
+        malformed_frames: pddl_telemetry::counter("controller.malformed_frames"),
+        oversize_frames: pddl_telemetry::counter("controller.oversize_frames"),
+        disconnects: pddl_telemetry::counter("controller.disconnects"),
+        dedup_hits: pddl_telemetry::counter("controller.request_dedups"),
         connections_total: pddl_telemetry::counter("controller.connections_total"),
         active_connections: pddl_telemetry::gauge("controller.active_connections"),
         request_latency: pddl_telemetry::histogram("controller.request_latency"),
     })
+}
+
+/// Entries kept in the idempotent-retry response cache. Sized so a burst
+/// of retried requests stays deduplicated while memory stays bounded
+/// (~cache-cap × response-line bytes).
+const RESPONSE_CACHE_CAP: usize = 4096;
+
+/// Bounded FIFO cache of rendered response lines keyed by request
+/// identity. Shared across connections: a client may retry on a fresh
+/// connection after the original died mid-reply.
+#[derive(Default)]
+struct ResponseCache {
+    inner: Mutex<CacheInner>,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: HashMap<(u64, u64), String>,
+    order: VecDeque<(u64, u64)>,
+}
+
+impl ResponseCache {
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        // A panicked handler cannot leave the cache in a broken state (all
+        // mutations are single statements), so poison is safe to clear.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn get(&self, key: (u64, u64)) -> Option<String> {
+        self.lock().map.get(&key).cloned()
+    }
+
+    fn put(&self, key: (u64, u64), line: String) {
+        let mut inner = self.lock();
+        if inner.map.insert(key, line).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > RESPONSE_CACHE_CAP {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+    }
 }
 
 /// A running prediction service. Dropping the handle stops the listener.
@@ -91,14 +221,24 @@ impl Controller {
     /// read-only. Finished handler threads are reaped in the accept loop,
     /// so a long-lived controller does not accumulate dead `JoinHandle`s;
     /// the live count is exported as `controller.active_connections`.
+    ///
+    /// If `PDDL_FAULT_PLAN` is set, every accepted connection is wrapped
+    /// in that plan's deterministic fault injectors; an unparseable plan
+    /// is an `InvalidInput` error.
     pub fn serve(addr: &str, system: PredictDdl) -> std::io::Result<Self> {
+        let fault_plan = FaultPlan::from_env()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let requests_served = Arc::new(AtomicU64::new(0));
         let system = Arc::new(system);
+        let cache = Arc::new(ResponseCache::default());
         tlog!(Level::Info, "controller", "listening", addr = local.to_string());
+        if let Some(plan) = &fault_plan {
+            tlog!(Level::Warn, "controller", "fault injection active", plan = plan.to_spec());
+        }
 
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
@@ -106,6 +246,7 @@ impl Controller {
             std::thread::spawn(move || {
                 let m = metrics();
                 let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                let mut next_conn: u64 = 0;
                 while !shutdown.load(Ordering::Relaxed) {
                     reap_finished(&mut handlers);
                     match listener.accept() {
@@ -119,10 +260,22 @@ impl Controller {
                                 "connection accepted",
                                 peer = peer.to_string(),
                             );
+                            let conn = next_conn;
+                            next_conn += 1;
                             let system = Arc::clone(&system);
                             let served = Arc::clone(&served);
+                            let cache = Arc::clone(&cache);
                             handlers.push(std::thread::spawn(move || {
-                                let _ = handle_conn(stream, &system, &served);
+                                let outcome = split_stream(stream, fault_plan.as_ref(), conn)
+                                    .and_then(|(r, w)| {
+                                        handle_conn(r, w, &system, &served, &cache)
+                                    });
+                                if outcome.is_err() {
+                                    // Mid-request disconnect or transport
+                                    // death: reap the connection, keep the
+                                    // service alive.
+                                    metrics().disconnects.inc();
+                                }
                                 metrics().active_connections.dec();
                             }));
                         }
@@ -151,7 +304,9 @@ impl Controller {
         self.addr
     }
 
-    /// Total requests answered (ok or error).
+    /// Total requests answered by computation (deduplicated replays of a
+    /// cached response are counted in `controller.request_dedups`, not
+    /// here).
     pub fn requests_served(&self) -> u64 {
         self.requests_served.load(Ordering::Relaxed)
     }
@@ -178,138 +333,199 @@ fn reap_finished(handlers: &mut Vec<JoinHandle<()>>) {
     }
 }
 
-fn handle_conn(
+/// Splits a stream into boxed read/write halves, wearing the fault plan's
+/// injectors when one is active.
+fn split_stream(
     stream: TcpStream,
+    plan: Option<&FaultPlan>,
+    conn: u64,
+) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+    let writer = stream.try_clone()?;
+    Ok(match plan {
+        Some(p) => (
+            Box::new(FaultyRead::new(stream, p.schedule(conn, Direction::Read))),
+            Box::new(FaultyWrite::new(writer, p.schedule(conn, Direction::Write))),
+        ),
+        None => (Box::new(stream), Box::new(writer)),
+    })
+}
+
+fn write_line(w: &mut impl Write, line: &str) -> std::io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+fn handle_conn(
+    reader: Box<dyn Read + Send>,
+    mut writer: Box<dyn Write + Send>,
     system: &PredictDdl,
     served: &AtomicU64,
+    cache: &ResponseCache,
 ) -> std::io::Result<()> {
     let m = metrics();
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(reader);
+    loop {
+        let line = match read_line_bounded(&mut reader, MAX_FRAME_BYTES) {
+            Ok(Some(line)) => line,
+            Ok(None) => break, // clean EOF
+            Err(WireError::FrameTooLong { limit }) => {
+                // Line sync is lost: reply (best effort) and drop the peer.
+                m.oversize_frames.inc();
+                let response = WireResponse::Err {
+                    error: RequestError::InvalidParams(format!(
+                        "frame exceeds {limit} bytes"
+                    )),
+                };
+                let _ = write_line(&mut writer, &serde_json::to_string(&response)?);
+                break;
+            }
+            // read_line_bounded does not parse, so Malformed cannot occur
+            // here; treat it like an over-long frame rather than panicking.
+            Err(WireError::Malformed { .. }) => break,
+            Err(WireError::Io(e)) => return Err(e),
+        };
         if line.trim().is_empty() {
             continue;
         }
         let t0 = Instant::now();
-        // Control ops first: `{"op":"stats"}` has no overlap with the
-        // prediction-request schema.
-        if let Ok(op) = serde_json::from_str::<ControlOp>(&line) {
-            match op {
-                ControlOp::Stats => {
-                    m.stats_requests.inc();
-                    let mut out = format!(
-                        "{{\"status\":\"stats\",\"snapshot\":{}}}",
-                        pddl_telemetry::snapshot().to_json()
-                    );
-                    out.push('\n');
-                    writer.write_all(out.as_bytes())?;
-                    writer.flush()?;
-                }
+        let frame = match parse_frame(&line) {
+            Ok(frame) => frame,
+            Err(detail) => {
+                m.malformed_frames.inc();
+                m.requests_total.inc();
+                m.requests_err.inc();
+                served.fetch_add(1, Ordering::Relaxed);
+                let response =
+                    WireResponse::Err { error: RequestError::InvalidParams(detail) };
+                write_line(&mut writer, &serde_json::to_string(&response)?)?;
+                continue;
             }
-            continue;
-        }
-        // Batch requests: a JSON *array* of prediction requests. The
-        // per-request work fans out across the work pool via
-        // [`PredictDdl::predict_many`]; the response is one JSON array of
-        // wire responses, in request order.
-        if line.trim_start().starts_with('[') {
-            match serde_json::from_str::<Vec<PredictionRequest>>(&line) {
-                Ok(reqs) => {
-                    m.batch_requests.inc();
-                    m.requests_total.add(reqs.len() as u64);
-                    let results = system.predict_many(&reqs);
-                    let responses: Vec<WireResponse> = results
-                        .into_iter()
-                        .map(|r| match r {
-                            Ok(prediction) => {
-                                m.requests_ok.inc();
-                                WireResponse::Ok { prediction }
-                            }
-                            Err(error) => {
-                                m.requests_err.inc();
-                                WireResponse::Err { error }
-                            }
-                        })
-                        .collect();
-                    served.fetch_add(responses.len() as u64, Ordering::Relaxed);
-                    let mut out = serde_json::to_string(&responses)?;
-                    out.push('\n');
-                    writer.write_all(out.as_bytes())?;
-                    writer.flush()?;
-                    let elapsed = t0.elapsed();
-                    m.request_latency.record_duration(elapsed);
-                    tlog!(
-                        Level::Debug,
-                        "controller.request",
-                        "served batch",
-                        batch_size = responses.len() as u64,
-                        latency_us = elapsed.as_micros() as u64,
-                    );
-                }
-                Err(e) => {
-                    m.requests_total.inc();
-                    m.requests_err.inc();
-                    served.fetch_add(1, Ordering::Relaxed);
-                    let response = WireResponse::Err {
-                        error: RequestError::InvalidParams(format!(
-                            "malformed batch request: {e}"
-                        )),
-                    };
-                    let mut out = serde_json::to_string(&response)?;
-                    out.push('\n');
-                    writer.write_all(out.as_bytes())?;
-                    writer.flush()?;
-                }
-            }
-            continue;
-        }
-        m.requests_total.inc();
-        let response = match serde_json::from_str::<PredictionRequest>(&line) {
-            Ok(req) => match system.predict(&req) {
-                Ok(prediction) => WireResponse::Ok { prediction },
-                Err(error) => WireResponse::Err { error },
-            },
-            Err(e) => WireResponse::Err {
-                error: RequestError::InvalidParams(format!("malformed request: {e}")),
-            },
         };
-        served.fetch_add(1, Ordering::Relaxed);
-        let mut out = serde_json::to_string(&response)?;
-        out.push('\n');
-        writer.write_all(out.as_bytes())?;
-        writer.flush()?;
-        let elapsed = t0.elapsed();
-        m.request_latency.record_duration(elapsed);
-        match &response {
-            WireResponse::Ok { .. } => {
-                m.requests_ok.inc();
+        match frame {
+            ParsedFrame::Stats => {
+                m.stats_requests.inc();
+                let out = format!(
+                    "{{\"status\":\"stats\",\"snapshot\":{}}}",
+                    pddl_telemetry::snapshot().to_json()
+                );
+                write_line(&mut writer, &out)?;
+            }
+            // Batch requests: a JSON *array* of prediction requests. The
+            // per-request work fans out across the work pool via
+            // [`PredictDdl::predict_many`]; the response is one JSON array
+            // of wire responses, in request order.
+            ParsedFrame::Batch(reqs) => {
+                m.batch_requests.inc();
+                m.requests_total.add(reqs.len() as u64);
+                let results = system.predict_many(&reqs);
+                let responses: Vec<WireResponse> = results
+                    .into_iter()
+                    .map(|r| match r {
+                        Ok(prediction) => {
+                            m.requests_ok.inc();
+                            WireResponse::Ok { prediction }
+                        }
+                        Err(error) => {
+                            m.requests_err.inc();
+                            WireResponse::Err { error }
+                        }
+                    })
+                    .collect();
+                served.fetch_add(responses.len() as u64, Ordering::Relaxed);
+                write_line(&mut writer, &serde_json::to_string(&responses)?)?;
+                let elapsed = t0.elapsed();
+                m.request_latency.record_duration(elapsed);
                 tlog!(
                     Level::Debug,
                     "controller.request",
-                    "served",
+                    "served batch",
+                    batch_size = responses.len() as u64,
                     latency_us = elapsed.as_micros() as u64,
                 );
             }
-            WireResponse::Err { error } => {
-                m.requests_err.inc();
-                tlog!(
-                    Level::Warn,
-                    "controller.request",
-                    "request failed",
-                    error = error.to_string(),
-                    latency_us = elapsed.as_micros() as u64,
-                );
+            // Id-wrapped single request: consult the response cache first,
+            // so a retried request replays the original response instead
+            // of being recomputed.
+            ParsedFrame::Enveloped(env) => {
+                let key = (env.client, env.id);
+                if let Some(cached) = cache.get(key) {
+                    m.dedup_hits.inc();
+                    tlog!(
+                        Level::Debug,
+                        "controller.request",
+                        "deduplicated retry",
+                        client = env.client,
+                        id = env.id,
+                    );
+                    write_line(&mut writer, &cached)?;
+                    continue;
+                }
+                m.requests_total.inc();
+                let resp = predict_one(system, &env.req, m);
+                let out = serde_json::to_string(&ResponseEnvelope {
+                    client: env.client,
+                    id: env.id,
+                    resp,
+                })?;
+                cache.put(key, out.clone());
+                served.fetch_add(1, Ordering::Relaxed);
+                write_line(&mut writer, &out)?;
+                m.request_latency.record_duration(t0.elapsed());
+            }
+            ParsedFrame::Single(req) => {
+                m.requests_total.inc();
+                let response = predict_one(system, &req, m);
+                served.fetch_add(1, Ordering::Relaxed);
+                write_line(&mut writer, &serde_json::to_string(&response)?)?;
+                let elapsed = t0.elapsed();
+                m.request_latency.record_duration(elapsed);
+                match &response {
+                    WireResponse::Ok { .. } => {
+                        tlog!(
+                            Level::Debug,
+                            "controller.request",
+                            "served",
+                            latency_us = elapsed.as_micros() as u64,
+                        );
+                    }
+                    WireResponse::Err { error } => {
+                        tlog!(
+                            Level::Warn,
+                            "controller.request",
+                            "request failed",
+                            error = error.to_string(),
+                            latency_us = elapsed.as_micros() as u64,
+                        );
+                    }
+                }
             }
         }
     }
     Ok(())
 }
 
+/// Runs one prediction, recording ok/err counters.
+fn predict_one(system: &PredictDdl, req: &PredictionRequest, m: &Metrics) -> WireResponse {
+    match system.predict(req) {
+        Ok(prediction) => {
+            m.requests_ok.inc();
+            WireResponse::Ok { prediction }
+        }
+        Err(error) => {
+            m.requests_err.inc();
+            WireResponse::Err { error }
+        }
+    }
+}
+
 /// Client-side metric handles.
 struct ClientMetrics {
     requests: &'static Counter,
     timeouts: &'static Counter,
+    retries: &'static Counter,
+    reconnects: &'static Counter,
+    mismatches: &'static Counter,
 }
 
 fn client_metrics() -> &'static ClientMetrics {
@@ -317,21 +533,49 @@ fn client_metrics() -> &'static ClientMetrics {
     METRICS.get_or_init(|| ClientMetrics {
         requests: pddl_telemetry::counter("controller_client.requests"),
         timeouts: pddl_telemetry::counter("controller_client.timeouts"),
+        retries: pddl_telemetry::counter("controller_client.retries"),
+        reconnects: pddl_telemetry::counter("controller_client.reconnects"),
+        mismatches: pddl_telemetry::counter("controller_client.response_mismatches"),
     })
+}
+
+/// A process-unique-ish session token for request identities. Collisions
+/// across processes are harmless (the dedup cache would merely replay a
+/// response to a client that provably sent the same session+id).
+fn session_token() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    let t = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    t ^ NEXT.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+        ^ ((std::process::id() as u64) << 32)
+}
+
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
 }
 
 /// Blocking client for the controller protocol.
 pub struct ControllerClient {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+    conn: Option<Conn>,
+    addr: SocketAddr,
+    timeout: Option<Duration>,
+    retry: Option<RetryPolicy>,
+    session: u64,
+    next_id: u64,
 }
 
 impl ControllerClient {
     /// Connects without timeouts: a dead or stalled server blocks
     /// indefinitely. Prefer [`Self::connect_with_timeout`] for anything
-    /// beyond tests on localhost.
+    /// beyond tests on localhost, and [`Self::connect_resilient`] when the
+    /// transport itself is unreliable.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
-        Self::from_stream(TcpStream::connect(addr)?)
+        let mut client = Self::disconnected(addr, None, None);
+        client.ensure_conn()?;
+        Ok(client)
     }
 
     /// Connects with `timeout` applied to the TCP connect and to every
@@ -339,24 +583,80 @@ impl ControllerClient {
     /// `TimedOut`/`WouldBlock` errors and are counted in the
     /// `controller_client.timeouts` counter.
     pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
-        let stream = TcpStream::connect_timeout(&addr, timeout).inspect_err(|_| {
-            client_metrics().timeouts.inc();
-        })?;
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
-        Self::from_stream(stream)
+        let mut client = Self::disconnected(addr, Some(timeout), None);
+        client.ensure_conn()?;
+        Ok(client)
     }
 
-    fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
-        let writer = stream.try_clone()?;
-        Ok(Self { writer, reader: BufReader::new(stream) })
+    /// Connects under `policy`: every [`Self::predict`] is wrapped in a
+    /// [`RequestEnvelope`] with a fresh `(session, id)` identity and
+    /// retried with capped jittered exponential backoff on transport
+    /// failures, per-attempt deadlines, and reconnection. Combined with
+    /// the controller's response cache this gives exactly-once results: a
+    /// retried request whose original reply was lost replays the cached
+    /// response instead of recomputing.
+    ///
+    /// The initial TCP connect is itself retried under the policy, so a
+    /// resilient client can be created before its controller is up.
+    pub fn connect_resilient(addr: SocketAddr, policy: RetryPolicy) -> std::io::Result<Self> {
+        let mut client =
+            Self::disconnected(addr, Some(policy.attempt_timeout), Some(policy));
+        let mut backoff = Backoff::new(policy);
+        loop {
+            match client.ensure_conn() {
+                Ok(_) => return Ok(client),
+                Err(e) if is_transient(&e) => match backoff.next_delay() {
+                    Some(delay) => {
+                        client_metrics().retries.inc();
+                        std::thread::sleep(delay);
+                    }
+                    None => return Err(e),
+                },
+                Err(e) => return Err(e),
+            }
+        }
     }
 
-    /// Sends one request and waits for the response.
+    fn disconnected(
+        addr: SocketAddr,
+        timeout: Option<Duration>,
+        retry: Option<RetryPolicy>,
+    ) -> Self {
+        Self { conn: None, addr, timeout, retry, session: session_token(), next_id: 1 }
+    }
+
+    /// Opens the TCP connection if none is live.
+    fn ensure_conn(&mut self) -> std::io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            let stream = match self.timeout {
+                Some(t) => {
+                    let s = TcpStream::connect_timeout(&self.addr, t).inspect_err(|_| {
+                        client_metrics().timeouts.inc();
+                    })?;
+                    s.set_read_timeout(Some(t))?;
+                    s.set_write_timeout(Some(t))?;
+                    s
+                }
+                None => TcpStream::connect(self.addr)?,
+            };
+            let writer = stream.try_clone()?;
+            self.conn = Some(Conn { writer, reader: BufReader::new(stream) });
+        }
+        self.conn.as_mut().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotConnected, "connection unavailable")
+        })
+    }
+
+    /// Sends one request and waits for the response. Under
+    /// [`Self::connect_resilient`], the request is id-wrapped and retried
+    /// on transport failures (see [`RequestEnvelope`]).
     pub fn predict(
         &mut self,
         req: &PredictionRequest,
     ) -> std::io::Result<Result<Prediction, RequestError>> {
+        if let Some(policy) = self.retry {
+            return self.predict_resilient(req, policy);
+        }
         let line = serde_json::to_string(req)?;
         let resp = self.round_trip(&line)?;
         let wire: WireResponse = serde_json::from_str(resp.trim_end())?;
@@ -366,9 +666,77 @@ impl ControllerClient {
         })
     }
 
+    /// The enveloped, retrying predict path. A response is accepted only
+    /// if it parses as a [`ResponseEnvelope`] echoing this exact
+    /// `(session, id)` — anything else (corrupt frame, stale reply on a
+    /// resynchronized stream, the controller's un-id'd malformed-frame
+    /// error) drops the connection and retries. Replays hit the
+    /// controller's response cache, so results arrive exactly once.
+    fn predict_resilient(
+        &mut self,
+        req: &PredictionRequest,
+        policy: RetryPolicy,
+    ) -> std::io::Result<Result<Prediction, RequestError>> {
+        let cm = client_metrics();
+        let id = self.next_id;
+        self.next_id += 1;
+        let envelope =
+            RequestEnvelope { client: self.session, id, req: req.clone() };
+        let line = serde_json::to_string(&envelope)?;
+        // Mix the request id into the jitter stream so concurrent requests
+        // back off on decorrelated schedules.
+        let mut backoff = Backoff::new(RetryPolicy {
+            jitter_seed: policy.jitter_seed ^ id.wrapping_mul(0xA24B_AED4_963E_E407),
+            ..policy
+        });
+        let mut last_err: std::io::Error;
+        loop {
+            let was_connected = self.conn.is_some();
+            match self.round_trip(&line) {
+                Ok(resp) => {
+                    match serde_json::from_str::<ResponseEnvelope>(resp.trim_end()) {
+                        Ok(renv) if renv.client == self.session && renv.id == id => {
+                            return Ok(match renv.resp {
+                                WireResponse::Ok { prediction } => Ok(prediction),
+                                WireResponse::Err { error } => Err(error),
+                            });
+                        }
+                        _ => {
+                            // Corrupted or mismatched reply: the stream can
+                            // no longer be trusted to be in sync.
+                            cm.mismatches.inc();
+                            self.conn = None;
+                            last_err = std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                "response did not echo the request identity",
+                            );
+                        }
+                    }
+                }
+                Err(e) if is_transient(&e) => {
+                    self.conn = None;
+                    last_err = e;
+                }
+                Err(e) => return Err(e),
+            }
+            match backoff.next_delay() {
+                Some(delay) => {
+                    cm.retries.inc();
+                    if was_connected {
+                        cm.reconnects.inc();
+                    }
+                    std::thread::sleep(delay);
+                }
+                None => return Err(last_err),
+            }
+        }
+    }
+
     /// Sends a batch of requests as one JSON-array line and waits for the
     /// JSON array of per-request responses (request order is preserved).
-    /// Server-side the batch fans out across the work pool.
+    /// Server-side the batch fans out across the work pool. Batch frames
+    /// are not id-wrapped; under an unreliable transport, prefer repeated
+    /// [`Self::predict`] calls on a resilient client.
     pub fn predict_batch(
         &mut self,
         reqs: &[PredictionRequest],
@@ -410,11 +778,12 @@ impl ControllerClient {
             }
             e
         };
-        self.writer.write_all(line.as_bytes()).map_err(io)?;
-        self.writer.write_all(b"\n").map_err(io)?;
-        self.writer.flush().map_err(io)?;
+        let conn = self.ensure_conn().map_err(io)?;
+        conn.writer.write_all(line.as_bytes()).map_err(io)?;
+        conn.writer.write_all(b"\n").map_err(io)?;
+        conn.writer.flush().map_err(io)?;
         let mut resp = String::new();
-        self.reader.read_line(&mut resp).map_err(io)?;
+        conn.reader.read_line(&mut resp).map_err(io)?;
         if resp.is_empty() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,

@@ -43,17 +43,26 @@
 //!
 //! ## Wire protocol
 //!
-//! The controller speaks newline-delimited JSON over TCP. Three request
+//! The controller speaks newline-delimited JSON over TCP. Four request
 //! shapes share the stream:
 //!
 //! * a single [`PredictionRequest`] object → one [`Prediction`] (or error)
 //!   response line;
+//! * a [`RequestEnvelope`] (`{"client":…,"id":…,"req":{…}}`) → the same,
+//!   wrapped in a [`ResponseEnvelope`] echoing the identity; retried ids
+//!   replay the cached response, giving resilient clients exactly-once
+//!   results (see [`ControllerClient::connect_resilient`]);
 //! * a JSON **array** of prediction requests → a batch, fanned out across
 //!   the [`pddl_par`] work pool, answered as one JSON array in request
 //!   order;
 //! * `{"op":"stats"}` → a live snapshot of every telemetry counter, gauge,
 //!   and histogram (including the `embed_cache.*` hit/miss/eviction
 //!   counters), as `{"status":"stats","snapshot":{...}}`.
+//!
+//! Frames are bounded at [`pddl_cluster::MAX_FRAME_BYTES`]; malformed
+//! frames get typed error replies; and when `PDDL_FAULT_PLAN` is set the
+//! listener injects deterministic wire faults for chaos testing (see the
+//! [`pddl_faults`] crate and `TESTING.md`).
 //!
 //! Logging verbosity is controlled by the `PDDL_LOG` environment variable
 //! (see [`pddl_telemetry`] for the `level[,target=level]*` filter syntax,
@@ -72,7 +81,10 @@ pub mod request;
 pub mod task_checker;
 
 pub use batch::{compare_batch, compare_batch_serial, BatchComparison, BatchJob};
-pub use controller::{Controller, ControllerClient};
+pub use controller::{
+    parse_frame, Controller, ControllerClient, ParsedFrame, RequestEnvelope,
+    ResponseEnvelope, WireResponse,
+};
 pub use embeddings::{CacheStats, EmbeddingCache, EmbeddingsGenerator};
 pub use inference::{InferenceEngine, InferenceConfig};
 pub use offline::{OfflineTrainer, PredictDdl};

@@ -1,6 +1,10 @@
 //! Property-based tests (proptest) over cross-crate invariants.
 
+use pddl_cluster::protocol::{read_line_bounded, WireError};
 use pddl_cluster::{ClusterState, ServerClass};
+use pddl_faults::FaultPlan;
+use predictddl::parse_frame;
+use std::io::BufReader;
 use pddl_ddlsim::{SimConfig, Simulator, Workload};
 use pddl_ghn::{cosine_similarity, Ghn, GhnConfig};
 use pddl_graph::{CompGraph, NodeAttrs, OpKind};
@@ -120,5 +124,48 @@ proptest! {
         let class = [ServerClass::CpuE5_2630, ServerClass::CpuE5_2650, ServerClass::GpuP100][class_idx];
         let f = ClusterState::homogeneous(class, n).feature_vector();
         prop_assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    /// Arbitrary peer bytes through the bounded reader and the frame
+    /// parser produce structured outcomes only: no panics, and no line
+    /// longer than the limit ever escapes.
+    #[test]
+    fn wire_layer_survives_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+        cap in 8usize..256,
+    ) {
+        let mut reader = BufReader::with_capacity(cap, bytes.as_slice());
+        loop {
+            match read_line_bounded(&mut reader, 512) {
+                Ok(None) => break,
+                Ok(Some(line)) => {
+                    prop_assert!(line.len() <= 512, "over-limit line escaped");
+                    let _ = parse_frame(&line);
+                }
+                Err(WireError::FrameTooLong { limit }) => {
+                    prop_assert_eq!(limit, 512);
+                    break;
+                }
+                Err(WireError::Malformed { .. }) => continue,
+                Err(WireError::Io(e)) => panic!("in-memory reader raised io error: {e}"),
+            }
+        }
+    }
+
+    /// Fault-plan specs survive parse → to_spec → parse exactly, so a
+    /// schedule logged from a failing run can be replayed verbatim.
+    #[test]
+    fn fault_plan_spec_round_trips(
+        seed in any::<u64>(),
+        p_delay in 0.0f64..0.2,
+        p_reset in 0.0f64..0.2,
+        p_truncate in 0.0f64..0.2,
+        p_garbage in 0.0f64..0.2,
+        p_drop in 0.0f64..0.2,
+        max_delay_ms in 1u64..50,
+    ) {
+        let plan = FaultPlan { seed, p_delay, max_delay_ms, p_reset, p_truncate, p_garbage, p_drop };
+        let round = FaultPlan::parse(&plan.to_spec()).unwrap();
+        prop_assert_eq!(plan, round);
     }
 }

@@ -1,0 +1,187 @@
+//! Seeded wire-layer fuzzing: arbitrary, truncated, and corrupted bytes
+//! fed into the bounded frame reader and both request parsers must come
+//! back as structured errors (or clean parses) — never a panic, never an
+//! unbounded buffer.
+//!
+//! The generator is a [`pddl_faults::FaultRng`], so every failure is
+//! reproducible from the seed printed in the assertion message. 10 000
+//! cases per seed, three seeds.
+
+use pddl_cluster::protocol::{read_line_bounded, read_msg_bounded, ClientMsg, WireError};
+use pddl_cluster::{ClusterState, ServerClass};
+use pddl_ddlsim::Workload;
+use pddl_faults::FaultRng;
+use predictddl::{parse_frame, ParsedFrame, PredictionRequest, RequestEnvelope};
+use std::io::BufReader;
+
+const CASES_PER_SEED: usize = 10_000;
+const SEEDS: [u64; 3] = [1, 42, 0xDEAD_BEEF];
+
+/// Frame bound used throughout the fuzz run — small enough that the
+/// generator can exceed it cheaply.
+const LIMIT: usize = 1024;
+
+fn sample_request(rng: &mut FaultRng) -> PredictionRequest {
+    let models = ["resnet18", "vgg16", "mobilenet_v2", "alexnet"];
+    let model = models[rng.below(models.len() as u64) as usize];
+    PredictionRequest::zoo(
+        Workload::new(model, "cifar10", 32 << rng.below(4), 1 + rng.below(8) as usize),
+        ClusterState::homogeneous(ServerClass::GpuP100, 1 + rng.below(16) as usize),
+    )
+}
+
+/// One adversarial byte buffer. Mixes pure noise, printable noise, and
+/// mutations (bit flips, truncations, splices) of well-formed frames.
+fn gen_case(rng: &mut FaultRng) -> Vec<u8> {
+    match rng.below(6) {
+        // Pure random bytes, newlines included by chance.
+        0 => (0..rng.below(256)).map(|_| rng.byte()).collect(),
+        // Random printable ASCII line.
+        1 => {
+            let mut buf: Vec<u8> =
+                (0..rng.below(200)).map(|_| 0x20 + (rng.byte() % 0x5f)).collect();
+            buf.push(b'\n');
+            buf
+        }
+        // A valid frame with a few corrupted bytes.
+        2 => {
+            let mut buf = serde_json::to_string(&sample_request(rng)).unwrap().into_bytes();
+            for _ in 0..1 + rng.below(4) {
+                let i = rng.below(buf.len() as u64) as usize;
+                buf[i] = rng.byte();
+            }
+            buf.push(b'\n');
+            buf
+        }
+        // A valid frame cut off mid-token (no terminator: EOF mid-frame).
+        3 => {
+            let full = serde_json::to_string(&sample_request(rng)).unwrap().into_bytes();
+            let cut = 1 + rng.below(full.len() as u64 - 1) as usize;
+            full[..cut].to_vec()
+        }
+        // Two frames spliced at random cut points.
+        4 => {
+            let a = serde_json::to_string(&sample_request(rng)).unwrap().into_bytes();
+            let b = serde_json::to_string(&sample_request(rng)).unwrap().into_bytes();
+            let ca = rng.below(a.len() as u64) as usize;
+            let cb = rng.below(b.len() as u64) as usize;
+            let mut buf = a[..ca].to_vec();
+            buf.extend_from_slice(&b[cb..]);
+            buf.push(b'\n');
+            buf
+        }
+        // Deep but in-bounds noise right up against the frame limit.
+        _ => {
+            let len = LIMIT - 1 - rng.below(32) as usize;
+            let mut buf: Vec<u8> = (0..len).map(|_| rng.byte()).collect();
+            buf.retain(|&b| b != b'\n');
+            buf.push(b'\n');
+            buf
+        }
+    }
+}
+
+/// Drains a byte buffer through the bounded reader exactly as a connection
+/// handler would, feeding every extracted line to both parsers. Returns on
+/// EOF or the first structured error; panics only if a parser panics —
+/// which is the bug class this test exists to catch.
+fn drain(bytes: &[u8], buf_cap: usize, seed: u64, case: usize) {
+    let mut reader = BufReader::with_capacity(buf_cap, bytes);
+    loop {
+        match read_line_bounded(&mut reader, LIMIT) {
+            Ok(None) => break,
+            Ok(Some(line)) => {
+                assert!(
+                    line.len() <= LIMIT,
+                    "seed {seed} case {case}: line over limit ({} bytes)",
+                    line.len()
+                );
+                // Both peer-facing parsers must classify or reject.
+                let _ = parse_frame(&line);
+            }
+            Err(WireError::FrameTooLong { .. }) => break,
+            Err(WireError::Malformed { .. }) => continue,
+            Err(WireError::Io(e)) => panic!("seed {seed} case {case}: io error {e}"),
+        }
+    }
+    // The typed-message reader takes the same bytes without panicking.
+    let mut reader = BufReader::with_capacity(buf_cap, bytes);
+    loop {
+        match read_msg_bounded::<ClientMsg>(&mut reader, LIMIT) {
+            Ok(None) => break,
+            Ok(Some(_)) => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_the_wire_layer() {
+    for seed in SEEDS {
+        let mut rng = FaultRng::new(seed);
+        for case in 0..CASES_PER_SEED {
+            let bytes = gen_case(&mut rng);
+            // Tiny buffer capacities exercise fill_buf boundary handling.
+            let cap = 8 + rng.below(120) as usize;
+            drain(&bytes, cap, seed, case);
+        }
+    }
+}
+
+#[test]
+fn fuzz_is_seed_deterministic() {
+    let gen_all = |seed: u64| -> Vec<Vec<u8>> {
+        let mut rng = FaultRng::new(seed);
+        (0..64).map(|_| gen_case(&mut rng)).collect()
+    };
+    assert_eq!(gen_all(99), gen_all(99));
+    assert_ne!(gen_all(99), gen_all(100));
+}
+
+#[test]
+fn overlong_frames_get_structured_rejection() {
+    let mut rng = FaultRng::new(7);
+    for case in 0..200 {
+        let len = LIMIT + 1 + rng.below(4 * LIMIT as u64) as usize;
+        let mut bytes: Vec<u8> = (0..len)
+            .map(|_| match rng.byte() {
+                b'\n' => b'x',
+                b => b,
+            })
+            .collect();
+        // Half the cases never terminate the line at all.
+        if rng.below(2) == 0 {
+            bytes.push(b'\n');
+        }
+        let mut reader = BufReader::with_capacity(32, bytes.as_slice());
+        match read_line_bounded(&mut reader, LIMIT) {
+            Err(WireError::FrameTooLong { limit }) => assert_eq!(limit, LIMIT),
+            other => panic!("case {case}: expected FrameTooLong, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn valid_frames_always_classify() {
+    let mut rng = FaultRng::new(0xF00D);
+    for _ in 0..500 {
+        let req = sample_request(&mut rng);
+        let single = serde_json::to_string(&req).unwrap();
+        assert!(matches!(parse_frame(&single), Ok(ParsedFrame::Single(_))), "{single}");
+
+        let batch = serde_json::to_string(&vec![req.clone(), req.clone()]).unwrap();
+        assert!(matches!(parse_frame(&batch), Ok(ParsedFrame::Batch(b)) if b.len() == 2));
+
+        let env = RequestEnvelope { client: rng.next_u64(), id: rng.next_u64(), req };
+        let enveloped = serde_json::to_string(&env).unwrap();
+        match parse_frame(&enveloped) {
+            Ok(ParsedFrame::Enveloped(e)) => {
+                assert_eq!((e.client, e.id), (env.client, env.id));
+            }
+            other => panic!("envelope misclassified: {other:?}"),
+        }
+    }
+    assert!(matches!(parse_frame("{\"op\":\"stats\"}"), Ok(ParsedFrame::Stats)));
+    assert!(parse_frame("not json").is_err());
+    assert!(parse_frame("[{\"bad\":1}]").is_err());
+}
