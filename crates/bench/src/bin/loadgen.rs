@@ -1,0 +1,397 @@
+//! `pddl-loadgen` — serving-capacity benchmark for the bounded controller.
+//!
+//! Drives K concurrent clients against the serving core in two phases and
+//! writes `BENCH_serve.json` (see `pddl_bench::report` for the schema):
+//!
+//! 1. **low_rate** — the fleet is paced to `--low-rps` with client
+//!    start times staggered across one pacing interval; the queue never
+//!    fills, so the report must show zero sheds;
+//! 2. **saturate** — unpaced, with a 4× fleet (closed-loop clients
+//!    self-regulate down to `workers + queue_depth` in flight, so the
+//!    base fleet alone barely sheds); in-flight demand durably exceeds
+//!    capacity and the report must show nonzero sheds.
+//!
+//! Two transports:
+//!
+//! * `--transport inproc` (default): clients call
+//!   [`predictddl::ServePool`] directly. No sockets, no JSON, no serde at
+//!   runtime — this is the mode the offline build container runs to
+//!   produce the committed baseline, and it isolates the serving core's
+//!   own overhead.
+//! * `--transport tcp`: a full controller is served on an ephemeral port
+//!   and clients use [`predictddl::ControllerClient::connect_resilient`],
+//!   measuring the wire stack end-to-end (retries and overload replies
+//!   included). Requires a network-enabled environment (CI).
+//!
+//! ```text
+//! pddl-loadgen [--transport inproc|tcp] [--clients 8] [--requests 100]
+//!              [--workers 2] [--queue-depth 4] [--deadline-ms 5000]
+//!              [--low-rps 50] [--out BENCH_serve.json]
+//! ```
+
+use pddl_bench::report::{summarize, PhaseReport, ServeReport};
+use pddl_cluster::retry::RetryPolicy;
+use pddl_cluster::{ClusterState, ServerClass};
+use pddl_ddlsim::Workload;
+use predictddl::serve::Latch;
+use predictddl::{
+    Controller, ControllerClient, JobOutcome, OfflineTrainer, PredictDdl, PredictionRequest,
+    ServeConfig, ServePool, SubmitError,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = parse_flags(&args);
+    let transport = flags.get("transport").map_or("inproc", |s| s.as_str()).to_string();
+    let clients: usize = flag(&flags, "clients", 8);
+    let requests: usize = flag(&flags, "requests", 100);
+    let workers: usize = flag(&flags, "workers", 2);
+    let queue_depth: usize = flag(&flags, "queue-depth", 4);
+    let deadline_ms: u64 = flag(&flags, "deadline-ms", 5000);
+    let low_rps: f64 = flag(&flags, "low-rps", 50.0);
+    let out = flags.get("out").map_or("BENCH_serve.json", |s| s.as_str()).to_string();
+
+    let config = ServeConfig {
+        workers,
+        queue_depth,
+        request_deadline: Duration::from_millis(deadline_ms),
+        ..ServeConfig::default()
+    };
+
+    eprintln!("training tiny system for the benchmark workload ...");
+    let system = OfflineTrainer::tiny().train_full();
+    let req = bench_request();
+
+    eprintln!(
+        "loadgen: transport={transport} clients={clients} requests={requests} \
+         workers={workers} queue_depth={queue_depth}"
+    );
+    let phases = match transport.as_str() {
+        "inproc" => run_inproc(Arc::new(system), &req, config, clients, requests, low_rps),
+        "tcp" => run_tcp(system, &req, config, clients, requests, low_rps),
+        other => {
+            eprintln!("error: unknown --transport '{other}' (inproc|tcp)");
+            std::process::exit(2);
+        }
+    };
+
+    let snapshot = pddl_telemetry::snapshot();
+    let telemetry = vec![
+        ("controller.requests_shed", counter(&snapshot, "controller.requests_shed")),
+        ("controller.requests_expired", counter(&snapshot, "controller.requests_expired")),
+        ("controller.queue_depth_peak", gauge(&snapshot, "controller.queue_depth_peak")),
+        ("controller_client.retries", counter(&snapshot, "controller_client.retries")),
+        ("controller_client.overloads", counter(&snapshot, "controller_client.overloads")),
+    ];
+    let report = ServeReport {
+        transport,
+        workers,
+        queue_depth,
+        clients,
+        requests_per_client: requests,
+        deadline_ms,
+        retry_after_ms: config.retry_after_ms,
+        phases,
+        telemetry: telemetry.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+    };
+    for p in &report.phases {
+        eprintln!(
+            "phase {}: {} completed / {} requests, {} shed, {} expired, \
+             {:.0} req/s, p50={}us p95={}us p99={}us",
+            p.name, p.completed, p.requests, p.shed, p.expired, p.throughput_rps,
+            p.latency.p50_us, p.latency.p95_us, p.latency.p99_us,
+        );
+    }
+    std::fs::write(&out, report.render()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}
+
+/// The fixed benchmark workload: a mid-sized zoo model on the dataset the
+/// tiny trainer covers.
+fn bench_request() -> PredictionRequest {
+    PredictionRequest::zoo(
+        Workload::new("resnet18", "cifar10", 128, 2),
+        ClusterState::homogeneous(ServerClass::GpuP100, 4),
+    )
+}
+
+/// Per-phase accumulator shared by the client fleet.
+#[derive(Default)]
+struct Tally {
+    completed: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+    retries: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl Tally {
+    fn record_latency(&self, t0: Instant) {
+        let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.latencies_us.lock().unwrap_or_else(|e| e.into_inner()).push(us);
+    }
+
+    fn into_phase(self, name: &str, target_rps: f64, duration: Duration) -> PhaseReport {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let shed = self.shed.load(Ordering::Relaxed);
+        let expired = self.expired.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        let mut latencies =
+            self.latencies_us.into_inner().unwrap_or_else(|e| e.into_inner());
+        let secs = duration.as_secs_f64().max(1e-9);
+        PhaseReport {
+            name: name.to_string(),
+            target_rps,
+            duration_secs: secs,
+            requests: completed + shed + expired + failed,
+            completed,
+            shed,
+            expired,
+            failed,
+            retries: self.retries.load(Ordering::Relaxed),
+            throughput_rps: completed as f64 / secs,
+            latency: summarize(&mut latencies),
+        }
+    }
+}
+
+/// The two benchmark phases: `(name, rps, fleet multiplier)`. The
+/// saturation fleet is widened because closed-loop clients that honor
+/// the shed back-off settle at `workers + queue_depth` in flight — a
+/// base-sized fleet would demonstrate convergence, not shedding.
+const PHASES: [(&str, bool, usize); 2] = [("low_rate", true, 1), ("saturate", false, 4)];
+
+fn phase_plan(low_rps: f64) -> [(&'static str, f64, usize); 2] {
+    PHASES.map(|(name, paced, mult)| (name, if paced { low_rps } else { 0.0 }, mult))
+}
+
+/// Sleeps long enough to hold `per_client_interval` between request
+/// starts (no-op when unpaced).
+fn pace(t0: Instant, per_client_interval: Duration) {
+    if per_client_interval.is_zero() {
+        return;
+    }
+    let elapsed = t0.elapsed();
+    if elapsed < per_client_interval {
+        std::thread::sleep(per_client_interval - elapsed);
+    }
+}
+
+/// Spreads client start times uniformly across one pacing interval so a
+/// paced fleet doesn't submit in phase-aligned bursts (which would shed
+/// even at a trivially low aggregate rate).
+fn stagger(client: usize, fleet: usize, interval: Duration) {
+    if !interval.is_zero() && fleet > 0 {
+        std::thread::sleep(interval.mul_f64(client as f64 / fleet as f64));
+    }
+}
+
+/// In-process phases: the fleet submits directly to a [`ServePool`], one
+/// job per request, waiting on a per-request latch like the controller's
+/// readers do. Sheds back off by the pool's own `retry_after_ms` hint —
+/// the same contract resilient TCP clients follow.
+fn run_inproc(
+    system: Arc<PredictDdl>,
+    req: &PredictionRequest,
+    config: ServeConfig,
+    clients: usize,
+    requests: usize,
+    low_rps: f64,
+) -> Vec<PhaseReport> {
+    let pool = Arc::new(ServePool::start(config));
+    let mut phases = Vec::new();
+    for (name, rps, mult) in phase_plan(low_rps) {
+        let fleet = clients * mult;
+        let tally = Arc::new(Tally::default());
+        let interval = if rps > 0.0 {
+            Duration::from_secs_f64(fleet as f64 / rps)
+        } else {
+            Duration::ZERO
+        };
+        let t_phase = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..fleet {
+                let pool = Arc::clone(&pool);
+                let tally = Arc::clone(&tally);
+                let system = Arc::clone(&system);
+                let req = req.clone();
+                s.spawn(move || {
+                    stagger(c, fleet, interval);
+                    for _ in 0..requests {
+                        let t0 = Instant::now();
+                        let latch = Arc::new(Latch::new());
+                        let outcome: Arc<Mutex<Option<JobOutcome>>> =
+                            Arc::new(Mutex::new(None));
+                        let submit = {
+                            let latch = Arc::clone(&latch);
+                            let outcome = Arc::clone(&outcome);
+                            let system = Arc::clone(&system);
+                            let req = req.clone();
+                            pool.try_submit(move |o| {
+                                if o == JobOutcome::Run {
+                                    let _ = system.predict(&req);
+                                }
+                                *outcome.lock().unwrap_or_else(|e| e.into_inner()) =
+                                    Some(o);
+                                latch.open();
+                            })
+                        };
+                        match submit {
+                            Ok(()) => {
+                                latch.wait();
+                                let o = outcome
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .take();
+                                match o {
+                                    Some(JobOutcome::Run) => {
+                                        tally.completed.fetch_add(1, Ordering::Relaxed);
+                                        tally.record_latency(t0);
+                                    }
+                                    _ => {
+                                        tally.expired.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            Err(SubmitError::Full) => {
+                                tally.shed.fetch_add(1, Ordering::Relaxed);
+                                tally.retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(
+                                    config.retry_after_ms,
+                                ));
+                            }
+                            Err(SubmitError::Closed) => {
+                                tally.failed.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                        pace(t0, interval);
+                    }
+                });
+            }
+        });
+        let tally = Arc::try_unwrap(tally).unwrap_or_else(|_| unreachable!());
+        phases.push(tally.into_phase(name, rps, t_phase.elapsed()));
+    }
+    pool.shutdown();
+    phases
+}
+
+/// TCP phases: a real controller on an ephemeral port, resilient clients
+/// with tight backoff. Plain (non-resilient) round trips are used so a
+/// shed surfaces as one counted overload instead of being retried
+/// invisibly; resilient convergence is covered by `tests/load.rs`.
+fn run_tcp(
+    system: PredictDdl,
+    req: &PredictionRequest,
+    config: ServeConfig,
+    clients: usize,
+    requests: usize,
+    low_rps: f64,
+) -> Vec<PhaseReport> {
+    let controller =
+        Controller::serve_with("127.0.0.1:0", system, config).expect("bind controller");
+    let addr = controller.addr();
+    let mut phases = Vec::new();
+    for (name, rps, mult) in phase_plan(low_rps) {
+        let fleet = clients * mult;
+        let tally = Arc::new(Tally::default());
+        let interval = if rps > 0.0 {
+            Duration::from_secs_f64(fleet as f64 / rps)
+        } else {
+            Duration::ZERO
+        };
+        let t_phase = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..fleet {
+                let tally = Arc::clone(&tally);
+                let req = req.clone();
+                s.spawn(move || {
+                    stagger(c, fleet, interval);
+                    let policy = RetryPolicy::fast(0xBEEF ^ c as u64);
+                    let mut client = match ControllerClient::connect_with_timeout(
+                        addr,
+                        policy.attempt_timeout,
+                    ) {
+                        Ok(c) => c,
+                        Err(_) => {
+                            tally.failed.fetch_add(requests as u64, Ordering::Relaxed);
+                            return;
+                        }
+                    };
+                    for _ in 0..requests {
+                        let t0 = Instant::now();
+                        match client.predict(&req) {
+                            Ok(_) => {
+                                tally.completed.fetch_add(1, Ordering::Relaxed);
+                                tally.record_latency(t0);
+                            }
+                            Err(e)
+                                if pddl_cluster::retry::overload_retry_hint(&e)
+                                    .is_some() =>
+                            {
+                                tally.shed.fetch_add(1, Ordering::Relaxed);
+                                tally.retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(
+                                    config.retry_after_ms,
+                                ));
+                            }
+                            Err(_) => {
+                                tally.failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        pace(t0, interval);
+                    }
+                });
+            }
+        });
+        let tally = Arc::try_unwrap(tally).unwrap_or_else(|_| unreachable!());
+        phases.push(tally.into_phase(name, rps, t_phase.elapsed()));
+    }
+    drop(controller);
+    phases
+}
+
+fn counter(snapshot: &pddl_telemetry::Snapshot, name: &str) -> u64 {
+    snapshot.counter(name).unwrap_or(0)
+}
+
+fn gauge(snapshot: &pddl_telemetry::Snapshot, name: &str) -> u64 {
+    snapshot.gauge(name).unwrap_or(0).max(0) as u64
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut flags = Flags::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn flag<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -5,6 +5,8 @@
 //! standard trace, the Table II workload list, pooled-Ernest fitting, and
 //! ratio bookkeeping.
 
+pub mod report;
+
 use pddl_cluster::ServerClass;
 use pddl_ddlsim::{generate_trace, TraceConfig, TraceRecord};
 use pddl_ernest::model::{ErnestModel, ErnestSample};

@@ -1,0 +1,329 @@
+//! `BENCH_serve.json` — the serving-capacity benchmark report.
+//!
+//! `pddl-loadgen` (src/bin/loadgen.rs) measures the bounded controller
+//! under a low-rate phase (expected: zero sheds) and a saturation phase
+//! (expected: nonzero sheds) and renders one [`ServeReport`] as the first
+//! point on the repository's perf trajectory. The JSON is rendered by
+//! hand — deterministic field order, fixed float precision, no serde on
+//! the hot path — so the shape can be pinned mechanically: the golden
+//! schema test (`crates/bench/tests/bench_schema.rs`) compares
+//! [`schema_paths`] of a rendered report against
+//! `tests/fixtures/bench_serve_schema.json`, and future PRs diff
+//! trajectory files without parsing ambiguity.
+//!
+//! Units are encoded in the field names: `*_us` are microseconds, `*_rps`
+//! are requests per second, `*_ms` milliseconds. Telemetry entries carry
+//! the exact `pddl-telemetry` counter/gauge names so a report can be
+//! cross-checked against a live `{"op":"stats"}` snapshot.
+
+use pddl_telemetry::JsonValue;
+
+/// Exact latency percentiles over one phase's completed requests, in
+/// microseconds. Percentiles are computed from the full sorted sample
+/// (nearest-rank), not a sketch — loadgen keeps every latency.
+#[derive(Clone, Debug, Default)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Slowest completed request.
+    pub max_us: u64,
+    /// Arithmetic mean.
+    pub mean_us: u64,
+}
+
+/// Nearest-rank percentile (`p` in `[0, 1]`) over an ascending-sorted slice.
+pub fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((p * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+/// Summarizes a latency sample (sorts in place).
+pub fn summarize(latencies_us: &mut [u64]) -> LatencySummary {
+    latencies_us.sort_unstable();
+    if latencies_us.is_empty() {
+        return LatencySummary::default();
+    }
+    let sum: u128 = latencies_us.iter().map(|&v| v as u128).sum();
+    LatencySummary {
+        p50_us: percentile(latencies_us, 0.50),
+        p95_us: percentile(latencies_us, 0.95),
+        p99_us: percentile(latencies_us, 0.99),
+        max_us: *latencies_us.last().unwrap(),
+        mean_us: (sum / latencies_us.len() as u128) as u64,
+    }
+}
+
+/// One load phase: a client fleet driven at `target_rps` (0 = unpaced,
+/// i.e. saturation) with every request outcome accounted for —
+/// `completed + shed + expired + failed == requests`.
+#[derive(Clone, Debug)]
+pub struct PhaseReport {
+    /// Phase label: `low_rate` or `saturate`.
+    pub name: String,
+    /// Aggregate offered rate across the fleet (0 = as fast as possible).
+    pub target_rps: f64,
+    /// Wall-clock length of the phase.
+    pub duration_secs: f64,
+    /// Round trips attempted.
+    pub requests: u64,
+    /// Requests answered with a real prediction.
+    pub completed: u64,
+    /// Requests shed at admission (`queue_full` / `connection_limit`).
+    pub shed: u64,
+    /// Requests expired in the queue (`deadline`).
+    pub expired: u64,
+    /// Requests that failed for any other reason (transport death).
+    pub failed: u64,
+    /// Client-side retries performed (resilient clients only).
+    pub retries: u64,
+    /// Completed requests per second of phase wall-clock.
+    pub throughput_rps: f64,
+    /// Latency of completed requests.
+    pub latency: LatencySummary,
+}
+
+/// The full benchmark report — rendered to `BENCH_serve.json`.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// `inproc` (ServePool driven directly) or `tcp` (full wire stack).
+    pub transport: String,
+    /// Worker threads in the serving pool.
+    pub workers: usize,
+    /// Admission queue capacity.
+    pub queue_depth: usize,
+    /// Concurrent load-generating clients.
+    pub clients: usize,
+    /// Requests attempted per client per phase.
+    pub requests_per_client: usize,
+    /// Queue-wait deadline, milliseconds.
+    pub deadline_ms: u64,
+    /// Overload pacing hint, milliseconds.
+    pub retry_after_ms: u64,
+    /// The measured phases, in execution order.
+    pub phases: Vec<PhaseReport>,
+    /// Final values of the serving-side telemetry series, keyed by their
+    /// exact registry names (e.g. `controller.requests_shed`).
+    pub telemetry: Vec<(String, u64)>,
+}
+
+fn fnum(v: f64) -> String {
+    // Fixed precision keeps renders byte-stable across runs of the same
+    // measurements and diffs small across trajectory points.
+    format!("{v:.3}")
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl ServeReport {
+    /// Renders the report as pretty-printed JSON with a fixed field
+    /// order. This exact shape is pinned by the golden schema test.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"benchmark\": \"serve\",\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"transport\": \"{}\",\n", escape(&self.transport)));
+        out.push_str("  \"config\": {\n");
+        out.push_str(&format!("    \"workers\": {},\n", self.workers));
+        out.push_str(&format!("    \"queue_depth\": {},\n", self.queue_depth));
+        out.push_str(&format!("    \"clients\": {},\n", self.clients));
+        out.push_str(&format!(
+            "    \"requests_per_client\": {},\n",
+            self.requests_per_client
+        ));
+        out.push_str(&format!("    \"deadline_ms\": {},\n", self.deadline_ms));
+        out.push_str(&format!("    \"retry_after_ms\": {}\n", self.retry_after_ms));
+        out.push_str("  },\n");
+        out.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", escape(&p.name)));
+            out.push_str(&format!("      \"target_rps\": {},\n", fnum(p.target_rps)));
+            out.push_str(&format!(
+                "      \"duration_secs\": {},\n",
+                fnum(p.duration_secs)
+            ));
+            out.push_str(&format!("      \"requests\": {},\n", p.requests));
+            out.push_str(&format!("      \"completed\": {},\n", p.completed));
+            out.push_str(&format!("      \"shed\": {},\n", p.shed));
+            out.push_str(&format!("      \"expired\": {},\n", p.expired));
+            out.push_str(&format!("      \"failed\": {},\n", p.failed));
+            out.push_str(&format!("      \"retries\": {},\n", p.retries));
+            out.push_str(&format!(
+                "      \"throughput_rps\": {},\n",
+                fnum(p.throughput_rps)
+            ));
+            out.push_str("      \"latency_us\": {\n");
+            out.push_str(&format!("        \"p50\": {},\n", p.latency.p50_us));
+            out.push_str(&format!("        \"p95\": {},\n", p.latency.p95_us));
+            out.push_str(&format!("        \"p99\": {},\n", p.latency.p99_us));
+            out.push_str(&format!("        \"max\": {},\n", p.latency.max_us));
+            out.push_str(&format!("        \"mean\": {}\n", p.latency.mean_us));
+            out.push_str("      }\n");
+            out.push_str(if i + 1 == self.phases.len() { "    }\n" } else { "    },\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"telemetry\": {\n");
+        for (i, (name, value)) in self.telemetry.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {}", escape(name), value));
+            out.push_str(if i + 1 == self.telemetry.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Flattens a JSON document into its sorted set of key paths — the
+/// *schema* of the document, independent of values. Array elements
+/// contribute `[]`-suffixed paths (all elements are visited, so a phase
+/// missing a field is caught). `telemetry` keys are data, not schema, so
+/// they are summarized as a single `telemetry.*` path with a count-free
+/// wildcard.
+pub fn schema_paths(doc: &JsonValue) -> Vec<String> {
+    let mut paths = Vec::new();
+    walk(doc, "", &mut paths);
+    paths.sort();
+    paths.dedup();
+    paths
+}
+
+fn walk(v: &JsonValue, prefix: &str, out: &mut Vec<String>) {
+    match v {
+        JsonValue::Object(fields) => {
+            for (k, child) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                // Telemetry keys are metric names (data, varies by run);
+                // the schema pins only that the object exists.
+                if path == "telemetry" {
+                    out.push("telemetry.*".to_string());
+                    continue;
+                }
+                walk(child, &path, out);
+            }
+        }
+        JsonValue::Array(items) => {
+            let path = format!("{prefix}[]");
+            if items.is_empty() {
+                out.push(path.clone());
+            }
+            for item in items {
+                walk(item, &path, out);
+            }
+        }
+        _ => out.push(prefix.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeReport {
+        ServeReport {
+            transport: "inproc".into(),
+            workers: 2,
+            queue_depth: 4,
+            clients: 8,
+            requests_per_client: 50,
+            deadline_ms: 5000,
+            retry_after_ms: 25,
+            phases: vec![
+                PhaseReport {
+                    name: "low_rate".into(),
+                    target_rps: 50.0,
+                    duration_secs: 1.0,
+                    requests: 400,
+                    completed: 400,
+                    shed: 0,
+                    expired: 0,
+                    failed: 0,
+                    retries: 0,
+                    throughput_rps: 400.0,
+                    latency: LatencySummary {
+                        p50_us: 100,
+                        p95_us: 200,
+                        p99_us: 300,
+                        max_us: 400,
+                        mean_us: 120,
+                    },
+                },
+                PhaseReport {
+                    name: "saturate".into(),
+                    target_rps: 0.0,
+                    duration_secs: 0.5,
+                    requests: 400,
+                    completed: 300,
+                    shed: 100,
+                    expired: 0,
+                    failed: 0,
+                    retries: 0,
+                    throughput_rps: 600.0,
+                    latency: LatencySummary::default(),
+                },
+            ],
+            telemetry: vec![
+                ("controller.requests_shed".into(), 100),
+                ("controller.queue_depth_peak".into(), 4),
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parses_back() {
+        let doc = JsonValue::parse(&sample().render()).expect("valid JSON");
+        assert_eq!(doc.get("benchmark").and_then(|v| v.as_str()), Some("serve"));
+        assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(1));
+        let phases = doc.get("phases").expect("phases");
+        match phases {
+            JsonValue::Array(items) => assert_eq!(items.len(), 2),
+            other => panic!("phases not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50);
+        assert_eq!(percentile(&sorted, 0.95), 95);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn summarize_orders_and_averages() {
+        let mut xs = vec![30, 10, 20];
+        let s = summarize(&mut xs);
+        assert_eq!(s.p50_us, 20);
+        assert_eq!(s.max_us, 30);
+        assert_eq!(s.mean_us, 20);
+    }
+
+    #[test]
+    fn schema_paths_are_stable_and_value_independent() {
+        let a = schema_paths(&JsonValue::parse(&sample().render()).unwrap());
+        let mut other = sample();
+        other.phases[0].completed = 1; // values must not change the schema
+        other.telemetry.push(("controller.requests_expired".into(), 0));
+        let b = schema_paths(&JsonValue::parse(&other.render()).unwrap());
+        assert_eq!(a, b, "schema must not depend on values or telemetry keys");
+        assert!(a.contains(&"phases[].latency_us.p50".to_string()));
+        assert!(a.contains(&"config.queue_depth".to_string()));
+        assert!(a.contains(&"telemetry.*".to_string()));
+    }
+}

@@ -1,0 +1,206 @@
+//! Golden schema fixture for `BENCH_serve.json`.
+//!
+//! The serving benchmark report is the first point on the repository's
+//! perf trajectory, so its *shape* — field names, nesting, units encoded
+//! in the names, the telemetry block — is pinned here the same way the
+//! simulator curves are pinned in `tests/golden_traces.rs`. Values are
+//! free to change run over run; a renamed or dropped field fails this
+//! test.
+//!
+//! Two documents are checked against `tests/fixtures/bench_serve_schema
+//! .json`:
+//!
+//! 1. a freshly rendered sample [`ServeReport`] — catches code-side
+//!    drift in `render()` even when no benchmark has been re-run, and
+//! 2. the committed `BENCH_serve.json` baseline at the repository root
+//!    (when present) — catches a stale baseline after an intentional
+//!    schema change.
+//!
+//! On an intentional schema change, regenerate with
+//! `PDDL_REGEN_GOLDEN=1 cargo test -p pddl-bench --test bench_schema`
+//! and review the fixture diff like any other code change. Fixtures are
+//! parsed with `pddl_telemetry::JsonValue`, so this test runs even where
+//! serde_json is stubbed out.
+
+use pddl_bench::report::{schema_paths, LatencySummary, PhaseReport, ServeReport};
+use pddl_telemetry::JsonValue;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixture_path() -> PathBuf {
+    repo_root().join("tests/fixtures/bench_serve_schema.json")
+}
+
+/// A fully populated report: both phase names, nonzero sheds/expiries,
+/// and a telemetry block — exercising every field `render()` can emit.
+fn sample_report() -> ServeReport {
+    ServeReport {
+        transport: "inproc".into(),
+        workers: 2,
+        queue_depth: 4,
+        clients: 8,
+        requests_per_client: 100,
+        deadline_ms: 5000,
+        retry_after_ms: 25,
+        phases: vec![
+            PhaseReport {
+                name: "low_rate".into(),
+                target_rps: 50.0,
+                duration_secs: 2.0,
+                requests: 800,
+                completed: 800,
+                shed: 0,
+                expired: 0,
+                failed: 0,
+                retries: 0,
+                throughput_rps: 400.0,
+                latency: LatencySummary {
+                    p50_us: 120,
+                    p95_us: 340,
+                    p99_us: 510,
+                    max_us: 900,
+                    mean_us: 150,
+                },
+            },
+            PhaseReport {
+                name: "saturate".into(),
+                target_rps: 0.0,
+                duration_secs: 0.7,
+                requests: 800,
+                completed: 640,
+                shed: 150,
+                expired: 8,
+                failed: 2,
+                retries: 150,
+                throughput_rps: 914.3,
+                latency: LatencySummary {
+                    p50_us: 800,
+                    p95_us: 2400,
+                    p99_us: 3100,
+                    max_us: 4800,
+                    mean_us: 1000,
+                },
+            },
+        ],
+        telemetry: vec![
+            ("controller.requests_shed".into(), 150),
+            ("controller.requests_expired".into(), 8),
+            ("controller.queue_depth_peak".into(), 4),
+            ("controller_client.retries".into(), 150),
+            ("controller_client.overloads".into(), 150),
+        ],
+    }
+}
+
+fn render_fixture(paths: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"serve\",\n  \"schema_version\": 1,\n");
+    out.push_str("  \"paths\": [\n");
+    for (i, p) in paths.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{p}\"{}\n",
+            if i + 1 < paths.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn stored_paths(doc: &JsonValue) -> Vec<String> {
+    match doc.get("paths") {
+        Some(JsonValue::Array(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .unwrap_or_else(|| panic!("non-string schema path: {v:?}"))
+                    .to_string()
+            })
+            .collect(),
+        other => panic!("fixture 'paths' is not an array: {other:?}"),
+    }
+}
+
+#[test]
+fn bench_serve_schema_matches_golden_fixture() {
+    let rendered = sample_report().render();
+    let doc = JsonValue::parse(&rendered).expect("rendered report parses");
+    let live = schema_paths(&doc);
+    let path = fixture_path();
+
+    if std::env::var("PDDL_REGEN_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).unwrap();
+        std::fs::write(&path, render_fixture(&live)).unwrap();
+        eprintln!("bench schema fixture regenerated — commit the fixture diff");
+        return;
+    }
+
+    let stored = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with PDDL_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    let fixture = JsonValue::parse(&stored)
+        .unwrap_or_else(|e| panic!("{}: unparseable fixture: {e}", path.display()));
+    assert_eq!(
+        stored_paths(&fixture),
+        live,
+        "BENCH_serve.json schema drifted from golden fixture \
+         (intentional? regenerate with PDDL_REGEN_GOLDEN=1)"
+    );
+}
+
+/// The committed baseline at the repository root must match the pinned
+/// schema too — a schema change without a regenerated baseline (or vice
+/// versa) fails here, not in a downstream trajectory diff.
+#[test]
+fn committed_baseline_matches_pinned_schema() {
+    let baseline = repo_root().join("BENCH_serve.json");
+    let Ok(contents) = std::fs::read_to_string(&baseline) else {
+        // The baseline is produced by `pddl-loadgen`; a fresh checkout
+        // mid-regeneration may not have one yet. The fixture test above
+        // still pins the renderer.
+        eprintln!("no committed BENCH_serve.json — skipping baseline check");
+        return;
+    };
+    let doc = JsonValue::parse(&contents)
+        .unwrap_or_else(|e| panic!("{}: unparseable baseline: {e}", baseline.display()));
+    let live = schema_paths(&doc);
+
+    let stored = std::fs::read_to_string(fixture_path())
+        .expect("schema fixture exists (PDDL_REGEN_GOLDEN=1 to create)");
+    let fixture = JsonValue::parse(&stored).expect("fixture parses");
+    assert_eq!(
+        stored_paths(&fixture),
+        live,
+        "committed BENCH_serve.json does not match the pinned schema — \
+         re-run pddl-loadgen after a schema change"
+    );
+
+    // Sanity-pin the invariants the baseline is committed to demonstrate:
+    // zero sheds at low rate, nonzero sheds at saturation, and full
+    // accounting of every request in both phases.
+    let phases = match doc.get("phases") {
+        Some(JsonValue::Array(ps)) => ps,
+        other => panic!("baseline 'phases' is not an array: {other:?}"),
+    };
+    assert_eq!(phases.len(), 2, "baseline must have low_rate + saturate phases");
+    for p in phases {
+        let name = p.get("name").and_then(|v| v.as_str()).expect("phase name");
+        let get = |k: &str| p.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        let (requests, completed) = (get("requests"), get("completed"));
+        assert_eq!(
+            requests,
+            completed + get("shed") + get("expired") + get("failed"),
+            "phase {name}: request accounting does not balance"
+        );
+        match name {
+            "low_rate" => assert_eq!(get("shed"), 0, "low_rate phase must not shed"),
+            "saturate" => assert!(get("shed") > 0, "saturate phase must shed"),
+            other => panic!("unexpected phase name {other:?}"),
+        }
+    }
+}

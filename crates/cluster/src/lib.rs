@@ -19,7 +19,9 @@ pub mod state;
 
 pub use collector::{CollectorClient, CollectorServer, DEFAULT_STALE_AFTER};
 pub use equations::{available_flops, available_ram, per_core};
-pub use protocol::{WireError, MAX_FRAME_BYTES};
-pub use retry::{is_transient, Backoff, RetryPolicy};
+pub use protocol::{LinePoll, LineReader, WireError, MAX_FRAME_BYTES};
+pub use retry::{
+    is_transient, overload_retry_hint, overloaded_error, Backoff, Overloaded, RetryPolicy,
+};
 pub use spec::{ServerClass, ServerSpec};
 pub use state::{ClusterState, ServerStatus, CLUSTER_FEATURE_DIM};

@@ -131,6 +131,94 @@ pub fn read_line_bounded(
     }
 }
 
+/// One step of a [`LineReader`] poll.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LinePoll {
+    /// A complete newline-terminated line (newline stripped), or a final
+    /// unterminated line at EOF.
+    Line(String),
+    /// Clean EOF with no buffered bytes.
+    Eof,
+    /// The read would block (`WouldBlock` / `TimedOut` with no complete
+    /// line yet). Partial bytes stay buffered; call [`LineReader::poll`]
+    /// again.
+    Pending,
+}
+
+/// A resumable bounded line reader for sockets with read timeouts.
+///
+/// [`read_line_bounded`] accumulates the partial frame in a local buffer,
+/// so a `WouldBlock`/`TimedOut` from the transport *loses* any bytes read
+/// so far — fatal on a socket with `set_read_timeout`, where timeouts are
+/// routine (the serving core's reader threads use them to poll the
+/// shutdown flag). `LineReader` keeps the partial frame across polls: a
+/// timed-out read returns [`LinePoll::Pending`] and the next poll resumes
+/// where it left off. The same `limit` bound applies — a peer that never
+/// sends a newline fails with [`WireError::FrameTooLong`].
+#[derive(Debug)]
+pub struct LineReader {
+    buf: Vec<u8>,
+    limit: usize,
+}
+
+impl LineReader {
+    /// A reader that bounds each line at `limit` bytes (newline excluded).
+    pub fn bounded(limit: usize) -> Self {
+        Self { buf: Vec::new(), limit }
+    }
+
+    /// Attempts to complete one line from `r`. Interruptions
+    /// (`WouldBlock`, `TimedOut`, `Interrupted`) yield [`LinePoll::Pending`]
+    /// with the partial frame retained; other I/O errors are fatal.
+    pub fn poll(&mut self, r: &mut impl BufRead) -> Result<LinePoll, WireError> {
+        loop {
+            let chunk = match r.fill_buf() {
+                Ok(c) => c,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    return Ok(LinePoll::Pending);
+                }
+                Err(e) => return Err(WireError::Io(e)),
+            };
+            if chunk.is_empty() {
+                return if self.buf.is_empty() {
+                    Ok(LinePoll::Eof)
+                } else {
+                    let line = String::from_utf8_lossy(&self.buf).into_owned();
+                    self.buf.clear();
+                    Ok(LinePoll::Line(line))
+                };
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if self.buf.len().saturating_add(pos) > self.limit {
+                        return Err(WireError::FrameTooLong { limit: self.limit });
+                    }
+                    self.buf.extend_from_slice(&chunk[..pos]);
+                    r.consume(pos + 1);
+                    let line = String::from_utf8_lossy(&self.buf).into_owned();
+                    self.buf.clear();
+                    return Ok(LinePoll::Line(line));
+                }
+                None => {
+                    let n = chunk.len();
+                    if self.buf.len().saturating_add(n) > self.limit {
+                        return Err(WireError::FrameTooLong { limit: self.limit });
+                    }
+                    self.buf.extend_from_slice(chunk);
+                    r.consume(n);
+                }
+            }
+        }
+    }
+}
+
 /// Reads one JSON-line message of at most `limit` bytes; `Ok(None)` on
 /// clean EOF, [`WireError::Malformed`] on a complete-but-unparseable frame.
 pub fn read_msg_bounded<T: for<'de> Deserialize<'de>>(
@@ -229,6 +317,98 @@ mod tests {
         assert!(matches!(got, Err(WireError::Malformed { .. })));
         let eof: Option<ClientMsg> = read_msg(&mut r).unwrap();
         assert!(eof.is_none());
+    }
+
+    /// A reader that injects `WouldBlock` between every real chunk,
+    /// imitating a socket with a read timeout that keeps firing mid-frame.
+    struct Choppy {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        serve_next: bool,
+        buffered: usize,
+    }
+
+    impl std::io::Read for Choppy {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            unreachable!("BufRead path only")
+        }
+    }
+
+    impl BufRead for Choppy {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            if self.buffered == 0 {
+                if !self.serve_next {
+                    self.serve_next = true;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WouldBlock,
+                        "simulated timeout",
+                    ));
+                }
+                self.serve_next = false;
+                self.buffered = self.chunk.min(self.data.len() - self.pos);
+            }
+            Ok(&self.data[self.pos..self.pos + self.buffered])
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.pos += amt;
+            self.buffered -= amt;
+        }
+    }
+
+    #[test]
+    fn line_reader_survives_wouldblock_mid_frame() {
+        // read_line_bounded would lose the partial frame at each timeout;
+        // LineReader must hand back the exact same lines as an untimed read.
+        let mut r = Choppy {
+            data: b"hello world\nsecond line\n".to_vec(),
+            pos: 0,
+            chunk: 4,
+            serve_next: false,
+            buffered: 0,
+        };
+        let mut lr = LineReader::bounded(1024);
+        let mut lines = Vec::new();
+        loop {
+            match lr.poll(&mut r).expect("no fatal error") {
+                LinePoll::Line(l) => lines.push(l),
+                LinePoll::Eof => break,
+                LinePoll::Pending => continue,
+            }
+        }
+        assert_eq!(lines, vec!["hello world".to_string(), "second line".to_string()]);
+    }
+
+    #[test]
+    fn line_reader_enforces_limit_across_polls() {
+        let mut r = Choppy {
+            data: vec![b'x'; 256],
+            pos: 0,
+            chunk: 16,
+            serve_next: false,
+            buffered: 0,
+        };
+        let mut lr = LineReader::bounded(64);
+        let err = loop {
+            match lr.poll(&mut r) {
+                Ok(LinePoll::Pending) => continue,
+                Ok(other) => panic!("expected FrameTooLong, got {other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, WireError::FrameTooLong { limit: 64 }));
+    }
+
+    #[test]
+    fn line_reader_final_unterminated_line_at_eof() {
+        let mut r = BufReader::new(Cursor::new(b"tail without newline".to_vec()));
+        let mut lr = LineReader::bounded(1024);
+        assert_eq!(
+            lr.poll(&mut r).unwrap(),
+            LinePoll::Line("tail without newline".into())
+        );
+        assert_eq!(lr.poll(&mut r).unwrap(), LinePoll::Eof);
     }
 
     #[test]

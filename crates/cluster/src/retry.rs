@@ -85,9 +85,47 @@ impl Backoff {
     }
 }
 
+/// The error payload of a server-side load shed: the bounded serving core
+/// replied `{"error":"overloaded","retry_after_ms":...}` instead of doing
+/// the work. Classified as transient by [`is_transient`] — the condition
+/// clears as soon as the queue drains — and carries the server's advisory
+/// pacing hint, retrievable with [`overload_retry_hint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Server-suggested minimum wait before retrying.
+    pub retry_after: Duration,
+}
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server overloaded; retry after {}ms", self.retry_after.as_millis())
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+/// Wraps a shed reply as an `io::Error` that [`is_transient`] accepts, so
+/// the resilient retry loops treat "overloaded" exactly like any other
+/// transient transport failure — back off and try again.
+pub fn overloaded_error(retry_after_ms: u64) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::WouldBlock,
+        Overloaded { retry_after: Duration::from_millis(retry_after_ms) },
+    )
+}
+
+/// The server's `retry_after` hint, if `e` is an overload shed produced by
+/// [`overloaded_error`]. Retry loops use it as a backoff floor.
+pub fn overload_retry_hint(e: &std::io::Error) -> Option<Duration> {
+    e.get_ref()
+        .and_then(|inner| inner.downcast_ref::<Overloaded>())
+        .map(|o| o.retry_after)
+}
+
 /// Transport-level failures worth a retry — as opposed to semantic
 /// rejections (`InvalidData`, `InvalidInput`) that the server would repeat
-/// verbatim.
+/// verbatim. Includes `WouldBlock`, which covers both client-side read
+/// timeouts and typed server overload sheds ([`overloaded_error`]).
 pub fn is_transient(e: &std::io::Error) -> bool {
     matches!(
         e.kind(),
@@ -149,5 +187,16 @@ mod tests {
     fn zero_attempts_behaves_as_one() {
         let mut b = Backoff::new(RetryPolicy { max_attempts: 0, ..RetryPolicy::default() });
         assert!(b.next_delay().is_none());
+    }
+
+    #[test]
+    fn overload_errors_are_transient_and_carry_the_hint() {
+        let e = overloaded_error(40);
+        assert!(is_transient(&e), "overload must enter the retry path");
+        assert_eq!(overload_retry_hint(&e), Some(Duration::from_millis(40)));
+        assert!(e.to_string().contains("overloaded"), "{e}");
+        // Unrelated errors of the same kind carry no hint.
+        let plain = std::io::Error::new(std::io::ErrorKind::WouldBlock, "timed out");
+        assert_eq!(overload_retry_hint(&plain), None);
     }
 }

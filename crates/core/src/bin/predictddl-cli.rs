@@ -17,7 +17,9 @@
 
 use pddl_cluster::{ClusterState, ServerClass};
 use pddl_ddlsim::{TraceConfig, Workload};
-use predictddl::{Controller, ControllerClient, OfflineTrainer, PredictDdl, PredictionRequest};
+use predictddl::{
+    Controller, ControllerClient, OfflineTrainer, PredictDdl, PredictionRequest, ServeConfig,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -62,12 +64,18 @@ const USAGE: &str = "usage:
   predictddl-cli predict --system <file> --model <name> --dataset <name>
                          --servers <n> [--gpu|--cpu] [--batch 128] [--epochs 10]
   predictddl-cli serve   --system <file> [--addr 127.0.0.1:7077]
+                         [--workers N] [--queue-depth N] [--max-conns N]
+                         [--deadline-ms N]
                          [--fault-plan 'seed=42,delay=0.05:5,reset=0.02']
   predictddl-cli stats   [--addr 127.0.0.1:7077] [--timeout-ms 5000]
   predictddl-cli models
   predictddl-cli help | --help | -h
 options:
   --metrics-dump   print the local telemetry snapshot (JSON) to stderr on exit
+  --workers        serve: worker threads in the request pool (default: cores)
+  --queue-depth    serve: admission queue slots before load shedding (256)
+  --max-conns      serve: simultaneous connection cap (1024)
+  --deadline-ms    serve: queue-wait deadline before a request is expired (5000)
   --fault-plan     inject deterministic wire faults (sets PDDL_FAULT_PLAN;
                    see the pddl-faults crate and TESTING.md for the spec)
   PDDL_LOG=<spec>  structured JSON logs, e.g. PDDL_LOG=info,controller=debug
@@ -189,8 +197,27 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     }
     let system = PredictDdl::load(required(flags, "system")?).map_err(|e| e.to_string())?;
     let addr = flags.get("addr").map_or("127.0.0.1:7077", |s| s.as_str());
-    let controller = Controller::serve(addr, system).map_err(|e| e.to_string())?;
-    println!("PredictDDL controller listening on {}", controller.addr());
+    let mut config = ServeConfig::default();
+    if let Some(v) = flags.get("workers") {
+        config.workers = v.parse().map_err(|_| "--workers must be an integer")?;
+    }
+    if let Some(v) = flags.get("queue-depth") {
+        config.queue_depth = v.parse().map_err(|_| "--queue-depth must be an integer")?;
+    }
+    if let Some(v) = flags.get("max-conns") {
+        config.max_connections = v.parse().map_err(|_| "--max-conns must be an integer")?;
+    }
+    if let Some(v) = flags.get("deadline-ms") {
+        let ms: u64 = v.parse().map_err(|_| "--deadline-ms must be an integer")?;
+        config.request_deadline = Duration::from_millis(ms);
+    }
+    let controller = Controller::serve_with(addr, system, config).map_err(|e| e.to_string())?;
+    println!(
+        "PredictDDL controller listening on {} ({} workers, queue depth {})",
+        controller.addr(),
+        config.workers.max(1),
+        config.queue_depth.max(1),
+    );
     println!(
         "protocol: one JSON PredictionRequest per line (a JSON array is a \
          pooled batch); {{\"op\":\"stats\"}} for metrics; Ctrl-C to stop"

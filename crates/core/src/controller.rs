@@ -12,6 +12,23 @@
 //! live JSON snapshot of the telemetry registry (see the README's
 //! "Observability" section for the metric catalogue).
 //!
+//! ## Bounded serving core
+//!
+//! Connections are accepted by a single acceptor thread and read by cheap
+//! per-connection reader threads (capped at `max_connections`), but the
+//! *work* runs on a fixed pool of worker threads consuming a bounded FIFO
+//! admission queue ([`crate::serve::ServePool`]). A full queue sheds the
+//! request immediately with a typed
+//! `{"error":"overloaded","retry_after_ms":...}` reply — the same reply a
+//! request gets if it waits in the queue past the configured deadline, or
+//! a connection gets past the connection cap. Overload replies are
+//! classified as transient by [`pddl_cluster::retry::is_transient`], so
+//! [`ControllerClient::connect_resilient`] retries them end-to-end,
+//! honoring the server's `retry_after_ms` pacing hint. Shutdown is a
+//! graceful drain: stop accepting, let readers finish their in-flight
+//! frame, flush the queue, then log a final stats snapshot. Tune with
+//! [`Controller::serve_with`] and [`ServeConfig`].
+//!
 //! ## Hardening
 //!
 //! Frames are bounded at [`pddl_cluster::MAX_FRAME_BYTES`]; a peer that
@@ -27,8 +44,13 @@
 
 use crate::offline::PredictDdl;
 use crate::request::{Prediction, PredictionRequest, RequestError};
-use pddl_cluster::protocol::{read_line_bounded, WireError, MAX_FRAME_BYTES};
-use pddl_cluster::retry::{is_transient, Backoff, RetryPolicy};
+use crate::serve::{
+    JobOutcome, Latch, OpenOnDrop, ServeConfig, ServePool, SubmitError, WaitGroup,
+};
+use pddl_cluster::protocol::{LinePoll, LineReader, WireError, MAX_FRAME_BYTES};
+use pddl_cluster::retry::{
+    is_transient, overload_retry_hint, overloaded_error, Backoff, RetryPolicy,
+};
 use pddl_faults::{Direction, FaultPlan, FaultyRead, FaultyWrite};
 use pddl_telemetry::{tlog, Counter, Gauge, Histogram, Level, Snapshot};
 use serde::{Deserialize, Serialize};
@@ -142,6 +164,7 @@ struct Metrics {
     disconnects: &'static Counter,
     dedup_hits: &'static Counter,
     connections_total: &'static Counter,
+    connections_shed: &'static Counter,
     active_connections: &'static Gauge,
     request_latency: &'static Histogram,
 }
@@ -159,6 +182,7 @@ fn metrics() -> &'static Metrics {
         disconnects: pddl_telemetry::counter("controller.disconnects"),
         dedup_hits: pddl_telemetry::counter("controller.request_dedups"),
         connections_total: pddl_telemetry::counter("controller.connections_total"),
+        connections_shed: pddl_telemetry::counter("controller.connections_shed"),
         active_connections: pddl_telemetry::gauge("controller.active_connections"),
         request_latency: pddl_telemetry::histogram("controller.request_latency"),
     })
@@ -207,25 +231,71 @@ impl ResponseCache {
     }
 }
 
-/// A running prediction service. Dropping the handle stops the listener.
+/// How often reader threads surface from a blocking read to poll the
+/// shutdown flag (via a socket read timeout). Bounds drain latency; slow
+/// enough that fault-plan schedules advance only modestly on idle
+/// connections.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(250);
+
+/// Renders the typed overload reply. Hand-rolled (no serde) so the exact
+/// wire shape is fixed and the in-process benchmark path stays free of
+/// JSON machinery; `reason` is one of `queue_full`, `deadline`,
+/// `connection_limit`, `draining`.
+fn overload_line(retry_after_ms: u64, reason: &str) -> String {
+    format!("{{\"error\":\"overloaded\",\"retry_after_ms\":{retry_after_ms},\"reason\":\"{reason}\"}}")
+}
+
+/// Classifies a response line as a typed overload reply, mapping it to
+/// the transient [`pddl_cluster::retry::Overloaded`] error the resilient
+/// retry loop understands.
+fn overload_from_line(resp: &str) -> Option<std::io::Error> {
+    let trimmed = resp.trim_end();
+    // Fast path: every overload reply carries this exact key/value.
+    if !trimmed.contains("\"error\":\"overloaded\"") {
+        return None;
+    }
+    let doc = pddl_telemetry::JsonValue::parse(trimmed).ok()?;
+    if doc.get("error")?.as_str()? != "overloaded" {
+        return None;
+    }
+    let ms = doc.get("retry_after_ms").and_then(|v| v.as_u64()).unwrap_or(0);
+    Some(overloaded_error(ms))
+}
+
+/// A running prediction service. Dropping the handle drains and stops it.
 pub struct Controller {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     requests_served: Arc<AtomicU64>,
     accept_thread: Option<JoinHandle<()>>,
+    readers: Arc<WaitGroup>,
+    pool: Arc<ServePool>,
 }
 
 impl Controller {
-    /// Serves a trained system on `addr` (port 0 = ephemeral). Each
-    /// connection is handled on its own thread; the system is shared
-    /// read-only. Finished handler threads are reaped in the accept loop,
-    /// so a long-lived controller does not accumulate dead `JoinHandle`s;
-    /// the live count is exported as `controller.active_connections`.
+    /// Serves a trained system on `addr` (port 0 = ephemeral) with the
+    /// default [`ServeConfig`]. See [`Controller::serve_with`].
+    pub fn serve(addr: &str, system: PredictDdl) -> std::io::Result<Self> {
+        Self::serve_with(addr, system, ServeConfig::default())
+    }
+
+    /// Serves a trained system on `addr` under `config`: one acceptor
+    /// thread, at most `config.max_connections` reader threads, and a
+    /// fixed pool of `config.workers` workers behind a bounded admission
+    /// queue (see the module docs for the overload semantics). The system
+    /// is shared read-only. Connection accounting is load-independent —
+    /// each reader checks itself out of the live count as it exits, so
+    /// `controller.active_connections` returns to zero on an idle server
+    /// with no accept traffic required.
     ///
     /// If `PDDL_FAULT_PLAN` is set, every accepted connection is wrapped
     /// in that plan's deterministic fault injectors; an unparseable plan
     /// is an `InvalidInput` error.
-    pub fn serve(addr: &str, system: PredictDdl) -> std::io::Result<Self> {
+    pub fn serve_with(
+        addr: &str,
+        system: PredictDdl,
+        config: ServeConfig,
+    ) -> std::io::Result<Self> {
         let fault_plan = FaultPlan::from_env()
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
         let listener = TcpListener::bind(addr)?;
@@ -235,7 +305,16 @@ impl Controller {
         let requests_served = Arc::new(AtomicU64::new(0));
         let system = Arc::new(system);
         let cache = Arc::new(ResponseCache::default());
-        tlog!(Level::Info, "controller", "listening", addr = local.to_string());
+        let pool = Arc::new(ServePool::start(config));
+        let readers = Arc::new(WaitGroup::new());
+        tlog!(
+            Level::Info,
+            "controller",
+            "listening",
+            addr = local.to_string(),
+            workers = pool.workers() as u64,
+            queue_depth = pool.queue_capacity() as u64,
+        );
         if let Some(plan) = &fault_plan {
             tlog!(Level::Warn, "controller", "fault injection active", plan = plan.to_spec());
         }
@@ -243,17 +322,33 @@ impl Controller {
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
             let served = Arc::clone(&requests_served);
+            let pool = Arc::clone(&pool);
+            let readers = Arc::clone(&readers);
             std::thread::spawn(move || {
                 let m = metrics();
-                let mut handlers: Vec<JoinHandle<()>> = Vec::new();
                 let mut next_conn: u64 = 0;
                 while !shutdown.load(Ordering::Relaxed) {
-                    reap_finished(&mut handlers);
                     match listener.accept() {
                         Ok((stream, peer)) => {
-                            stream.set_nonblocking(false).ok();
                             m.connections_total.inc();
+                            if readers.count() >= config.max_connections {
+                                // Connection-level shed: typed reply,
+                                // close, no reader thread spawned.
+                                m.connections_shed.inc();
+                                let mut stream = stream;
+                                stream.set_nonblocking(false).ok();
+                                let _ = write_line(
+                                    &mut stream,
+                                    &overload_line(config.retry_after_ms, "connection_limit"),
+                                );
+                                continue;
+                            }
+                            stream.set_nonblocking(false).ok();
+                            // Readers surface from blocking reads on this
+                            // cadence to poll the shutdown flag.
+                            stream.set_read_timeout(Some(SHUTDOWN_POLL)).ok();
                             m.active_connections.inc();
+                            readers.add();
                             tlog!(
                                 Level::Debug,
                                 "controller",
@@ -265,10 +360,16 @@ impl Controller {
                             let system = Arc::clone(&system);
                             let served = Arc::clone(&served);
                             let cache = Arc::clone(&cache);
-                            handlers.push(std::thread::spawn(move || {
+                            let pool = Arc::clone(&pool);
+                            let readers = Arc::clone(&readers);
+                            let shutdown = Arc::clone(&shutdown);
+                            std::thread::spawn(move || {
                                 let outcome = split_stream(stream, fault_plan.as_ref(), conn)
                                     .and_then(|(r, w)| {
-                                        handle_conn(r, w, &system, &served, &cache)
+                                        reader_loop(
+                                            r, w, &system, &served, &cache, &pool,
+                                            &shutdown, config,
+                                        )
                                     });
                                 if outcome.is_err() {
                                     // Mid-request disconnect or transport
@@ -277,16 +378,14 @@ impl Controller {
                                     metrics().disconnects.inc();
                                 }
                                 metrics().active_connections.dec();
-                            }));
+                                readers.done();
+                            });
                         }
                         Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(5));
                         }
                         Err(_) => break,
                     }
-                }
-                for h in handlers {
-                    let _ = h.join();
                 }
             })
         };
@@ -296,6 +395,8 @@ impl Controller {
             shutdown,
             requests_served,
             accept_thread: Some(accept_thread),
+            readers,
+            pool,
         })
     }
 
@@ -306,30 +407,42 @@ impl Controller {
 
     /// Total requests answered by computation (deduplicated replays of a
     /// cached response are counted in `controller.request_dedups`, not
-    /// here).
+    /// here; shed and expired requests are counted in
+    /// `controller.requests_shed` / `controller.requests_expired`).
     pub fn requests_served(&self) -> u64 {
         self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Reader threads currently attached to live connections. Returns to
+    /// zero once every client disconnects, with no accept traffic needed.
+    pub fn live_connections(&self) -> usize {
+        self.readers.count()
+    }
+
+    /// High-water mark of the admission queue since startup.
+    pub fn queue_peak(&self) -> usize {
+        self.pool.queue_peak()
     }
 }
 
 impl Drop for Controller {
     fn drop(&mut self) {
+        // Graceful drain: stop accepting, wait out the readers (they
+        // observe the flag within one SHUTDOWN_POLL), flush the admission
+        // queue, then leave a final stats line in the log.
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-    }
-}
-
-/// Joins (and drops) every handler thread that has already finished.
-fn reap_finished(handlers: &mut Vec<JoinHandle<()>>) {
-    let mut i = 0;
-    while i < handlers.len() {
-        if handlers[i].is_finished() {
-            let _ = handlers.swap_remove(i).join();
-        } else {
-            i += 1;
-        }
+        self.readers.wait();
+        self.pool.shutdown();
+        tlog!(
+            Level::Info,
+            "controller",
+            "drained",
+            requests_served = self.requests_served.load(Ordering::Relaxed),
+            queue_depth_peak = self.pool.queue_peak() as u64,
+        );
     }
 }
 
@@ -356,19 +469,81 @@ fn write_line(w: &mut impl Write, line: &str) -> std::io::Result<()> {
     w.flush()
 }
 
-fn handle_conn(
+/// The shared (reader ∪ worker) writer half of one connection. The
+/// per-frame latch hand-off means lock contention is nil: at most one of
+/// the two sides wants the writer at a time.
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+fn write_shared(w: &SharedWriter, line: &str) -> std::io::Result<()> {
+    let mut guard = w.lock().unwrap_or_else(|e| e.into_inner());
+    write_line(&mut *guard, line)
+}
+
+/// Submits `work` to the pool and blocks until it has written its
+/// response (signalled through a [`Latch`], opened by a drop guard even
+/// if the handler panics). The reader never polls the next frame until
+/// the latch opens, which keeps per-connection responses in request order
+/// while the pool interleaves many connections. A full queue is answered
+/// inline with the typed overload reply (the pool already counted the
+/// shed); a closed pool means the server is draining — reply, then hang
+/// up.
+fn submit_and_wait(
+    pool: &ServePool,
+    writer: &SharedWriter,
+    retry_after_ms: u64,
+    work: Box<dyn FnOnce(JobOutcome) + Send>,
+) -> std::io::Result<()> {
+    let latch = Arc::new(Latch::new());
+    let guard = OpenOnDrop(Arc::clone(&latch));
+    match pool.try_submit(move |outcome| {
+        let _open = guard;
+        work(outcome);
+    }) {
+        Ok(()) => {
+            latch.wait();
+            Ok(())
+        }
+        Err(SubmitError::Full) => {
+            write_shared(writer, &overload_line(retry_after_ms, "queue_full"))
+        }
+        Err(SubmitError::Closed) => {
+            let _ = write_shared(writer, &overload_line(retry_after_ms, "draining"));
+            Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "serving pool draining",
+            ))
+        }
+    }
+}
+
+/// Per-connection reader: frames the byte stream, answers control ops and
+/// protocol errors inline, and funnels every prediction frame through the
+/// bounded pool. Returns on clean EOF, shutdown, or transport death.
+#[allow(clippy::too_many_arguments)]
+fn reader_loop(
     reader: Box<dyn Read + Send>,
-    mut writer: Box<dyn Write + Send>,
-    system: &PredictDdl,
-    served: &AtomicU64,
-    cache: &ResponseCache,
+    writer: Box<dyn Write + Send>,
+    system: &Arc<PredictDdl>,
+    served: &Arc<AtomicU64>,
+    cache: &Arc<ResponseCache>,
+    pool: &ServePool,
+    shutdown: &AtomicBool,
+    config: ServeConfig,
 ) -> std::io::Result<()> {
     let m = metrics();
     let mut reader = BufReader::new(reader);
+    let mut lines = LineReader::bounded(MAX_FRAME_BYTES);
+    let writer: SharedWriter = Arc::new(Mutex::new(writer));
     loop {
-        let line = match read_line_bounded(&mut reader, MAX_FRAME_BYTES) {
-            Ok(Some(line)) => line,
-            Ok(None) => break, // clean EOF
+        if shutdown.load(Ordering::Relaxed) {
+            break; // drain: stop reading new requests
+        }
+        let line = match lines.poll(&mut reader) {
+            Ok(LinePoll::Line(line)) => line,
+            Ok(LinePoll::Eof) => break,
+            // The read timed out (SHUTDOWN_POLL): partial frame is kept,
+            // loop back to check the shutdown flag.
+            Ok(LinePoll::Pending) => continue,
             Err(WireError::FrameTooLong { limit }) => {
                 // Line sync is lost: reply (best effort) and drop the peer.
                 m.oversize_frames.inc();
@@ -377,18 +552,17 @@ fn handle_conn(
                         "frame exceeds {limit} bytes"
                     )),
                 };
-                let _ = write_line(&mut writer, &serde_json::to_string(&response)?);
+                let _ = write_shared(&writer, &serde_json::to_string(&response)?);
                 break;
             }
-            // read_line_bounded does not parse, so Malformed cannot occur
-            // here; treat it like an over-long frame rather than panicking.
+            // LineReader does not parse, so Malformed cannot occur here;
+            // treat it like an over-long frame rather than panicking.
             Err(WireError::Malformed { .. }) => break,
             Err(WireError::Io(e)) => return Err(e),
         };
         if line.trim().is_empty() {
             continue;
         }
-        let t0 = Instant::now();
         let frame = match parse_frame(&line) {
             Ok(frame) => frame,
             Err(detail) => {
@@ -398,55 +572,79 @@ fn handle_conn(
                 served.fetch_add(1, Ordering::Relaxed);
                 let response =
                     WireResponse::Err { error: RequestError::InvalidParams(detail) };
-                write_line(&mut writer, &serde_json::to_string(&response)?)?;
+                write_shared(&writer, &serde_json::to_string(&response)?)?;
                 continue;
             }
         };
+        let retry_after = config.retry_after_ms;
         match frame {
+            // Control op: answered inline by the reader, never queued or
+            // shed — stats stay observable *during* overload.
             ParsedFrame::Stats => {
                 m.stats_requests.inc();
                 let out = format!(
                     "{{\"status\":\"stats\",\"snapshot\":{}}}",
                     pddl_telemetry::snapshot().to_json()
                 );
-                write_line(&mut writer, &out)?;
+                write_shared(&writer, &out)?;
             }
-            // Batch requests: a JSON *array* of prediction requests. The
-            // per-request work fans out across the work pool via
-            // [`PredictDdl::predict_many`]; the response is one JSON array
-            // of wire responses, in request order.
+            // Batch requests: a JSON *array* of prediction requests. One
+            // queue slot per batch; the per-request work still fans out
+            // across the work pool via [`PredictDdl::predict_many`].
             ParsedFrame::Batch(reqs) => {
-                m.batch_requests.inc();
-                m.requests_total.add(reqs.len() as u64);
-                let results = system.predict_many(&reqs);
-                let responses: Vec<WireResponse> = results
-                    .into_iter()
-                    .map(|r| match r {
-                        Ok(prediction) => {
-                            m.requests_ok.inc();
-                            WireResponse::Ok { prediction }
+                let system = Arc::clone(system);
+                let served = Arc::clone(served);
+                let writer_j = Arc::clone(&writer);
+                submit_and_wait(
+                    pool,
+                    &writer,
+                    retry_after,
+                    Box::new(move |outcome| {
+                        let m = metrics();
+                        if outcome == JobOutcome::Expired {
+                            let _ = write_shared(
+                                &writer_j,
+                                &overload_line(retry_after, "deadline"),
+                            );
+                            return;
                         }
-                        Err(error) => {
-                            m.requests_err.inc();
-                            WireResponse::Err { error }
-                        }
-                    })
-                    .collect();
-                served.fetch_add(responses.len() as u64, Ordering::Relaxed);
-                write_line(&mut writer, &serde_json::to_string(&responses)?)?;
-                let elapsed = t0.elapsed();
-                m.request_latency.record_duration(elapsed);
-                tlog!(
-                    Level::Debug,
-                    "controller.request",
-                    "served batch",
-                    batch_size = responses.len() as u64,
-                    latency_us = elapsed.as_micros() as u64,
-                );
+                        let t0 = Instant::now();
+                        m.batch_requests.inc();
+                        m.requests_total.add(reqs.len() as u64);
+                        let results = system.predict_many(&reqs);
+                        let responses: Vec<WireResponse> = results
+                            .into_iter()
+                            .map(|r| match r {
+                                Ok(prediction) => {
+                                    m.requests_ok.inc();
+                                    WireResponse::Ok { prediction }
+                                }
+                                Err(error) => {
+                                    m.requests_err.inc();
+                                    WireResponse::Err { error }
+                                }
+                            })
+                            .collect();
+                        served.fetch_add(responses.len() as u64, Ordering::Relaxed);
+                        let Ok(out) = serde_json::to_string(&responses) else {
+                            return;
+                        };
+                        let _ = write_shared(&writer_j, &out);
+                        let elapsed = t0.elapsed();
+                        m.request_latency.record_duration(elapsed);
+                        tlog!(
+                            Level::Debug,
+                            "controller.request",
+                            "served batch",
+                            batch_size = responses.len() as u64,
+                            latency_us = elapsed.as_micros() as u64,
+                        );
+                    }),
+                )?;
             }
-            // Id-wrapped single request: consult the response cache first,
-            // so a retried request replays the original response instead
-            // of being recomputed.
+            // Id-wrapped single request: the reader consults the response
+            // cache first, so a retried request replays the original
+            // response without consuming a queue slot.
             ParsedFrame::Enveloped(env) => {
                 let key = (env.client, env.id);
                 if let Some(cached) = cache.get(key) {
@@ -458,47 +656,93 @@ fn handle_conn(
                         client = env.client,
                         id = env.id,
                     );
-                    write_line(&mut writer, &cached)?;
+                    write_shared(&writer, &cached)?;
                     continue;
                 }
-                m.requests_total.inc();
-                let resp = predict_one(system, &env.req, m);
-                let out = serde_json::to_string(&ResponseEnvelope {
-                    client: env.client,
-                    id: env.id,
-                    resp,
-                })?;
-                cache.put(key, out.clone());
-                served.fetch_add(1, Ordering::Relaxed);
-                write_line(&mut writer, &out)?;
-                m.request_latency.record_duration(t0.elapsed());
+                let system = Arc::clone(system);
+                let served = Arc::clone(served);
+                let cache = Arc::clone(cache);
+                let writer_j = Arc::clone(&writer);
+                submit_and_wait(
+                    pool,
+                    &writer,
+                    retry_after,
+                    Box::new(move |outcome| {
+                        let m = metrics();
+                        if outcome == JobOutcome::Expired {
+                            // Not cached: the client's retry should get a
+                            // real execution, not a replayed shed.
+                            let _ = write_shared(
+                                &writer_j,
+                                &overload_line(retry_after, "deadline"),
+                            );
+                            return;
+                        }
+                        let t0 = Instant::now();
+                        m.requests_total.inc();
+                        let resp = predict_one(&system, &env.req, m);
+                        let Ok(out) = serde_json::to_string(&ResponseEnvelope {
+                            client: env.client,
+                            id: env.id,
+                            resp,
+                        }) else {
+                            return;
+                        };
+                        cache.put(key, out.clone());
+                        served.fetch_add(1, Ordering::Relaxed);
+                        let _ = write_shared(&writer_j, &out);
+                        m.request_latency.record_duration(t0.elapsed());
+                    }),
+                )?;
             }
             ParsedFrame::Single(req) => {
-                m.requests_total.inc();
-                let response = predict_one(system, &req, m);
-                served.fetch_add(1, Ordering::Relaxed);
-                write_line(&mut writer, &serde_json::to_string(&response)?)?;
-                let elapsed = t0.elapsed();
-                m.request_latency.record_duration(elapsed);
-                match &response {
-                    WireResponse::Ok { .. } => {
-                        tlog!(
-                            Level::Debug,
-                            "controller.request",
-                            "served",
-                            latency_us = elapsed.as_micros() as u64,
-                        );
-                    }
-                    WireResponse::Err { error } => {
-                        tlog!(
-                            Level::Warn,
-                            "controller.request",
-                            "request failed",
-                            error = error.to_string(),
-                            latency_us = elapsed.as_micros() as u64,
-                        );
-                    }
-                }
+                let system = Arc::clone(system);
+                let served = Arc::clone(served);
+                let writer_j = Arc::clone(&writer);
+                submit_and_wait(
+                    pool,
+                    &writer,
+                    retry_after,
+                    Box::new(move |outcome| {
+                        let m = metrics();
+                        if outcome == JobOutcome::Expired {
+                            let _ = write_shared(
+                                &writer_j,
+                                &overload_line(retry_after, "deadline"),
+                            );
+                            return;
+                        }
+                        let t0 = Instant::now();
+                        m.requests_total.inc();
+                        let response = predict_one(&system, &req, m);
+                        served.fetch_add(1, Ordering::Relaxed);
+                        let Ok(out) = serde_json::to_string(&response) else {
+                            return;
+                        };
+                        let _ = write_shared(&writer_j, &out);
+                        let elapsed = t0.elapsed();
+                        m.request_latency.record_duration(elapsed);
+                        match &response {
+                            WireResponse::Ok { .. } => {
+                                tlog!(
+                                    Level::Debug,
+                                    "controller.request",
+                                    "served",
+                                    latency_us = elapsed.as_micros() as u64,
+                                );
+                            }
+                            WireResponse::Err { error } => {
+                                tlog!(
+                                    Level::Warn,
+                                    "controller.request",
+                                    "request failed",
+                                    error = error.to_string(),
+                                    latency_us = elapsed.as_micros() as u64,
+                                );
+                            }
+                        }
+                    }),
+                )?;
             }
         }
     }
@@ -526,6 +770,7 @@ struct ClientMetrics {
     retries: &'static Counter,
     reconnects: &'static Counter,
     mismatches: &'static Counter,
+    overloads: &'static Counter,
 }
 
 fn client_metrics() -> &'static ClientMetrics {
@@ -536,6 +781,7 @@ fn client_metrics() -> &'static ClientMetrics {
         retries: pddl_telemetry::counter("controller_client.retries"),
         reconnects: pddl_telemetry::counter("controller_client.reconnects"),
         mismatches: pddl_telemetry::counter("controller_client.response_mismatches"),
+        overloads: pddl_telemetry::counter("controller_client.overloads"),
     })
 }
 
@@ -659,6 +905,12 @@ impl ControllerClient {
         }
         let line = serde_json::to_string(req)?;
         let resp = self.round_trip(&line)?;
+        if let Some(e) = overload_from_line(&resp) {
+            // The server shed the request (transient, retryable); the
+            // connection stays open. Plain clients surface the error.
+            client_metrics().overloads.inc();
+            return Err(e);
+        }
         let wire: WireResponse = serde_json::from_str(resp.trim_end())?;
         Ok(match wire {
             WireResponse::Ok { prediction } => Ok(prediction),
@@ -694,22 +946,30 @@ impl ControllerClient {
             let was_connected = self.conn.is_some();
             match self.round_trip(&line) {
                 Ok(resp) => {
-                    match serde_json::from_str::<ResponseEnvelope>(resp.trim_end()) {
-                        Ok(renv) if renv.client == self.session && renv.id == id => {
-                            return Ok(match renv.resp {
-                                WireResponse::Ok { prediction } => Ok(prediction),
-                                WireResponse::Err { error } => Err(error),
-                            });
-                        }
-                        _ => {
-                            // Corrupted or mismatched reply: the stream can
-                            // no longer be trusted to be in sync.
-                            cm.mismatches.inc();
-                            self.conn = None;
-                            last_err = std::io::Error::new(
-                                std::io::ErrorKind::InvalidData,
-                                "response did not echo the request identity",
-                            );
+                    if let Some(e) = overload_from_line(&resp) {
+                        // Typed shed: the server kept the connection open,
+                        // so back off (honoring its retry_after hint
+                        // below) without reconnecting.
+                        cm.overloads.inc();
+                        last_err = e;
+                    } else {
+                        match serde_json::from_str::<ResponseEnvelope>(resp.trim_end()) {
+                            Ok(renv) if renv.client == self.session && renv.id == id => {
+                                return Ok(match renv.resp {
+                                    WireResponse::Ok { prediction } => Ok(prediction),
+                                    WireResponse::Err { error } => Err(error),
+                                });
+                            }
+                            _ => {
+                                // Corrupted or mismatched reply: the stream
+                                // can no longer be trusted to be in sync.
+                                cm.mismatches.inc();
+                                self.conn = None;
+                                last_err = std::io::Error::new(
+                                    std::io::ErrorKind::InvalidData,
+                                    "response did not echo the request identity",
+                                );
+                            }
                         }
                     }
                 }
@@ -722,10 +982,18 @@ impl ControllerClient {
             match backoff.next_delay() {
                 Some(delay) => {
                     cm.retries.inc();
-                    if was_connected {
+                    // Count a reconnect only when the connection was
+                    // actually lost (an overload shed keeps it open).
+                    if was_connected && self.conn.is_none() {
                         cm.reconnects.inc();
                     }
-                    std::thread::sleep(delay);
+                    // The server's pacing hint is a floor under the
+                    // jittered backoff, capped by the policy so a bogus
+                    // hint cannot stall the client.
+                    let floor = overload_retry_hint(&last_err)
+                        .map(|h| h.min(policy.max_delay))
+                        .unwrap_or(Duration::ZERO);
+                    std::thread::sleep(delay.max(floor));
                 }
                 None => return Err(last_err),
             }
@@ -743,6 +1011,12 @@ impl ControllerClient {
     ) -> std::io::Result<Vec<Result<Prediction, RequestError>>> {
         let line = serde_json::to_string(&reqs.to_vec())?;
         let resp = self.round_trip(&line)?;
+        if let Some(e) = overload_from_line(&resp) {
+            // A shed batch is one overload frame, not an array; the whole
+            // batch is retryable as a unit.
+            client_metrics().overloads.inc();
+            return Err(e);
+        }
         let wire: Vec<WireResponse> = serde_json::from_str(resp.trim_end())?;
         Ok(wire
             .into_iter()

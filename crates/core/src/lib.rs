@@ -78,6 +78,7 @@ pub mod offline;
 pub mod persist;
 pub mod registry;
 pub mod request;
+pub mod serve;
 pub mod task_checker;
 
 pub use batch::{compare_batch, compare_batch_serial, BatchComparison, BatchJob};
@@ -90,4 +91,5 @@ pub use inference::{InferenceEngine, InferenceConfig};
 pub use offline::{OfflineTrainer, PredictDdl};
 pub use registry::GhnRegistry;
 pub use request::{ModelRef, Prediction, PredictionRequest, RequestError};
+pub use serve::{JobOutcome, ServeConfig, ServePool, SubmitError};
 pub use task_checker::{TaskChecker, TaskDecision};

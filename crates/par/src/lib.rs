@@ -38,6 +38,10 @@
 
 #![warn(missing_docs)]
 
+pub mod queue;
+
+pub use queue::{PushError, TaskQueue};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 

@@ -64,6 +64,12 @@ impl Gauge {
         self.value.store(v, Ordering::Relaxed);
     }
 
+    /// Raises the value to `v` if `v` is larger (relaxed) — turns a gauge
+    /// into a high-water mark, e.g. `controller.queue_depth_peak`.
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value (relaxed).
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
@@ -333,6 +339,28 @@ mod tests {
         assert_eq!(g.get(), 1);
         g.set(-7);
         assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_high_water_mark() {
+        let r = Registry::new();
+        let g = r.gauge("peak");
+        g.set_max(5);
+        assert_eq!(g.get(), 5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5, "lower values do not regress the peak");
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                s.spawn(move || {
+                    for v in 0..1000 {
+                        g.set_max(t * 1000 + v);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 7999, "concurrent maxima converge to the largest");
     }
 
     #[test]

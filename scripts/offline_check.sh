@@ -13,15 +13,21 @@
 #   scripts/offline_check.sh doc              # cargo doc with -D warnings (CI doc gate)
 #   scripts/offline_check.sh test-telemetry   # run pddl-telemetry's real tests
 #   scripts/offline_check.sh test-faults      # run pddl-faults' real tests
+#   scripts/offline_check.sh test-par         # run pddl-par's real tests (queue, pool)
 #   scripts/offline_check.sh test-golden      # run the golden-trace fixture test
+#   scripts/offline_check.sh test-bench       # run pddl-bench's tests (report schema)
+#   scripts/offline_check.sh bench-serve      # run the inproc serving benchmark
 #   scripts/offline_check.sh gate-unwrap      # no-unwrap grep gate on the wire parser
 #   scripts/offline_check.sh <any cargo args> # e.g. "check -p predictddl --tests"
 #
-# test-telemetry / test-faults / test-golden actually *run*: those paths
-# use no external crate at runtime (pure std + the in-tree JSON parser).
+# test-telemetry / test-faults / test-par / test-golden / test-bench
+# actually *run*: those paths use no external crate at runtime (pure std
+# + the in-tree JSON parser). bench-serve runs `pddl-loadgen --transport
+# inproc` — the mode that produces the committed BENCH_serve.json
+# baseline (the tcp transport needs serde at runtime and stays in CI).
 # Everything else is type-check only — the serde_json stub errors at
 # runtime, so networked CI remains the place where the full wire-layer
-# suites (soak, wire_fuzz, controller_tcp, ...) execute.
+# suites (soak, load, wire_fuzz, controller_tcp, ...) execute.
 #
 # Proptest-based test targets are excluded from the aggregate targets
 # (the proptest stub is an empty crate).
@@ -81,6 +87,7 @@ NON_PROPTEST_TESTS=(
   --test dataset_extension
   --test wire_fuzz
   --test soak
+  --test load
   --test golden_traces
 )
 
@@ -89,10 +96,12 @@ case "${1:-check}" in
     gate_unwrap
     cargo check --workspace --offline --lib --bins --examples --benches
     cargo check -p predictddl --offline "${NON_PROPTEST_TESTS[@]}"
+    cargo check -p pddl-bench --offline --tests
     ;;
   clippy)
     cargo clippy --workspace --offline --lib --bins --examples --benches -- -D warnings
     cargo clippy -p predictddl --offline "${NON_PROPTEST_TESTS[@]}" -- -D warnings
+    cargo clippy -p pddl-bench --offline --tests -- -D warnings
     ;;
   doc)
     # Same gate as CI: rustdoc warnings (missing docs, broken intra-doc
@@ -106,8 +115,19 @@ case "${1:-check}" in
   test-faults)
     cargo test -p pddl-faults --offline
     ;;
+  test-par)
+    cargo test -p pddl-par --offline
+    ;;
   test-golden)
     cargo test -p predictddl --offline --test golden_traces
+    ;;
+  test-bench)
+    cargo test -p pddl-bench --offline
+    ;;
+  bench-serve)
+    shift
+    cargo run -p pddl-bench --offline --release --bin pddl-loadgen -- \
+      --transport inproc "$@"
     ;;
   *)
     cargo --offline "$@"

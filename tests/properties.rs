@@ -3,8 +3,11 @@
 use pddl_cluster::protocol::{read_line_bounded, WireError};
 use pddl_cluster::{ClusterState, ServerClass};
 use pddl_faults::FaultPlan;
+use pddl_par::{PushError, TaskQueue};
 use predictddl::parse_frame;
 use std::io::BufReader;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use pddl_ddlsim::{SimConfig, Simulator, Workload};
 use pddl_ghn::{cosine_similarity, Ghn, GhnConfig};
 use pddl_graph::{CompGraph, NodeAttrs, OpKind};
@@ -167,5 +170,150 @@ proptest! {
         let plan = FaultPlan { seed, p_delay, max_delay_ms, p_reset, p_truncate, p_garbage, p_drop };
         let round = FaultPlan::parse(&plan.to_spec()).unwrap();
         prop_assert_eq!(plan, round);
+    }
+
+    /// Bounded admission queue, N producers → 1 consumer, under seeded
+    /// interleavings: items from each producer are popped in push order
+    /// (sheds leave gaps, never reorderings), nothing is lost or
+    /// duplicated (`popped + shed == submitted`), and the queue never
+    /// holds more than its capacity.
+    #[test]
+    fn task_queue_preserves_fifo_per_producer(
+        seed in any::<u64>(),
+        capacity in 1usize..6,
+        producers in 1usize..4,
+        per_producer in 1usize..48,
+    ) {
+        let q = Arc::new(TaskQueue::bounded(capacity));
+        let shed = Arc::new(AtomicU64::new(0));
+        let popped: Vec<(usize, usize)> = std::thread::scope(|s| {
+            let consumer = {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(item) = q.pop() {
+                        got.push(item);
+                    }
+                    got
+                })
+            };
+            let handles: Vec<_> = (0..producers)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    let shed = Arc::clone(&shed);
+                    s.spawn(move || {
+                        let mut rng =
+                            Rng::new(seed ^ (p as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        for i in 0..per_producer {
+                            match q.try_push((p, i)) {
+                                Ok(()) => {}
+                                Err(PushError::Full(item)) => {
+                                    assert_eq!(item, (p, i), "shed returned a different item");
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(PushError::Closed(_)) => {
+                                    panic!("queue closed while producers were live")
+                                }
+                            }
+                            assert!(q.len() <= capacity, "queue over capacity");
+                            if rng.below(3) == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            q.close();
+            consumer.join().unwrap()
+        });
+
+        prop_assert_eq!(
+            popped.len() as u64 + shed.load(Ordering::Relaxed),
+            (producers * per_producer) as u64,
+            "popped + shed must equal submitted"
+        );
+        prop_assert!(q.peak() <= capacity, "high-water mark over capacity");
+        prop_assert_eq!(q.pop(), None, "closed + drained queue must report empty");
+        // Per-producer order: the popped subsequence of each producer's
+        // items must be strictly increasing in push index.
+        for p in 0..producers {
+            let seq: Vec<usize> =
+                popped.iter().filter(|(q_p, _)| *q_p == p).map(|&(_, i)| i).collect();
+            prop_assert!(
+                seq.windows(2).all(|w| w[0] < w[1]),
+                "producer {} popped out of order: {:?}", p, seq
+            );
+        }
+    }
+
+    /// The same conservation bound with competing consumers: every
+    /// admitted item is dispatched to exactly one consumer.
+    #[test]
+    fn task_queue_dispatches_exactly_once(
+        seed in any::<u64>(),
+        capacity in 1usize..6,
+        producers in 1usize..4,
+        consumers in 2usize..4,
+        per_producer in 1usize..48,
+    ) {
+        let q = Arc::new(TaskQueue::bounded(capacity));
+        let shed = Arc::new(AtomicU64::new(0));
+        let popped: Vec<(usize, usize)> = std::thread::scope(|s| {
+            let takers: Vec<_> = (0..consumers)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(item) = q.pop() {
+                            got.push(item);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let handles: Vec<_> = (0..producers)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    let shed = Arc::clone(&shed);
+                    s.spawn(move || {
+                        let mut rng =
+                            Rng::new(seed ^ (p as u64).wrapping_mul(0xD134_2543_DE82_EF95));
+                        for i in 0..per_producer {
+                            match q.try_push((p, i)) {
+                                Ok(()) => {}
+                                Err(PushError::Full(_)) => {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(PushError::Closed(_)) => {
+                                    panic!("queue closed while producers were live")
+                                }
+                            }
+                            if rng.below(4) == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            q.close();
+            takers.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+
+        prop_assert_eq!(
+            popped.len() as u64 + shed.load(Ordering::Relaxed),
+            (producers * per_producer) as u64,
+            "popped + shed must equal submitted"
+        );
+        let mut unique = popped.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), popped.len(), "an item was dispatched twice");
+        prop_assert!(q.peak() <= capacity, "high-water mark over capacity");
     }
 }
