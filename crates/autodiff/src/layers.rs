@@ -2,6 +2,7 @@
 
 use crate::tape::{ParamId, ParamStore, Tape, Var};
 use pddl_tensor::Rng;
+
 use serde::{Deserialize, Serialize};
 
 /// Affine layer `y = x·W + b`.
@@ -44,12 +45,25 @@ pub enum Activation {
 }
 
 impl Activation {
+    #[allow(dead_code)]
     fn apply(self, tape: &mut Tape, x: Var) -> Var {
         match self {
             Activation::Relu => tape.relu(x),
             Activation::Tanh => tape.tanh(x),
             Activation::Sigmoid => tape.sigmoid(x),
             Activation::Identity => x,
+        }
+    }
+
+    /// The tensor-crate activation this maps to in fused GEMM epilogues.
+    /// This enum stays the serde-stable config surface; the tensor enum is
+    /// the compute-side type.
+    pub fn fused(self) -> pddl_tensor::Activation {
+        match self {
+            Activation::Relu => pddl_tensor::Activation::Relu,
+            Activation::Tanh => pddl_tensor::Activation::Tanh,
+            Activation::Sigmoid => pddl_tensor::Activation::Sigmoid,
+            Activation::Identity => pddl_tensor::Activation::Identity,
         }
     }
 }
@@ -85,10 +99,12 @@ impl Mlp {
     pub fn forward(&self, tape: &mut Tape, mut x: Var) -> Var {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            x = layer.forward(tape, x);
-            if i < last {
-                x = self.hidden_act.apply(tape, x);
-            }
+            // Hidden layers record one fused affine+activation node each;
+            // the output layer stays linear.
+            let act = if i < last { self.hidden_act.fused() } else { pddl_tensor::Activation::Identity };
+            let w = tape.param(layer.w);
+            let b = tape.param(layer.b);
+            x = tape.affine_act(x, w, b, act);
         }
         x
     }
@@ -153,33 +169,18 @@ impl GruCell {
     /// One GRU step over a batch of rows: `x` is `n × input_dim`, `h` is
     /// `n × state_dim`; returns the new `n × state_dim` state.
     pub fn forward(&self, tape: &mut Tape, x: Var, h: Var) -> Var {
-        let wz = tape.param(self.wz);
-        let uz = tape.param(self.uz);
-        let bz = tape.param(self.bz);
-        let xwz = tape.matmul(x, wz);
-        let huz = tape.matmul(h, uz);
-        let zs = tape.add(xwz, huz);
-        let zs = tape.add_bias(zs, bz);
-        let z = tape.sigmoid(zs);
+        use pddl_tensor::Activation as A;
+        // Each gate is a single fused two-operand affine node:
+        // act(x·W + h·U + b) with the second GEMM accumulating in place.
+        let (wz, uz, bz) = (tape.param(self.wz), tape.param(self.uz), tape.param(self.bz));
+        let z = tape.affine2(x, wz, h, uz, bz, A::Sigmoid);
 
-        let wr = tape.param(self.wr);
-        let ur = tape.param(self.ur);
-        let br = tape.param(self.br);
-        let xwr = tape.matmul(x, wr);
-        let hur = tape.matmul(h, ur);
-        let rs = tape.add(xwr, hur);
-        let rs = tape.add_bias(rs, br);
-        let r = tape.sigmoid(rs);
+        let (wr, ur, br) = (tape.param(self.wr), tape.param(self.ur), tape.param(self.br));
+        let r = tape.affine2(x, wr, h, ur, br, A::Sigmoid);
 
-        let wh = tape.param(self.wh);
-        let uh = tape.param(self.uh);
-        let bh = tape.param(self.bh);
+        let (wh, uh, bh) = (tape.param(self.wh), tape.param(self.uh), tape.param(self.bh));
         let rh = tape.mul(r, h);
-        let xwh = tape.matmul(x, wh);
-        let rhuh = tape.matmul(rh, uh);
-        let hs = tape.add(xwh, rhuh);
-        let hs = tape.add_bias(hs, bh);
-        let hhat = tape.tanh(hs);
+        let hhat = tape.affine2(x, wh, rh, uh, bh, A::Tanh);
 
         // h' = h + z ⊙ (ĥ − h)  (algebraically identical to the canonical
         // form, one fewer elementwise op)

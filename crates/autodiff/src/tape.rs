@@ -1,6 +1,6 @@
 //! The tape: parameter store, recorded operations, and the backward pass.
 
-use pddl_tensor::{Matrix, Rng};
+use pddl_tensor::{Activation, Matrix, Rng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -134,6 +134,18 @@ enum Op {
     MatMul(usize, usize),
     /// Adds a `1×n` bias row to every row of `a`.
     AddBias(usize, usize),
+    /// Fused `act(x·w + b)` — one node for the affine layer forward; the
+    /// backward derives the activation gradient from the stored output.
+    AffineAct(usize, usize, usize, Activation),
+    /// Fused two-operand affine `act(x·w + h·u + b)` — the GRU gate form.
+    Affine2 {
+        x: usize,
+        w: usize,
+        h: usize,
+        u: usize,
+        b: usize,
+        act: Activation,
+    },
     /// `alpha * a`.
     Scale(usize, f32),
     /// Sigmoid.
@@ -388,10 +400,37 @@ impl<'p> Tape<'p> {
         self.push(Op::CrossEntropyLoss(logits.0, targets.0), v)
     }
 
-    /// Convenience: affine layer `x · w + b` with `b` broadcast.
+    /// Affine layer `x · w + b` with `b` broadcast — recorded as one
+    /// fused node riding the GEMM bias epilogue (no `x·w` intermediate).
     pub fn affine(&mut self, x: Var, w: Var, b: Var) -> Var {
-        let xw = self.matmul(x, w);
-        self.add_bias(xw, b)
+        self.affine_act(x, w, b, Activation::Identity)
+    }
+
+    /// Fused `act(x · w + b)`: bias add and activation run in the GEMM
+    /// epilogue, and the tape records a single node whose backward reuses
+    /// the stored output for the activation derivative.
+    pub fn affine_act(&mut self, x: Var, w: Var, b: Var, act: Activation) -> Var {
+        let v = self.nodes[x.0].value.matmul_bias_act(
+            &self.nodes[w.0].value,
+            &self.nodes[b.0].value,
+            act,
+        );
+        self.push(Op::AffineAct(x.0, w.0, b.0, act), v)
+    }
+
+    /// Fused two-operand affine `act(x·w + h·u + b)` — the recurrent gate
+    /// form. One node replaces the five (two matmuls, two adds, one
+    /// activation) the unfused construction records, with no intermediate
+    /// matrices: the second GEMM accumulates into the first's output.
+    pub fn affine2(&mut self, x: Var, w: Var, h: Var, u: Var, b: Var, act: Activation) -> Var {
+        let mut v = self
+            .nodes[x.0]
+            .value
+            .matmul_bias(&self.nodes[w.0].value, &self.nodes[b.0].value);
+        self.nodes[h.0]
+            .value
+            .matmul_acc_act(&self.nodes[u.0].value, &mut v, act);
+        self.push(Op::Affine2 { x: x.0, w: w.0, h: h.0, u: u.0, b: b.0, act }, v)
     }
 
     /// Scalar value of a 1×1 variable.
@@ -427,51 +466,84 @@ impl<'p> Tape<'p> {
                         .or_insert(g);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, &g);
-                    accumulate(&mut grads, *b, &g);
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, *a, &g);
                     let neg = g.scale(-1.0);
-                    accumulate(&mut grads, *b, &neg);
+                    accumulate(&mut grads, *a, g);
+                    accumulate(&mut grads, *b, neg);
                 }
                 Op::Mul(a, b) => {
                     let ga = g.hadamard(&self.nodes[*b].value);
                     let gb = g.hadamard(&self.nodes[*a].value);
-                    accumulate(&mut grads, *a, &ga);
-                    accumulate(&mut grads, *b, &gb);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
                 }
                 Op::MatMul(a, b) => {
-                    // d/dA (A·B) = G · Bᵀ ; d/dB = Aᵀ · G
-                    let ga = g.matmul(&self.nodes[*b].value.transpose());
+                    // d/dA (A·B) = G · Bᵀ ; d/dB = Aᵀ · G. Both run on the
+                    // packed kernel with the transpose absorbed in packing.
+                    let ga = g.matmul_nt(&self.nodes[*b].value);
                     let gb = self.nodes[*a].value.t_matmul(&g);
-                    accumulate(&mut grads, *a, &ga);
-                    accumulate(&mut grads, *b, &gb);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
                 }
                 Op::AddBias(a, b) => {
-                    accumulate(&mut grads, *a, &g);
                     let gb = g.sum_rows();
-                    accumulate(&mut grads, *b, &gb);
+                    accumulate(&mut grads, *a, g);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::AffineAct(x, w, b, act) => {
+                    let dpre = if *act == Activation::Identity {
+                        g
+                    } else {
+                        let y = &self.nodes[i].value;
+                        g.zip(y, |gi, yi| gi * act.grad_from_output(yi))
+                    };
+                    let gx = dpre.matmul_nt(&self.nodes[*w].value);
+                    let gw = self.nodes[*x].value.t_matmul(&dpre);
+                    let gb = dpre.sum_rows();
+                    accumulate(&mut grads, *x, gx);
+                    accumulate(&mut grads, *w, gw);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Affine2 { x, w, h, u, b, act } => {
+                    let dpre = if *act == Activation::Identity {
+                        g
+                    } else {
+                        let y = &self.nodes[i].value;
+                        g.zip(y, |gi, yi| gi * act.grad_from_output(yi))
+                    };
+                    let gx = dpre.matmul_nt(&self.nodes[*w].value);
+                    let gw = self.nodes[*x].value.t_matmul(&dpre);
+                    let gh = dpre.matmul_nt(&self.nodes[*u].value);
+                    let gu = self.nodes[*h].value.t_matmul(&dpre);
+                    let gb = dpre.sum_rows();
+                    accumulate(&mut grads, *x, gx);
+                    accumulate(&mut grads, *w, gw);
+                    accumulate(&mut grads, *h, gh);
+                    accumulate(&mut grads, *u, gu);
+                    accumulate(&mut grads, *b, gb);
                 }
                 Op::Scale(a, alpha) => {
                     let ga = g.scale(*alpha);
-                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *a, ga);
                 }
                 Op::Sigmoid(a) => {
                     // y' = y (1 - y), using the stored output value.
                     let y = &self.nodes[i].value;
                     let ga = g.zip(y, |gi, yi| gi * yi * (1.0 - yi));
-                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *a, ga);
                 }
                 Op::Tanh(a) => {
                     let y = &self.nodes[i].value;
                     let ga = g.zip(y, |gi, yi| gi * (1.0 - yi * yi));
-                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *a, ga);
                 }
                 Op::Relu(a) => {
                     let x = &self.nodes[*a].value;
                     let ga = g.zip(x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
-                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *a, ga);
                 }
                 Op::ConcatCols(parts) => {
                     let mut offset = 0;
@@ -483,7 +555,7 @@ impl<'p> Tape<'p> {
                             gp.row_mut(r)
                                 .copy_from_slice(&g.row(r)[offset..offset + w]);
                         }
-                        accumulate(&mut grads, p, &gp);
+                        accumulate(&mut grads, p, gp);
                         offset += w;
                     }
                 }
@@ -494,7 +566,7 @@ impl<'p> Tape<'p> {
                         ga.row_mut(r)[*start..*start + g.cols()]
                             .copy_from_slice(g.row(r));
                     }
-                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *a, ga);
                 }
                 Op::SliceRows(a, start, _end, h) => {
                     let cols = g.cols();
@@ -502,30 +574,30 @@ impl<'p> Tape<'p> {
                     for r in 0..g.rows() {
                         ga.row_mut(start + r).copy_from_slice(g.row(r));
                     }
-                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *a, ga);
                 }
                 Op::ConcatRows(parts) => {
                     let mut offset = 0;
                     for &p in parts {
                         let h = self.nodes[p].value.rows();
                         let gp = g.slice_rows(offset, offset + h);
-                        accumulate(&mut grads, p, &gp);
+                        accumulate(&mut grads, p, gp);
                         offset += h;
                     }
                 }
                 Op::Reshape(a, orig_r, orig_c) => {
                     let ga = Matrix::from_vec(*orig_r, *orig_c, g.as_slice().to_vec());
-                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *a, ga);
                 }
                 Op::Mean(a) => {
                     let (r, c) = self.nodes[*a].value.shape();
                     let ga = Matrix::filled(r, c, g[(0, 0)] / (r * c) as f32);
-                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *a, ga);
                 }
                 Op::Sum(a) => {
                     let (r, c) = self.nodes[*a].value.shape();
                     let ga = Matrix::filled(r, c, g[(0, 0)]);
-                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *a, ga);
                 }
                 Op::MeanRows(a) => {
                     let (r, c) = self.nodes[*a].value.shape();
@@ -536,16 +608,16 @@ impl<'p> Tape<'p> {
                             *x = gv * scale;
                         }
                     }
-                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *a, ga);
                 }
                 Op::MseLoss(p, t) => {
                     let pv = &self.nodes[*p].value;
                     let tv = &self.nodes[*t].value;
                     let scale = 2.0 * g[(0, 0)] / pv.len() as f32;
                     let gp = pv.zip(tv, |pi, ti| scale * (pi - ti));
-                    accumulate(&mut grads, *p, &gp);
                     let gt = gp.scale(-1.0);
-                    accumulate(&mut grads, *t, &gt);
+                    accumulate(&mut grads, *p, gp);
+                    accumulate(&mut grads, *t, gt);
                 }
                 Op::SoftmaxRows(a) => {
                     // dz = (g − (g·y) 1ᵀ) ⊙ y per row, using stored y.
@@ -560,7 +632,7 @@ impl<'p> Tape<'p> {
                             *out = yr[j] * (gr[j] - dot);
                         }
                     }
-                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *a, ga);
                 }
                 Op::CrossEntropyLoss(z, t) => {
                     let zv = &self.nodes[*z].value;
@@ -575,7 +647,7 @@ impl<'p> Tape<'p> {
                             *out = scale * (p[j] - tv.row(row)[j]);
                         }
                     }
-                    accumulate(&mut grads, *z, &gz);
+                    accumulate(&mut grads, *z, gz);
                     // Targets are labels; no gradient flows to them.
                 }
                 Op::RowL2Norm(a) => {
@@ -593,7 +665,7 @@ impl<'p> Tape<'p> {
                             *out = (gr[j] - yr[j] * dot) / norm;
                         }
                     }
-                    accumulate(&mut grads, *a, &ga);
+                    accumulate(&mut grads, *a, ga);
                 }
             }
         }
@@ -619,10 +691,14 @@ fn norm_eps(row: &[f32]) -> f32 {
     (row.iter().map(|x| x * x).sum::<f32>().sqrt()).max(1e-6)
 }
 
-fn accumulate(grads: &mut [Option<Matrix>], idx: usize, g: &Matrix) {
+/// Routes a gradient to a node's slot, *moving* it into empty slots —
+/// every backward arm hands over an owned matrix, so first-writer nodes
+/// (the common case on tree-shaped tapes) reuse the buffer that was just
+/// computed instead of cloning it.
+fn accumulate(grads: &mut [Option<Matrix>], idx: usize, g: Matrix) {
     match &mut grads[idx] {
-        Some(acc) => acc.add_scaled(g, 1.0),
-        slot @ None => *slot = Some(g.clone()),
+        Some(acc) => acc.add_scaled(&g, 1.0),
+        slot @ None => *slot = Some(g),
     }
 }
 
@@ -703,6 +779,115 @@ mod tests {
             12,
         );
         assert!(err < 2e-2, "gradcheck err={err}");
+    }
+
+    #[test]
+    fn affine_act_matches_unfused_graph_and_gradcheck() {
+        let mut rng = Rng::new(11);
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::rand_normal(3, 5, 0.5, &mut rng));
+        let b = ps.register("b", Matrix::rand_normal(1, 5, 0.5, &mut rng));
+        let x = Matrix::rand_normal(4, 3, 1.0, &mut rng);
+        let t = Matrix::rand_normal(4, 5, 1.0, &mut rng);
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
+            // Fused forward value equals the unfused construction.
+            let fused = {
+                let mut tape = Tape::new(&ps);
+                let xv = tape.constant(x.clone());
+                let (wv, bv) = (tape.param(w), tape.param(b));
+                let y = tape.affine_act(xv, wv, bv, act);
+                tape.value(y).clone()
+            };
+            let unfused = {
+                let mut tape = Tape::new(&ps);
+                let xv = tape.constant(x.clone());
+                let (wv, bv) = (tape.param(w), tape.param(b));
+                let pre = tape.matmul(xv, wv);
+                let pre = tape.add_bias(pre, bv);
+                let y = match act {
+                    Activation::Identity => pre,
+                    Activation::Relu => tape.relu(pre),
+                    Activation::Tanh => tape.tanh(pre),
+                    Activation::Sigmoid => tape.sigmoid(pre),
+                };
+                tape.value(y).clone()
+            };
+            for (f, u) in fused.as_slice().iter().zip(unfused.as_slice()) {
+                assert!((f - u).abs() <= 1e-5 * u.abs().max(1.0), "{act:?}: {f} vs {u}");
+            }
+            let err = gradient_check(
+                &mut ps,
+                |tape| {
+                    let xv = tape.constant(x.clone());
+                    let (wv, bv) = (tape.param(w), tape.param(b));
+                    let y = tape.affine_act(xv, wv, bv, act);
+                    let tv = tape.constant(t.clone());
+                    tape.mse_loss(y, tv)
+                },
+                12,
+            );
+            assert!(err < 2e-2, "{act:?}: gradcheck err={err}");
+        }
+    }
+
+    #[test]
+    fn affine2_matches_unfused_graph_and_gradcheck() {
+        let mut rng = Rng::new(12);
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::rand_normal(3, 4, 0.5, &mut rng));
+        let u = ps.register("u", Matrix::rand_normal(4, 4, 0.5, &mut rng));
+        let b = ps.register("b", Matrix::rand_normal(1, 4, 0.5, &mut rng));
+        let x = Matrix::rand_normal(2, 3, 1.0, &mut rng);
+        let h = Matrix::rand_normal(2, 4, 1.0, &mut rng);
+        let t = Matrix::rand_normal(2, 4, 1.0, &mut rng);
+        for act in [Activation::Sigmoid, Activation::Tanh, Activation::Identity] {
+            let fused = {
+                let mut tape = Tape::new(&ps);
+                let xv = tape.constant(x.clone());
+                let hv = tape.constant(h.clone());
+                let (wv, uv, bv) = (tape.param(w), tape.param(u), tape.param(b));
+                let y = tape.affine2(xv, wv, hv, uv, bv, act);
+                tape.value(y).clone()
+            };
+            let unfused = {
+                let mut tape = Tape::new(&ps);
+                let xv = tape.constant(x.clone());
+                let hv = tape.constant(h.clone());
+                let (wv, uv, bv) = (tape.param(w), tape.param(u), tape.param(b));
+                let xw = tape.matmul(xv, wv);
+                let hu = tape.matmul(hv, uv);
+                let sum = tape.add(xw, hu);
+                let pre = tape.add_bias(sum, bv);
+                let y = match act {
+                    Activation::Identity => pre,
+                    Activation::Relu => tape.relu(pre),
+                    Activation::Tanh => tape.tanh(pre),
+                    Activation::Sigmoid => tape.sigmoid(pre),
+                };
+                tape.value(y).clone()
+            };
+            for (f, un) in fused.as_slice().iter().zip(unfused.as_slice()) {
+                assert!((f - un).abs() <= 1e-5 * un.abs().max(1.0), "{act:?}: {f} vs {un}");
+            }
+            let err = gradient_check(
+                &mut ps,
+                |tape| {
+                    let xv = tape.constant(x.clone());
+                    let hv = tape.constant(h.clone());
+                    let (wv, uv, bv) = (tape.param(w), tape.param(u), tape.param(b));
+                    let y = tape.affine2(xv, wv, hv, uv, bv, act);
+                    let tv = tape.constant(t.clone());
+                    tape.mse_loss(y, tv)
+                },
+                12,
+            );
+            assert!(err < 2e-2, "{act:?}: gradcheck err={err}");
+        }
     }
 
     #[test]

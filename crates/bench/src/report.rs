@@ -15,6 +15,10 @@
 //! are requests per second, `*_ms` milliseconds. Telemetry entries carry
 //! the exact `pddl-telemetry` counter/gauge names so a report can be
 //! cross-checked against a live `{"op":"stats"}` snapshot.
+//!
+//! The same conventions apply to [`TensorReport`] / `BENCH_tensor.json`,
+//! the GEMM-core benchmark written by `pddl-tensorbench` and pinned by
+//! `tests/fixtures/bench_tensor_schema.json`.
 
 use pddl_telemetry::JsonValue;
 
@@ -183,6 +187,131 @@ impl ServeReport {
     }
 }
 
+/// One GEMM shape measured three ways: the reference transpose+dot
+/// kernel, the blocked packed kernel run serially, and the blocked kernel
+/// with the work pool enabled. Times are the median of the run's reps.
+#[derive(Clone, Debug)]
+pub struct GemmCase {
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    /// `matmul_reference` median, microseconds.
+    pub reference_us: f64,
+    /// Blocked kernel, serial (caller-owned pack buffer), microseconds.
+    pub blocked_us: f64,
+    /// Blocked kernel over the global work pool, microseconds.
+    pub pooled_us: f64,
+    /// `reference_us / blocked_us`.
+    pub speedup_blocked: f64,
+    /// `reference_us / pooled_us`.
+    pub speedup_pooled: f64,
+    /// Blocked-kernel throughput, `2·m·n·k / blocked_us / 1e3` GFLOP/s.
+    pub gflops_blocked: f64,
+}
+
+/// End-to-end GHN inference: one `embed_with_schedule` call on a real zoo
+/// architecture, scalar reference loops vs the batched GEMM path.
+#[derive(Clone, Debug)]
+pub struct EmbedE2e {
+    pub model: String,
+    pub nodes: usize,
+    pub reference_us: f64,
+    pub batched_us: f64,
+    pub speedup: f64,
+}
+
+/// End-to-end GHN meta-training cost on the current (fused) tape.
+#[derive(Clone, Debug)]
+pub struct TrainE2e {
+    pub num_graphs: usize,
+    pub epochs: usize,
+    pub total_us: f64,
+    pub us_per_epoch: f64,
+}
+
+/// The GEMM-core benchmark report — rendered to `BENCH_tensor.json`.
+#[derive(Clone, Debug)]
+pub struct TensorReport {
+    /// Worker threads the pooled measurements ran with.
+    pub threads: usize,
+    /// Repetitions per measurement (medians are reported).
+    pub reps: usize,
+    pub gemm: Vec<GemmCase>,
+    pub embed_graph: EmbedE2e,
+    pub train_epoch: TrainE2e,
+    /// Final tensor/par telemetry counters, keyed by registry name.
+    pub telemetry: Vec<(String, u64)>,
+}
+
+impl TensorReport {
+    /// Renders pretty-printed JSON with a fixed field order; the shape is
+    /// pinned by the golden schema test like [`ServeReport::render`].
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"benchmark\": \"tensor\",\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str("  \"config\": {\n");
+        out.push_str(&format!("    \"threads\": {},\n", self.threads));
+        out.push_str(&format!("    \"reps\": {}\n", self.reps));
+        out.push_str("  },\n");
+        out.push_str("  \"gemm\": [\n");
+        for (i, c) in self.gemm.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"m\": {},\n", c.m));
+            out.push_str(&format!("      \"k\": {},\n", c.k));
+            out.push_str(&format!("      \"n\": {},\n", c.n));
+            out.push_str(&format!("      \"reference_us\": {},\n", fnum(c.reference_us)));
+            out.push_str(&format!("      \"blocked_us\": {},\n", fnum(c.blocked_us)));
+            out.push_str(&format!("      \"pooled_us\": {},\n", fnum(c.pooled_us)));
+            out.push_str(&format!(
+                "      \"speedup_blocked\": {},\n",
+                fnum(c.speedup_blocked)
+            ));
+            out.push_str(&format!(
+                "      \"speedup_pooled\": {},\n",
+                fnum(c.speedup_pooled)
+            ));
+            out.push_str(&format!(
+                "      \"gflops_blocked\": {}\n",
+                fnum(c.gflops_blocked)
+            ));
+            out.push_str(if i + 1 == self.gemm.len() { "    }\n" } else { "    },\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"embed_graph\": {\n");
+        out.push_str(&format!("    \"model\": \"{}\",\n", escape(&self.embed_graph.model)));
+        out.push_str(&format!("    \"nodes\": {},\n", self.embed_graph.nodes));
+        out.push_str(&format!(
+            "    \"reference_us\": {},\n",
+            fnum(self.embed_graph.reference_us)
+        ));
+        out.push_str(&format!(
+            "    \"batched_us\": {},\n",
+            fnum(self.embed_graph.batched_us)
+        ));
+        out.push_str(&format!("    \"speedup\": {}\n", fnum(self.embed_graph.speedup)));
+        out.push_str("  },\n");
+        out.push_str("  \"train_epoch\": {\n");
+        out.push_str(&format!("    \"num_graphs\": {},\n", self.train_epoch.num_graphs));
+        out.push_str(&format!("    \"epochs\": {},\n", self.train_epoch.epochs));
+        out.push_str(&format!("    \"total_us\": {},\n", fnum(self.train_epoch.total_us)));
+        out.push_str(&format!(
+            "    \"us_per_epoch\": {}\n",
+            fnum(self.train_epoch.us_per_epoch)
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"telemetry\": {\n");
+        for (i, (name, value)) in self.telemetry.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {}", escape(name), value));
+            out.push_str(if i + 1 == self.telemetry.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
 /// Flattens a JSON document into its sorted set of key paths — the
 /// *schema* of the document, independent of values. Array elements
 /// contribute `[]`-suffixed paths (all elements are visited, so a phase
@@ -292,6 +421,54 @@ mod tests {
             JsonValue::Array(items) => assert_eq!(items.len(), 2),
             other => panic!("phases not an array: {other:?}"),
         }
+    }
+
+    fn sample_tensor() -> TensorReport {
+        TensorReport {
+            threads: 1,
+            reps: 5,
+            gemm: vec![GemmCase {
+                m: 128,
+                k: 128,
+                n: 128,
+                reference_us: 700.0,
+                blocked_us: 180.0,
+                pooled_us: 180.0,
+                speedup_blocked: 3.9,
+                speedup_pooled: 3.9,
+                gflops_blocked: 23.0,
+            }],
+            embed_graph: EmbedE2e {
+                model: "resnet18".into(),
+                nodes: 70,
+                reference_us: 9000.0,
+                batched_us: 4000.0,
+                speedup: 2.25,
+            },
+            train_epoch: TrainE2e {
+                num_graphs: 8,
+                epochs: 2,
+                total_us: 1.5e6,
+                us_per_epoch: 7.5e5,
+            },
+            telemetry: vec![
+                ("tensor.gemm_calls".into(), 1234),
+                ("tensor.gemm_flops".into(), 4_000_000),
+            ],
+        }
+    }
+
+    #[test]
+    fn tensor_render_parses_back() {
+        let doc = JsonValue::parse(&sample_tensor().render()).expect("valid JSON");
+        assert_eq!(doc.get("benchmark").and_then(|v| v.as_str()), Some("tensor"));
+        let gemm = doc.get("gemm").expect("gemm");
+        match gemm {
+            JsonValue::Array(items) => assert_eq!(items.len(), 1),
+            other => panic!("gemm not an array: {other:?}"),
+        }
+        assert!(doc.get("embed_graph").is_some());
+        assert!(doc.get("train_epoch").is_some());
     }
 
     #[test]

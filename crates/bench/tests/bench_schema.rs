@@ -22,7 +22,10 @@
 //! parsed with `pddl_telemetry::JsonValue`, so this test runs even where
 //! serde_json is stubbed out.
 
-use pddl_bench::report::{schema_paths, LatencySummary, PhaseReport, ServeReport};
+use pddl_bench::report::{
+    schema_paths, EmbedE2e, GemmCase, LatencySummary, PhaseReport, ServeReport, TensorReport,
+    TrainE2e,
+};
 use pddl_telemetry::JsonValue;
 use std::path::PathBuf;
 
@@ -32,6 +35,60 @@ fn repo_root() -> PathBuf {
 
 fn fixture_path() -> PathBuf {
     repo_root().join("tests/fixtures/bench_serve_schema.json")
+}
+
+fn tensor_fixture_path() -> PathBuf {
+    repo_root().join("tests/fixtures/bench_tensor_schema.json")
+}
+
+/// A fully populated tensor report exercising every field the renderer
+/// can emit (two gemm cases so array visiting is covered).
+fn sample_tensor_report() -> TensorReport {
+    TensorReport {
+        threads: 1,
+        reps: 7,
+        gemm: vec![
+            GemmCase {
+                m: 1,
+                k: 32,
+                n: 32,
+                reference_us: 2.0,
+                blocked_us: 0.4,
+                pooled_us: 0.4,
+                speedup_blocked: 5.0,
+                speedup_pooled: 5.0,
+                gflops_blocked: 5.1,
+            },
+            GemmCase {
+                m: 128,
+                k: 128,
+                n: 128,
+                reference_us: 1200.0,
+                blocked_us: 320.0,
+                pooled_us: 300.0,
+                speedup_blocked: 3.8,
+                speedup_pooled: 4.0,
+                gflops_blocked: 13.1,
+            },
+        ],
+        embed_graph: EmbedE2e {
+            model: "resnet18".into(),
+            nodes: 71,
+            reference_us: 1300.0,
+            batched_us: 1050.0,
+            speedup: 1.24,
+        },
+        train_epoch: TrainE2e {
+            num_graphs: 16,
+            epochs: 2,
+            total_us: 55_000.0,
+            us_per_epoch: 27_500.0,
+        },
+        telemetry: vec![
+            ("tensor.gemm_calls".into(), 140_000),
+            ("tensor.gemm_flops".into(), 126_000_000),
+        ],
+    }
 }
 
 /// A fully populated report: both phase names, nonzero sheds/expiries,
@@ -203,4 +260,103 @@ fn committed_baseline_matches_pinned_schema() {
             other => panic!("unexpected phase name {other:?}"),
         }
     }
+}
+
+#[test]
+fn bench_tensor_schema_matches_golden_fixture() {
+    let rendered = sample_tensor_report().render();
+    let doc = JsonValue::parse(&rendered).expect("rendered tensor report parses");
+    let live = schema_paths(&doc);
+    let path = tensor_fixture_path();
+
+    if std::env::var("PDDL_REGEN_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).unwrap();
+        std::fs::write(&path, render_tensor_fixture(&live)).unwrap();
+        eprintln!("tensor schema fixture regenerated — commit the fixture diff");
+        return;
+    }
+
+    let stored = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with PDDL_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    let fixture = JsonValue::parse(&stored)
+        .unwrap_or_else(|e| panic!("{}: unparseable fixture: {e}", path.display()));
+    assert_eq!(
+        stored_paths(&fixture),
+        live,
+        "BENCH_tensor.json schema drifted from golden fixture \
+         (intentional? regenerate with PDDL_REGEN_GOLDEN=1)"
+    );
+}
+
+fn render_tensor_fixture(paths: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"tensor\",\n  \"schema_version\": 1,\n");
+    out.push_str("  \"paths\": [\n");
+    for (i, p) in paths.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{p}\"{}\n",
+            if i + 1 < paths.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The committed `BENCH_tensor.json` must match the pinned schema, carry
+/// the 128×128·128×128 anchor shape, and demonstrate the blocked kernel's
+/// headline win: ≥2× over the reference at that shape, plus a measured
+/// end-to-end embedding improvement. These assertions read the committed
+/// file, so they are deterministic — no benchmark runs in the test.
+#[test]
+fn committed_tensor_baseline_meets_speedup_floor() {
+    let baseline = repo_root().join("BENCH_tensor.json");
+    let Ok(contents) = std::fs::read_to_string(&baseline) else {
+        eprintln!("no committed BENCH_tensor.json — skipping baseline check");
+        return;
+    };
+    let doc = JsonValue::parse(&contents)
+        .unwrap_or_else(|e| panic!("{}: unparseable baseline: {e}", baseline.display()));
+    let live = schema_paths(&doc);
+
+    let stored = std::fs::read_to_string(tensor_fixture_path())
+        .expect("tensor schema fixture exists (PDDL_REGEN_GOLDEN=1 to create)");
+    let fixture = JsonValue::parse(&stored).expect("fixture parses");
+    assert_eq!(
+        stored_paths(&fixture),
+        live,
+        "committed BENCH_tensor.json does not match the pinned schema — \
+         re-run pddl-tensorbench after a schema change"
+    );
+
+    let cases = match doc.get("gemm") {
+        Some(JsonValue::Array(cs)) => cs,
+        other => panic!("baseline 'gemm' is not an array: {other:?}"),
+    };
+    let dim = |c: &JsonValue, k: &str| c.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    let anchor = cases
+        .iter()
+        .find(|c| dim(c, "m") == 128 && dim(c, "k") == 128 && dim(c, "n") == 128)
+        .expect("baseline must include the 128x128·128x128 anchor shape");
+    let speedup = anchor
+        .get("speedup_blocked")
+        .and_then(|v| v.as_f64())
+        .expect("anchor speedup_blocked");
+    assert!(
+        speedup >= 2.0,
+        "blocked GEMM must be >=2x reference at 128^3 (committed: {speedup})"
+    );
+
+    let embed_speedup = doc
+        .get("embed_graph")
+        .and_then(|e| e.get("speedup"))
+        .and_then(|v| v.as_f64())
+        .expect("embed_graph.speedup");
+    assert!(
+        embed_speedup > 1.0,
+        "batched embed_graph must beat the scalar reference (committed: {embed_speedup})"
+    );
 }

@@ -6,6 +6,11 @@
 //! queries (Fig. 5), and the sharded [`EmbeddingCache`] that amortizes the
 //! GHN forward pass across repeated workloads ("train once, reuse
 //! everywhere" applied to the embedding itself).
+//!
+//! Every GHN forward here records into the `ghn.embed` latency histogram
+//! (and the underlying GEMMs into `tensor.gemm_calls`/`tensor.gemm_flops`),
+//! so cache hit rates can be read against actual embedding cost on the
+//! serving stats endpoint.
 
 use crate::registry::GhnRegistry;
 use pddl_ghn::EmbeddingSet;

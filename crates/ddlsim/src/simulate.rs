@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
 /// Simulator metric handles, resolved once. The simulator is the trace
-/// generator's hot loop (run under rayon), so everything here must stay
+/// generator's hot loop (run on the work pool), so everything here must stay
 /// lock-free: counters and the latency histogram are relaxed atomics.
 struct Metrics {
     simulations: &'static Counter,

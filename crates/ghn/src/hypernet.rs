@@ -130,14 +130,11 @@ impl WeightHyperNet {
         let (w1, b1) = decode(tape, states[fc1_id], &fc1.attrs);
         let (w2, b2) = decode(tape, states[fc2_id], &fc2.attrs);
 
-        // Target-network forward with the predicted parameters.
+        // Target-network forward with the predicted parameters; each layer
+        // is one fused affine+activation node.
         let xv = tape.constant(x.clone());
-        let h1 = tape.matmul(xv, w1);
-        let h1 = tape.add_bias(h1, b1);
-        let h1 = tape.tanh(h1);
-        let logits = tape.matmul(h1, w2);
-        let logits = tape.add_bias(logits, b2);
-        let probs = tape.sigmoid(logits);
+        let h1 = tape.affine_act(xv, w1, b1, pddl_tensor::Activation::Tanh);
+        let probs = tape.affine_act(h1, w2, b2, pddl_tensor::Activation::Sigmoid);
         let yv = tape.constant(y.clone());
         tape.mse_loss(probs, yv)
     }
@@ -190,12 +187,10 @@ impl WeightHyperNet {
         let xv = tape.constant(x.clone());
         let w1v = tape.param(w1);
         let b1v = tape.param(b1);
-        let h = tape.affine(xv, w1v, b1v);
-        let h = tape.tanh(h);
+        let h = tape.affine_act(xv, w1v, b1v, pddl_tensor::Activation::Tanh);
         let w2v = tape.param(w2);
         let b2v = tape.param(b2);
-        let logits = tape.affine(h, w2v, b2v);
-        let probs = tape.sigmoid(logits);
+        let probs = tape.affine_act(h, w2v, b2v, pddl_tensor::Activation::Sigmoid);
         let yv = tape.constant(y.clone());
         let loss = tape.mse_loss(probs, yv);
         tape.scalar(loss)

@@ -41,6 +41,6 @@ pub mod train;
 pub use config::GhnConfig;
 pub use embed::{cosine_similarity, EmbeddingSet};
 pub use hypernet::WeightHyperNet;
-pub use model::Ghn;
+pub use model::{Ghn, Schedule};
 pub use synth::SynthGenerator;
-pub use train::{GhnTrainer, TrainReport};
+pub use train::{GhnTrainer, TrainConfig, TrainReport};

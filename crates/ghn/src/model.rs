@@ -11,8 +11,21 @@
 use crate::config::GhnConfig;
 use pddl_autodiff::{layers::Activation, GruCell, Linear, Mlp, ParamStore, Tape, Var};
 use pddl_graph::{features, one_hot_features, CompGraph, OpKind, ShortestPaths};
-use pddl_tensor::{Matrix, Rng};
+use pddl_tensor::{vecmat_acc, Activation as TensorAct, Matrix, Rng};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Cached telemetry handles (resolved once; recording is lock-free).
+struct GhnMetrics {
+    embed_latency: &'static pddl_telemetry::Histogram,
+}
+
+fn metrics() -> &'static GhnMetrics {
+    static M: OnceLock<GhnMetrics> = OnceLock::new();
+    M.get_or_init(|| GhnMetrics {
+        embed_latency: pddl_telemetry::histogram("ghn.embed"),
+    })
+}
 
 /// Decoder targets: [norm-log-FLOPs, norm-log-params, norm-depth, op-histogram…].
 pub const TARGET_DIM: usize = 3 + OpKind::COUNT;
@@ -178,12 +191,16 @@ impl Ghn {
 
     /// Computes the architecture embedding without recording a tape.
     pub fn embed_graph(&self, g: &CompGraph) -> Vec<f32> {
+        let _t = metrics().embed_latency.start_timer();
         let sched = Schedule::new(g, self.cfg.s_max);
         self.embed_with_schedule(g, &sched)
     }
 
-    /// Fast-path embedding with a precomputed schedule.
+    /// Fast-path embedding with a precomputed schedule. Per-node updates
+    /// stay in the paper's sequential (Gauss–Seidel) order; within each
+    /// update the neighbor/virtual message MLPs are batched into GEMMs.
     pub fn embed_with_schedule(&self, g: &CompGraph, sched: &Schedule) -> Vec<f32> {
+        let _t = metrics().embed_latency.start_timer();
         let n = g.num_nodes();
         let d = self.cfg.hidden_dim;
         let feats = Matrix::from_vec(n, features::FEATURE_DIM, one_hot_features(g));
@@ -220,7 +237,45 @@ impl Ghn {
         pooled
     }
 
-    fn fast_update(
+    /// Scalar (unbatched, unblocked) embedding used as the ground truth in
+    /// equivalence tests and as the baseline in `pddl-tensorbench`. Follows
+    /// the exact sequential schedule of [`Self::embed_with_schedule`] but
+    /// pushes every row through the per-element `mlp_fast` loops.
+    pub fn embed_with_schedule_reference(&self, g: &CompGraph, sched: &Schedule) -> Vec<f32> {
+        let n = g.num_nodes();
+        let d = self.cfg.hidden_dim;
+        let feats = Matrix::from_vec(n, features::FEATURE_DIM, one_hot_features(g));
+        let w = self.ps.get(self.embed.w);
+        let b = self.ps.get(self.embed.b);
+        let h1 = feats.matmul_reference(w).add_row_broadcast(b);
+        let mut h: Vec<Vec<f32>> = (0..n).map(|v| h1.row(v).to_vec()).collect();
+        let mut m = vec![0.0f32; d];
+        for _t in 0..self.cfg.t_passes {
+            for &v in &sched.topo {
+                self.fast_update_reference(g, &mut h, &mut m, v, true, &sched.virtual_fw[v]);
+            }
+            for &v in sched.topo.iter().rev() {
+                self.fast_update_reference(g, &mut h, &mut m, v, false, &sched.virtual_bw[v]);
+            }
+            if self.cfg.normalize {
+                for hv in h.iter_mut() {
+                    l2_normalize(hv);
+                }
+            }
+        }
+        let mut pooled = vec![0.0f32; d];
+        for hv in &h {
+            for (p, &x) in pooled.iter_mut().zip(hv) {
+                *p += x;
+            }
+        }
+        for p in &mut pooled {
+            *p /= n as f32;
+        }
+        pooled
+    }
+
+    fn fast_update_reference(
         &self,
         g: &CompGraph,
         h: &mut [Vec<f32>],
@@ -245,38 +300,13 @@ impl Ghn {
             }
         }
         let hv = &h[v];
-        let new = self.gru_fast(m, hv);
+        let new = self.gru_fast_reference(m, hv);
         h[v] = new;
     }
 
-    /// Raw-matrix MLP forward on a single row.
-    fn mlp_fast(&self, mlp: &Mlp, x: &[f32]) -> Vec<f32> {
-        let mut cur = x.to_vec();
-        let last = mlp.layers.len() - 1;
-        for (i, layer) in mlp.layers.iter().enumerate() {
-            let w = self.ps.get(layer.w);
-            let b = self.ps.get(layer.b);
-            let mut out = b.row(0).to_vec();
-            for (r, &xi) in cur.iter().enumerate() {
-                if xi == 0.0 {
-                    continue;
-                }
-                for (o, &wij) in out.iter_mut().zip(w.row(r)) {
-                    *o += xi * wij;
-                }
-            }
-            if i < last {
-                for o in &mut out {
-                    *o = o.max(0.0); // hidden activation is ReLU
-                }
-            }
-            cur = out;
-        }
-        cur
-    }
-
-    /// Raw GRU step on single rows, mirroring `GruCell::forward`.
-    fn gru_fast(&self, x: &[f32], h: &[f32]) -> Vec<f32> {
+    /// The pre-blocking scalar GRU step (zero-skip axpy loops), kept as
+    /// the measured baseline for `pddl-tensorbench`.
+    fn gru_fast_reference(&self, x: &[f32], h: &[f32]) -> Vec<f32> {
         let d = self.cfg.hidden_dim;
         let lin = |w: &Matrix, v: &[f32], acc: &mut [f32]| {
             for (r, &vi) in v.iter().enumerate() {
@@ -315,6 +345,141 @@ impl Ghn {
         (0..d).map(|i| h[i] + z[i] * (hh[i] - h[i])).collect()
     }
 
+    fn fast_update(
+        &self,
+        g: &CompGraph,
+        h: &mut [Vec<f32>],
+        m: &mut [f32],
+        v: usize,
+        forward: bool,
+        virtual_sources: &[(usize, u32)],
+    ) {
+        m.fill(0.0);
+        let neighbors: &[usize] = if forward { g.predecessors(v) } else { g.successors(v) };
+        // Batch all neighbors through the message MLP in one GEMM chain,
+        // then row-sum; same for virtual sources with their 1/s weights.
+        if !neighbors.is_empty() {
+            let xs = stack_rows(h, neighbors.iter().copied());
+            let out = self.mlp_batch(&self.msg, &xs);
+            for r in 0..out.rows() {
+                for (mi, &o) in m.iter_mut().zip(out.row(r)) {
+                    *mi += o;
+                }
+            }
+        }
+        if !virtual_sources.is_empty() {
+            let xs = stack_rows(h, virtual_sources.iter().map(|&(u, _)| u));
+            let out = self.mlp_batch(&self.msg_sp, &xs);
+            for (r, &(_, s)) in virtual_sources.iter().enumerate() {
+                let inv = 1.0 / s as f32;
+                for (mi, &o) in m.iter_mut().zip(out.row(r)) {
+                    *mi += inv * o;
+                }
+            }
+        }
+        let hv = &h[v];
+        let new = self.gru_fast(m, hv);
+        h[v] = new;
+    }
+
+    /// Batched MLP forward through the fused GEMM epilogues (bias and the
+    /// hidden ReLU ride the matmul; no intermediate `x·W` matrices).
+    fn mlp_batch(&self, mlp: &Mlp, xs: &Matrix) -> Matrix {
+        let last = mlp.layers.len() - 1;
+        let mut cur = xs.clone();
+        for (i, layer) in mlp.layers.iter().enumerate() {
+            let w = self.ps.get(layer.w);
+            let b = self.ps.get(layer.b);
+            let act = if i < last { mlp.hidden_act.fused() } else { TensorAct::Identity };
+            cur = cur.matmul_bias_act(w, b, act);
+        }
+        cur
+    }
+
+    /// Raw-matrix MLP forward on a single row.
+    fn mlp_fast(&self, mlp: &Mlp, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        let last = mlp.layers.len() - 1;
+        for (i, layer) in mlp.layers.iter().enumerate() {
+            let w = self.ps.get(layer.w);
+            let b = self.ps.get(layer.b);
+            let mut out = b.row(0).to_vec();
+            for (r, &xi) in cur.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                for (o, &wij) in out.iter_mut().zip(w.row(r)) {
+                    *o += xi * wij;
+                }
+            }
+            if i < last {
+                for o in &mut out {
+                    *o = o.max(0.0); // hidden activation is ReLU
+                }
+            }
+            cur = out;
+        }
+        cur
+    }
+
+    /// Raw GRU step on single rows, mirroring `GruCell::forward`. The gate
+    /// products run through [`vecmat_acc`] — unit-stride axpy rows, no
+    /// data-dependent branch (the old `vi == 0.0` skip defeated
+    /// vectorization and made latency depend on the input's sparsity).
+    fn gru_fast(&self, x: &[f32], h: &[f32]) -> Vec<f32> {
+        let d = self.cfg.hidden_dim;
+        let sigmoid = |t: f32| 1.0 / (1.0 + (-t).exp());
+
+        let mut z = self.ps.get(self.gru.bz).row(0).to_vec();
+        vecmat_acc(x, self.ps.get(self.gru.wz), &mut z);
+        vecmat_acc(h, self.ps.get(self.gru.uz), &mut z);
+        for zi in &mut z {
+            *zi = sigmoid(*zi);
+        }
+
+        let mut r = self.ps.get(self.gru.br).row(0).to_vec();
+        vecmat_acc(x, self.ps.get(self.gru.wr), &mut r);
+        vecmat_acc(h, self.ps.get(self.gru.ur), &mut r);
+        for ri in &mut r {
+            *ri = sigmoid(*ri);
+        }
+
+        let rh: Vec<f32> = r.iter().zip(h).map(|(ri, hi)| ri * hi).collect();
+        let mut hh = self.ps.get(self.gru.bh).row(0).to_vec();
+        vecmat_acc(x, self.ps.get(self.gru.wh), &mut hh);
+        vecmat_acc(&rh, self.ps.get(self.gru.uh), &mut hh);
+        for hi in &mut hh {
+            *hi = hi.tanh();
+        }
+
+        (0..d).map(|i| h[i] + z[i] * (hh[i] - h[i])).collect()
+    }
+
+    /// Batched GRU step: `x` and `h` are `n×d`; one fused two-operand
+    /// affine per gate for all rows at once.
+    fn gru_batch(&self, x: &Matrix, h: &Matrix) -> Matrix {
+        let mut z = x.matmul_bias(self.ps.get(self.gru.wz), self.ps.get(self.gru.bz));
+        h.matmul_acc_act(self.ps.get(self.gru.uz), &mut z, TensorAct::Sigmoid);
+
+        let mut r = x.matmul_bias(self.ps.get(self.gru.wr), self.ps.get(self.gru.br));
+        h.matmul_acc_act(self.ps.get(self.gru.ur), &mut r, TensorAct::Sigmoid);
+
+        let rh = r.hadamard(h);
+        let mut hh = x.matmul_bias(self.ps.get(self.gru.wh), self.ps.get(self.gru.bh));
+        rh.matmul_acc_act(self.ps.get(self.gru.uh), &mut hh, TensorAct::Tanh);
+
+        let mut out = h.clone();
+        for ((o, &zi), &hi) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(z.as_slice())
+            .zip(hh.as_slice())
+        {
+            *o += zi * (hi - *o);
+        }
+        out
+    }
+
     /// Fast decoder on a raw embedding (diagnostics / tests).
     pub fn decode_fast(&self, embedding: &[f32]) -> Vec<f32> {
         self.mlp_fast(&self.decoder, embedding)
@@ -328,50 +493,52 @@ impl Ghn {
     /// buys; they converge slower per sweep (information travels one hop
     /// per sweep instead of the whole graph).
     pub fn embed_graph_sync(&self, g: &CompGraph, sweeps: usize) -> Vec<f32> {
+        let _t = metrics().embed_latency.start_timer();
         let n = g.num_nodes();
         let d = self.cfg.hidden_dim;
         let sched = Schedule::new(g, self.cfg.s_max);
         let feats = Matrix::from_vec(n, features::FEATURE_DIM, one_hot_features(g));
         let w = self.ps.get(self.embed.w);
         let b = self.ps.get(self.embed.b);
-        let h1 = feats.matmul(w).add_row_broadcast(b);
-        let mut h: Vec<Vec<f32>> = (0..n).map(|v| h1.row(v).to_vec()).collect();
-        let mut m = vec![0.0f32; d];
+        let mut h = feats.matmul_bias(w, b);
 
         for sweep in 0..sweeps {
             // Alternate direction per sweep to mirror fw/bw coverage.
             let forward = sweep % 2 == 0;
-            let prev = h.clone(); // Jacobi: everyone reads the old states
+            // Jacobi: every node reads the previous sweep's states, so each
+            // state goes through the message MLPs exactly once per sweep —
+            // two n×d batched forwards replace the old per-edge calls.
+            let msg_all = self.mlp_batch(&self.msg, &h);
+            let msg_sp_all = self.mlp_batch(&self.msg_sp, &h);
+            let mut m = Matrix::zeros(n, d);
             for v in 0..n {
-                m.fill(0.0);
                 let neighbors: &[usize] =
                     if forward { g.predecessors(v) } else { g.successors(v) };
+                let row = m.row_mut(v);
                 for &u in neighbors {
-                    let out = self.mlp_fast(&self.msg, &prev[u]);
-                    for (mi, o) in m.iter_mut().zip(&out) {
+                    for (mi, &o) in row.iter_mut().zip(msg_all.row(u)) {
                         *mi += o;
                     }
                 }
                 let virtuals =
                     if forward { &sched.virtual_fw[v] } else { &sched.virtual_bw[v] };
                 for &(u, s) in virtuals {
-                    let out = self.mlp_fast(&self.msg_sp, &prev[u]);
                     let inv = 1.0 / s as f32;
-                    for (mi, o) in m.iter_mut().zip(&out) {
+                    for (mi, &o) in row.iter_mut().zip(msg_sp_all.row(u)) {
                         *mi += inv * o;
                     }
                 }
-                h[v] = self.gru_fast(&m, &prev[v]);
             }
+            h = self.gru_batch(&m, &h);
             if self.cfg.normalize {
-                for hv in h.iter_mut() {
-                    l2_normalize(hv);
+                for v in 0..n {
+                    l2_normalize(h.row_mut(v));
                 }
             }
         }
         let mut pooled = vec![0.0f32; d];
-        for hv in &h {
-            for (p, &x) in pooled.iter_mut().zip(hv) {
+        for v in 0..n {
+            for (p, &x) in pooled.iter_mut().zip(h.row(v)) {
                 *p += x;
             }
         }
@@ -380,6 +547,17 @@ impl Ghn {
         }
         pooled
     }
+}
+
+/// Stacks the selected state rows into a dense matrix (one GEMM operand).
+fn stack_rows(h: &[Vec<f32>], idx: impl ExactSizeIterator<Item = usize>) -> Matrix {
+    let rows = idx.len();
+    let cols = h[0].len();
+    let mut data = Vec::with_capacity(rows * cols);
+    for u in idx {
+        data.extend_from_slice(&h[u]);
+    }
+    Matrix::from_vec(rows, cols, data)
 }
 
 fn l2_normalize(v: &mut [f32]) {
@@ -421,6 +599,35 @@ mod tests {
         for (a, b) in tv.row(0).iter().zip(&fast) {
             assert!((a - b).abs() < 1e-4, "traced {a} vs fast {b}");
         }
+    }
+
+    #[test]
+    fn batched_fast_path_matches_scalar_reference() {
+        // The GEMM-batched inference path and the per-element scalar loops
+        // sum in different orders; they must agree to fp tolerance on
+        // every node state that reaches the pooled embedding.
+        let mut rng = Rng::new(23);
+        let mut cfg = GhnConfig::tiny();
+        cfg.t_passes = 2;
+        let ghn = Ghn::new(cfg, &mut rng);
+        let g = toy_graph();
+        let sched = Schedule::new(&g, ghn.cfg.s_max);
+        let batched = ghn.embed_with_schedule(&g, &sched);
+        let scalar = ghn.embed_with_schedule_reference(&g, &sched);
+        assert_eq!(batched.len(), scalar.len());
+        for (a, b) in batched.iter().zip(&scalar) {
+            assert!((a - b).abs() <= 1e-4, "batched {a} vs scalar {b}");
+        }
+    }
+
+    #[test]
+    fn embed_records_latency_histogram() {
+        let mut rng = Rng::new(24);
+        let ghn = Ghn::new(GhnConfig::tiny(), &mut rng);
+        let _ = ghn.embed_graph(&toy_graph());
+        let snap = pddl_telemetry::snapshot();
+        let h = snap.histogram("ghn.embed").expect("ghn.embed registered");
+        assert!(h.count >= 1);
     }
 
     #[test]

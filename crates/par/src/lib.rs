@@ -43,7 +43,7 @@ pub mod queue;
 pub use queue::{PushError, TaskQueue};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Telemetry handles for pool activity (resolved once, lock-free after).
 struct PoolMetrics {
@@ -189,6 +189,54 @@ impl WorkPool {
     {
         self.map(items, f).into_iter().flatten().collect()
     }
+
+    /// Splits `data` into disjoint chunks of `chunk_len` elements (the last
+    /// may be shorter) and runs `f(chunk_index, chunk)` on each, fanning the
+    /// chunks out over the pool's workers.
+    ///
+    /// This is the mutable counterpart of [`WorkPool::map`] for writers that
+    /// own disjoint regions of one buffer — the tensor crate's blocked GEMM
+    /// hands each macro-tile of the output matrix to a worker this way. The
+    /// chunk partition depends only on `data.len()` and `chunk_len`, never on
+    /// the worker count, so any computation that is deterministic per chunk
+    /// stays deterministic across pool sizes.
+    pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        if data.is_empty() {
+            return;
+        }
+        let n_chunks = data.len().div_ceil(chunk_len);
+        let m = pool_metrics();
+        m.scopes.inc();
+        m.items.add(n_chunks as u64);
+        let workers = self.threads.min(n_chunks);
+        if workers <= 1 {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+
+        // Each chunk is a disjoint `&mut [T]`; workers pull the next
+        // unclaimed one from a shared iterator. The lock is taken once per
+        // chunk (not per element), so contention is negligible.
+        let chunks = Mutex::new(data.chunks_mut(chunk_len).enumerate());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let next = chunks.lock().expect("chunk iterator poisoned").next();
+                    match next {
+                        Some((i, chunk)) => f(i, chunk),
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
 }
 
 /// [`WorkPool::map`] on the machine-sized global pool.
@@ -302,6 +350,42 @@ mod tests {
         assert_eq!(WorkPool::new(0).threads(), 1, "clamped to one worker");
         assert!(WorkPool::global().threads() >= 1);
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn chunked_writes_cover_every_element_once() {
+        for threads in [1, 2, 3, 8] {
+            for len in [0usize, 1, 7, 64, 257] {
+                let mut data = vec![0u32; len];
+                WorkPool::new(threads).for_each_chunk_mut(&mut data, 10, |i, chunk| {
+                    for (j, x) in chunk.iter_mut().enumerate() {
+                        *x = (i * 10 + j) as u32 + 1;
+                    }
+                });
+                let expect: Vec<u32> = (1..=len as u32).collect();
+                assert_eq!(data, expect, "threads={threads} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_partition_is_independent_of_pool_size() {
+        // Same chunk indices and lengths no matter how many workers run.
+        let collect = |threads: usize| {
+            let mut data = vec![0u8; 23];
+            let seen = Mutex::new(Vec::new());
+            WorkPool::new(threads).for_each_chunk_mut(&mut data, 5, |i, chunk| {
+                seen.lock().unwrap().push((i, chunk.len()));
+            });
+            let mut v = seen.into_inner().unwrap();
+            v.sort_unstable();
+            v
+        };
+        let serial = collect(1);
+        assert_eq!(serial, vec![(0, 5), (1, 5), (2, 5), (3, 5), (4, 3)]);
+        for threads in [2, 4, 16] {
+            assert_eq!(collect(threads), serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -62,12 +62,9 @@ impl Regressor for Ridge {
             // skip the intercept at index 0
             gram[(i, i)] += self.lambda;
         }
-        let mut xty = vec![0.0f32; d];
-        for (r, &yi) in y.iter().enumerate() {
-            for (j, &v) in xd.row(r).iter().enumerate() {
-                xty[j] += v * yi;
-            }
-        }
+        // Xᵀ·y on the packed TN kernel (y as an n×1 column).
+        let ycol = Matrix::from_vec(y.len(), 1, y.to_vec());
+        let xty = xd.t_matmul(&ycol).as_slice().to_vec();
         // Scale-aware diagonal jitter guarantees numerical SPD-ness for
         // rank-deficient / ill-conditioned designs (duplicated polynomial
         // columns, f32 Gram accumulation error on wide expansions). Retry

@@ -3,22 +3,27 @@
 //! This crate is the numeric substrate under the autodiff engine
 //! (`pddl-autodiff`), the GHN-2 implementation and the regression library.
 //! It deliberately implements only what those layers need — row-major dense
-//! matrices, rayon-parallel GEMM, a deterministic counter-free RNG, and the
-//! decompositions (Householder QR, Cholesky) used by the least-squares
-//! solvers — instead of pulling in a BLAS binding.
+//! matrices, a blocked packed GEMM core, a deterministic counter-free RNG,
+//! and the decompositions (Householder QR, Cholesky) used by the
+//! least-squares solvers — instead of pulling in a BLAS binding.
 //!
 //! Design notes (following the session's hpc-parallel guides):
 //! * storage is a single contiguous `Vec<f32>` (cache-friendly, no per-row
 //!   allocation);
-//! * GEMM parallelizes over output rows with `rayon` above a size threshold
-//!   and transposes the right-hand side once so the inner loop is a unit
-//!   stride dot product;
+//! * GEMM is a cache-blocked, register-tiled kernel with one-time operand
+//!   packing ([`gemm`]): `A·B`, `A·Bᵀ` and `Aᵀ·B` share one microkernel,
+//!   fused bias/activation epilogues serve the affine layers, and
+//!   macro-tiles fan out over the `pddl_par` work pool above a size
+//!   threshold — deterministic for any worker count because the tile
+//!   partition never depends on it;
 //! * all randomness goes through [`rng::Rng`], a seeded xoshiro256**, so every
 //!   experiment in the workspace is reproducible bit-for-bit.
 
+pub mod gemm;
 pub mod linalg;
 pub mod matrix;
 pub mod rng;
 
-pub use matrix::Matrix;
+pub use gemm::{Activation, PackBuffer};
+pub use matrix::{vecmat_acc, Matrix};
 pub use rng::Rng;

@@ -1,15 +1,12 @@
 //! Row-major dense `f32` matrix with the operation set needed by the
 //! autodiff engine and the regression library.
 
+use crate::gemm::{self, Activation, Layout, PackBuffer};
 use crate::rng::Rng;
-use rayon::prelude::*;
+use pddl_par::WorkPool;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
-
-/// Below this many multiply-adds GEMM stays sequential; thread hand-off costs
-/// more than it saves on tiny matrices (GHN node states are 1×32 … 128×128).
-const PAR_FLOP_THRESHOLD: usize = 64 * 64 * 64;
 
 /// Dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
@@ -191,72 +188,207 @@ impl Matrix {
         self.map(|x| alpha * x)
     }
 
-    /// Transpose into a new matrix.
+    /// Transpose into a new matrix, walked in 32×32 blocks so both the
+    /// source reads and destination writes stay cache-resident.
     pub fn transpose(&self) -> Matrix {
+        const TB: usize = 32;
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            let row = self.row(r);
-            for (c, &v) in row.iter().enumerate() {
-                out.data[c * self.rows + r] = v;
+        for rb in (0..self.rows).step_by(TB) {
+            let r_end = (rb + TB).min(self.rows);
+            for cb in (0..self.cols).step_by(TB) {
+                let c_end = (cb + TB).min(self.cols);
+                for r in rb..r_end {
+                    let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                    for (c, &v) in row.iter().enumerate().take(c_end).skip(cb) {
+                        out.data[c * self.rows + r] = v;
+                    }
+                }
             }
         }
         out
     }
 
-    /// GEMM: `self (m×k) · other (k×n)`.
-    ///
-    /// The RHS is transposed once so each output element is a unit-stride dot
-    /// product; output rows parallelize with rayon above the size
-    /// threshold `PAR_FLOP_THRESHOLD`.
+    /// GEMM: `self (m×k) · other (k×n)` through the blocked packed kernel
+    /// (`crate::gemm`), using this thread's pack workspace and fanning
+    /// macro-tiles over the global `pddl_par` pool above
+    /// [`gemm::PAR_MADDS`] multiply-adds.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.assert_inner(other);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        gemm::with_thread_pack(|pack| {
+            self.gemm_nn(other, None, Activation::Identity, false, &mut out, pack, Some(&WorkPool::global()));
+        });
+        out
+    }
+
+    /// [`Matrix::matmul`] with a caller-owned [`PackBuffer`], running
+    /// serially. Training loops that multiply the same shapes repeatedly
+    /// use this to pin packing to one warm workspace (and to measure that
+    /// it never reallocates).
+    pub fn matmul_with(&self, other: &Matrix, pack: &mut PackBuffer) -> Matrix {
+        self.assert_inner(other);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.gemm_nn(other, None, Activation::Identity, false, &mut out, pack, None);
+        out
+    }
+
+    /// [`Matrix::matmul`] dispatched over an explicit pool — the hook the
+    /// determinism tests use to prove results are bit-identical across
+    /// worker counts.
+    pub fn matmul_pooled(&self, other: &Matrix, pool: &WorkPool) -> Matrix {
+        self.assert_inner(other);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        gemm::with_thread_pack(|pack| {
+            self.gemm_nn(other, None, Activation::Identity, false, &mut out, pack, Some(pool));
+        });
+        out
+    }
+
+    /// The kernel this crate shipped before the blocked core — transpose
+    /// the RHS once, then one dot product per output element. Kept serial
+    /// and unblocked as the oracle for the equivalence tests and the
+    /// baseline `tensorbench` measures against.
+    pub fn matmul_reference(&self, other: &Matrix) -> Matrix {
+        self.assert_inner(other);
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        if k == 0 {
+            return out;
+        }
+        let bt = other.transpose();
+        for (r, out_row) in out.data.chunks_mut(n).enumerate() {
+            let a_row = &self.data[r * k..(r + 1) * k];
+            for (o, b_col) in out_row.iter_mut().zip(bt.data.chunks_exact(k)) {
+                *o = dot(a_row, b_col);
+            }
+        }
+        out
+    }
+
+    /// `self (m×k) · otherᵀ` where `other` is stored `n×k`. The packing
+    /// step absorbs the transpose — nothing is materialized — which is
+    /// what the autodiff backward pass uses for its `g·Wᵀ` GEMMs.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt inner dims: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, n, k) = (self.rows, other.rows, self.cols);
+        let mut out = Matrix::zeros(m, n);
+        gemm::with_thread_pack(|pack| {
+            gemm::gemm(
+                Layout::Nt,
+                m,
+                n,
+                k,
+                &self.data,
+                &other.data,
+                None,
+                Activation::Identity,
+                false,
+                &mut out.data,
+                pack,
+                Some(&WorkPool::global()),
+            );
+        });
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose of `self`
+    /// (packing absorbs it); the `Aᵀ·g` gradient GEMM in backprop.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul row mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        gemm::with_thread_pack(|pack| {
+            gemm::gemm(
+                Layout::Tn,
+                m,
+                n,
+                k,
+                &self.data,
+                &other.data,
+                None,
+                Activation::Identity,
+                false,
+                &mut out.data,
+                pack,
+                Some(&WorkPool::global()),
+            );
+        });
+        out
+    }
+
+    /// Fused `self·other + bias` (bias is `1×n`, broadcast over rows) in
+    /// one pass — the affine layer forward without the intermediate
+    /// matrix or the bias-broadcast clone.
+    pub fn matmul_bias(&self, other: &Matrix, bias: &Matrix) -> Matrix {
+        self.matmul_bias_act(other, bias, Activation::Identity)
+    }
+
+    /// Fused `act(self·other + bias)`; bias add and activation run in the
+    /// GEMM epilogue while the output is cache-warm.
+    pub fn matmul_bias_act(&self, other: &Matrix, bias: &Matrix, act: Activation) -> Matrix {
+        self.assert_inner(other);
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, other.cols, "bias width mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        gemm::with_thread_pack(|pack| {
+            self.gemm_nn(other, Some(&bias.data), act, false, &mut out, pack, Some(&WorkPool::global()));
+        });
+        out
+    }
+
+    /// Fused accumulate: `out = act(out + self·other)`. Paired with
+    /// [`Matrix::matmul_bias`] this computes two-operand affine forms like
+    /// the GRU gates' `act(x·W + h·U + b)` with no temporaries.
+    pub fn matmul_acc_act(&self, other: &Matrix, out: &mut Matrix, act: Activation) {
+        self.assert_inner(other);
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul_acc_act output shape mismatch"
+        );
+        gemm::with_thread_pack(|pack| {
+            self.gemm_nn(other, None, act, true, out, pack, Some(&WorkPool::global()));
+        });
+    }
+
+    #[inline]
+    fn assert_inner(&self, other: &Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul inner dims: {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let (m, k, n) = (self.rows, self.cols, other.cols);
-        let bt = other.transpose();
-        let mut out = Matrix::zeros(m, n);
-        let flops = m * k * n;
-        let body = |(r, out_row): (usize, &mut [f32])| {
-            let a_row = &self.data[r * k..(r + 1) * k];
-            for (out, b_col) in out_row.iter_mut().zip(bt.data.chunks_exact(k)) {
-                *out = dot(a_row, b_col);
-            }
-        };
-        if flops >= PAR_FLOP_THRESHOLD && m > 1 {
-            out.data
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(r, row)| body((r, row)));
-        } else {
-            for (r, row) in out.data.chunks_mut(n).enumerate() {
-                body((r, row));
-            }
-        }
-        out
     }
 
-    /// `selfᵀ · other` without materializing the transpose of `self`.
-    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "t_matmul row mismatch");
-        let (k, m, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        // Accumulate rank-1 updates; row-major friendly for both inputs.
-        for r in 0..k {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_nn(
+        &self,
+        other: &Matrix,
+        bias: Option<&[f32]>,
+        act: Activation,
+        accumulate: bool,
+        out: &mut Matrix,
+        pack: &mut PackBuffer,
+        pool: Option<&WorkPool>,
+    ) {
+        gemm::gemm(
+            Layout::Nn,
+            self.rows,
+            other.cols,
+            self.cols,
+            &self.data,
+            &other.data,
+            bias,
+            act,
+            accumulate,
+            &mut out.data,
+            pack,
+            pool,
+        );
     }
 
     /// Matrix–vector product `self · v`.
@@ -265,18 +397,25 @@ impl Matrix {
         (0..self.rows).map(|r| dot(self.row(r), v)).collect()
     }
 
-    /// Adds a 1×cols row vector to every row (bias broadcast).
+    /// Adds a 1×cols row vector to every row (bias broadcast), allocating
+    /// the result. Hot paths use [`Matrix::add_row_broadcast_mut`] or the
+    /// fused [`Matrix::matmul_bias`] instead.
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_row_broadcast_mut(bias);
+        out
+    }
+
+    /// In-place bias broadcast: `self[r] += bias` for every row.
+    pub fn add_row_broadcast_mut(&mut self, bias: &Matrix) {
         assert_eq!(bias.rows, 1, "broadcast expects a row vector");
         assert_eq!(bias.cols, self.cols, "broadcast width mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = out.row_mut(r);
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
             for (x, &b) in row.iter_mut().zip(&bias.data) {
                 *x += b;
             }
         }
-        out
     }
 
     /// Sum of all entries.
@@ -405,6 +544,21 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         acc += a[i] * b[i];
     }
     acc
+}
+
+/// `out += v · w` for a length-`k` row vector `v` and a `k×n` matrix `w`,
+/// accumulated as unit-stride axpy rows. The allocation-free per-node
+/// path the GHN's sequential GRU update runs on (one node's state is a
+/// plain `&[f32]`, not worth a 1×k `Matrix` round trip).
+pub fn vecmat_acc(v: &[f32], w: &Matrix, out: &mut [f32]) {
+    assert_eq!(v.len(), w.rows(), "vecmat_acc inner dim mismatch");
+    assert_eq!(out.len(), w.cols(), "vecmat_acc output dim mismatch");
+    for (p, &vp) in v.iter().enumerate() {
+        let w_row = w.row(p);
+        for (o, &x) in out.iter_mut().zip(w_row) {
+            *o += vp * x;
+        }
+    }
 }
 
 impl Index<(usize, usize)> for Matrix {

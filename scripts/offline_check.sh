@@ -16,12 +16,14 @@
 #   scripts/offline_check.sh test-par         # run pddl-par's real tests (queue, pool)
 #   scripts/offline_check.sh test-golden      # run the golden-trace fixture test
 #   scripts/offline_check.sh test-bench       # run pddl-bench's tests (report schema)
+#   scripts/offline_check.sh test-tensor      # run the GEMM equivalence/determinism suite
 #   scripts/offline_check.sh bench-serve      # run the inproc serving benchmark
+#   scripts/offline_check.sh bench-tensor     # run the GEMM benchmark (BENCH_tensor.json)
 #   scripts/offline_check.sh gate-unwrap      # no-unwrap grep gate on the wire parser
 #   scripts/offline_check.sh <any cargo args> # e.g. "check -p predictddl --tests"
 #
-# test-telemetry / test-faults / test-par / test-golden / test-bench
-# actually *run*: those paths use no external crate at runtime (pure std
+# test-telemetry / test-faults / test-par / test-golden / test-bench /
+# test-tensor actually *run*: those paths use no external crate at runtime (pure std
 # + the in-tree JSON parser). bench-serve runs `pddl-loadgen --transport
 # inproc` — the mode that produces the committed BENCH_serve.json
 # baseline (the tcp transport needs serde at runtime and stays in CI).
@@ -69,7 +71,6 @@ cat >> Cargo.toml <<'EOF'
 serde = { path = "stubs/serde" }
 serde_json = { path = "stubs/serde_json" }
 parking_lot = { path = "stubs/parking_lot" }
-rayon = { path = "stubs/rayon" }
 proptest = { path = "stubs/proptest" }
 criterion = { path = "stubs/criterion" }
 EOF
@@ -97,11 +98,13 @@ case "${1:-check}" in
     cargo check --workspace --offline --lib --bins --examples --benches
     cargo check -p predictddl --offline "${NON_PROPTEST_TESTS[@]}"
     cargo check -p pddl-bench --offline --tests
+    cargo check -p pddl-tensor --offline --test gemm_equivalence
     ;;
   clippy)
     cargo clippy --workspace --offline --lib --bins --examples --benches -- -D warnings
     cargo clippy -p predictddl --offline "${NON_PROPTEST_TESTS[@]}" -- -D warnings
     cargo clippy -p pddl-bench --offline --tests -- -D warnings
+    cargo clippy -p pddl-tensor --offline --test gemm_equivalence -- -D warnings
     ;;
   doc)
     # Same gate as CI: rustdoc warnings (missing docs, broken intra-doc
@@ -124,10 +127,19 @@ case "${1:-check}" in
   test-bench)
     cargo test -p pddl-bench --offline
     ;;
+  test-tensor)
+    # Lib tests plus the equivalence/determinism/pack-reuse suite; the
+    # proptest target is excluded (stubbed offline).
+    cargo test -p pddl-tensor --offline --lib --test gemm_equivalence
+    ;;
   bench-serve)
     shift
     cargo run -p pddl-bench --offline --release --bin pddl-loadgen -- \
       --transport inproc "$@"
+    ;;
+  bench-tensor)
+    shift
+    cargo run -p pddl-bench --offline --release --bin pddl-tensorbench -- "$@"
     ;;
   *)
     cargo --offline "$@"
