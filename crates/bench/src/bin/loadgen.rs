@@ -1,7 +1,15 @@
 //! `pddl-loadgen` — serving-capacity benchmark for the bounded controller.
 //!
 //! Drives K concurrent clients against the serving core in two phases and
-//! writes `BENCH_serve.json` (see `pddl_bench::report` for the schema):
+//! writes `BENCH_serve.json` (see `pddl_bench::report` for the schema).
+//! Before the phases, two dedicated closed-loop bursts (one untraced, one
+//! with a trace context on every request) measure the flight recorder's
+//! throughput overhead — reported as `tracing.overhead_ratio` and gated
+//! at ≤ 1.05 on the committed baseline by the bench schema tier. The
+//! in-proc phases themselves run fully traced, so the report's `stages`
+//! block carries real per-stage (queue wait, embed cache, regress)
+//! percentiles from the `trace.stage.*` histograms, and every shed is
+//! bucketed by typed reason in `shed_reasons`. The phases:
 //!
 //! 1. **low_rate** — the fleet is paced to `--low-rps` with client
 //!    start times staggered across one pacing interval; the queue never
@@ -29,10 +37,14 @@
 //!              [--low-rps 50] [--out BENCH_serve.json]
 //! ```
 
-use pddl_bench::report::{summarize, PhaseReport, ServeReport};
-use pddl_cluster::retry::RetryPolicy;
+use pddl_bench::report::{
+    summarize, PhaseReport, ServeReport, ShedReasons, StageSummary, TracingSummary,
+};
+use pddl_cluster::retry::{RetryPolicy, ShedReason};
 use pddl_cluster::{ClusterState, ServerClass};
 use pddl_ddlsim::Workload;
+use pddl_telemetry::trace::stages;
+use pddl_telemetry::TraceContext;
 use predictddl::serve::Latch;
 use predictddl::{
     Controller, ControllerClient, JobOutcome, OfflineTrainer, PredictDdl, PredictionRequest,
@@ -63,16 +75,29 @@ fn main() {
     };
 
     eprintln!("training tiny system for the benchmark workload ...");
-    let system = OfflineTrainer::tiny().train_full();
+    let system = Arc::new(OfflineTrainer::tiny().train_full());
     let req = bench_request();
 
     eprintln!(
         "loadgen: transport={transport} clients={clients} requests={requests} \
          workers={workers} queue_depth={queue_depth}"
     );
+    // Tracing-overhead bursts run first, on a dedicated pool, so the two
+    // measurements see identical cache state regardless of transport.
+    let tracing = measure_tracing_overhead(Arc::clone(&system), &req, config, requests);
+    eprintln!(
+        "tracing overhead: {:.0} rps untraced vs {:.0} rps traced (ratio {:.3})",
+        tracing.untraced_rps, tracing.traced_rps, tracing.overhead_ratio
+    );
     let phases = match transport.as_str() {
-        "inproc" => run_inproc(Arc::new(system), &req, config, clients, requests, low_rps),
-        "tcp" => run_tcp(system, &req, config, clients, requests, low_rps),
+        "inproc" => run_inproc(system, &req, config, clients, requests, low_rps),
+        "tcp" => {
+            let system = Arc::try_unwrap(system).unwrap_or_else(|_| {
+                eprintln!("error: serving core still referenced after overhead bursts");
+                std::process::exit(1);
+            });
+            run_tcp(system, &req, config, clients, requests, low_rps)
+        }
         other => {
             eprintln!("error: unknown --transport '{other}' (inproc|tcp)");
             std::process::exit(2);
@@ -83,10 +108,34 @@ fn main() {
     let telemetry = vec![
         ("controller.requests_shed", counter(&snapshot, "controller.requests_shed")),
         ("controller.requests_expired", counter(&snapshot, "controller.requests_expired")),
+        ("controller.traced_requests", counter(&snapshot, "controller.traced_requests")),
         ("controller.queue_depth_peak", gauge(&snapshot, "controller.queue_depth_peak")),
         ("controller_client.retries", counter(&snapshot, "controller_client.retries")),
         ("controller_client.overloads", counter(&snapshot, "controller_client.overloads")),
     ];
+    // The serving pipeline as the flight recorder saw it: per-stage
+    // percentiles out of the `trace.stage.*` histograms (ns → µs).
+    let stage_summaries = [
+        stages::QUEUE_WAIT,
+        stages::EMBED_CACHE,
+        stages::GHN_EMBED,
+        stages::REGRESS,
+        stages::SERIALIZE,
+    ]
+    .iter()
+    .map(|name| {
+        let s = snapshot
+            .histogram(&format!("trace.stage.{name}"))
+            .map(|h| StageSummary {
+                count: h.count,
+                p50_us: h.p50 / 1000,
+                p95_us: h.p95 / 1000,
+                p99_us: h.p99 / 1000,
+            })
+            .unwrap_or_default();
+        (name.to_string(), s)
+    })
+    .collect();
     let report = ServeReport {
         transport,
         workers,
@@ -96,6 +145,8 @@ fn main() {
         deadline_ms,
         retry_after_ms: config.retry_after_ms,
         phases,
+        stages: stage_summaries,
+        tracing,
         telemetry: telemetry.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
     };
     for p in &report.phases {
@@ -130,6 +181,10 @@ struct Tally {
     expired: AtomicU64,
     failed: AtomicU64,
     retries: AtomicU64,
+    rq_queue_full: AtomicU64,
+    rq_deadline: AtomicU64,
+    rq_connection_limit: AtomicU64,
+    rq_draining: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
 }
 
@@ -137,6 +192,19 @@ impl Tally {
     fn record_latency(&self, t0: Instant) {
         let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
         self.latencies_us.lock().unwrap_or_else(|e| e.into_inner()).push(us);
+    }
+
+    /// Buckets a typed rejection reason (unknown reasons go uncounted —
+    /// they still show up in the coarse shed/failed totals).
+    fn record_reason(&self, reason: ShedReason) {
+        match reason {
+            ShedReason::QueueFull => &self.rq_queue_full,
+            ShedReason::Deadline => &self.rq_deadline,
+            ShedReason::ConnectionLimit => &self.rq_connection_limit,
+            ShedReason::Draining => &self.rq_draining,
+            ShedReason::Unknown => return,
+        }
+        .fetch_add(1, Ordering::Relaxed);
     }
 
     fn into_phase(self, name: &str, target_rps: f64, duration: Duration) -> PhaseReport {
@@ -154,6 +222,12 @@ impl Tally {
             requests: completed + shed + expired + failed,
             completed,
             shed,
+            shed_reasons: ShedReasons {
+                queue_full: self.rq_queue_full.load(Ordering::Relaxed),
+                deadline: self.rq_deadline.load(Ordering::Relaxed),
+                connection_limit: self.rq_connection_limit.load(Ordering::Relaxed),
+                draining: self.rq_draining.load(Ordering::Relaxed),
+            },
             expired,
             failed,
             retries: self.retries.load(Ordering::Relaxed),
@@ -230,14 +304,18 @@ fn run_inproc(
                         let latch = Arc::new(Latch::new());
                         let outcome: Arc<Mutex<Option<JobOutcome>>> =
                             Arc::new(Mutex::new(None));
+                        // Every in-proc request carries a trace context,
+                        // exactly like a header-carrying wire client — the
+                        // committed baseline measures the traced hot path.
+                        let ctx = TraceContext::root(next_trace_id());
                         let submit = {
                             let latch = Arc::clone(&latch);
                             let outcome = Arc::clone(&outcome);
                             let system = Arc::clone(&system);
                             let req = req.clone();
-                            pool.try_submit(move |o| {
+                            pool.try_submit_traced(Some(ctx), move |o| {
                                 if o == JobOutcome::Run {
-                                    let _ = system.predict(&req);
+                                    let _ = system.predict_traced(&req, Some(ctx));
                                 }
                                 *outcome.lock().unwrap_or_else(|e| e.into_inner()) =
                                     Some(o);
@@ -258,18 +336,21 @@ fn run_inproc(
                                     }
                                     _ => {
                                         tally.expired.fetch_add(1, Ordering::Relaxed);
+                                        tally.record_reason(ShedReason::Deadline);
                                     }
                                 }
                             }
                             Err(SubmitError::Full) => {
                                 tally.shed.fetch_add(1, Ordering::Relaxed);
                                 tally.retries.fetch_add(1, Ordering::Relaxed);
+                                tally.record_reason(ShedReason::QueueFull);
                                 std::thread::sleep(Duration::from_millis(
                                     config.retry_after_ms,
                                 ));
                             }
                             Err(SubmitError::Closed) => {
                                 tally.failed.fetch_add(1, Ordering::Relaxed);
+                                tally.record_reason(ShedReason::Draining);
                                 break;
                             }
                         }
@@ -283,6 +364,135 @@ fn run_inproc(
     }
     pool.shutdown();
     phases
+}
+
+/// Unique per-request trace ids for the in-proc fleet.
+fn next_trace_id() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One closed-loop burst against the pool: `fleet` clients each complete
+/// `requests` predictions (sheds are retried without being counted), with
+/// or without per-request trace contexts. Returns completed requests per
+/// second of burst wall-clock.
+fn run_burst(
+    pool: &Arc<ServePool>,
+    system: &Arc<PredictDdl>,
+    req: &PredictionRequest,
+    fleet: usize,
+    requests: usize,
+    traced: bool,
+) -> f64 {
+    let completed = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..fleet {
+            let completed = &completed;
+            let pool = Arc::clone(pool);
+            let system = Arc::clone(system);
+            let req = req.clone();
+            s.spawn(move || {
+                for _ in 0..requests {
+                    let ctx = if traced {
+                        Some(TraceContext::root(next_trace_id()))
+                    } else {
+                        None
+                    };
+                    loop {
+                        let latch = Arc::new(Latch::new());
+                        let ran = Arc::new(AtomicU64::new(0));
+                        let submit = {
+                            let latch = Arc::clone(&latch);
+                            let ran = Arc::clone(&ran);
+                            let system = Arc::clone(&system);
+                            let req = req.clone();
+                            pool.try_submit_traced(ctx, move |o| {
+                                if o == JobOutcome::Run {
+                                    let _ = system.predict_traced(&req, ctx);
+                                    ran.store(1, Ordering::Relaxed);
+                                }
+                                latch.open();
+                            })
+                        };
+                        match submit {
+                            Ok(()) => {
+                                latch.wait();
+                                if ran.load(Ordering::Relaxed) == 1 {
+                                    completed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                break;
+                            }
+                            Err(SubmitError::Full) => {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(SubmitError::Closed) => return,
+                        }
+                    }
+                }
+            });
+        }
+    });
+    completed.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Median of a throughput sample (sorts in place; 0 when empty).
+fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs[xs.len() / 2]
+}
+
+/// The tracing-overhead measurement: a dedicated pool, a warmup pass to
+/// populate the embedding cache, then five interleaved rounds of an
+/// untraced and a traced burst of identical shape, reduced by median.
+/// Interleaving cancels slow environment drift (CPU-quota throttling,
+/// thermal decay) that would otherwise bias whichever mode ran second;
+/// the median rejects one-off scheduler stalls. The fleet is sized to
+/// `workers + queue_depth` so the closed loop sits exactly at capacity —
+/// the comparison stresses the recorder's hot path (span recording on
+/// every queue wait, cache probe, and regression) rather than admission
+/// churn.
+fn measure_tracing_overhead(
+    system: Arc<PredictDdl>,
+    req: &PredictionRequest,
+    config: ServeConfig,
+    requests: usize,
+) -> TracingSummary {
+    const ROUNDS: usize = 5;
+    let pool = Arc::new(ServePool::start(config));
+    let fleet = (config.workers.max(1) + config.queue_depth).max(1);
+    let per_client = requests.max(250);
+    run_burst(&pool, &system, req, 1, 8, false);
+    let mut untraced = Vec::with_capacity(ROUNDS);
+    let mut traced = Vec::with_capacity(ROUNDS);
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        // Alternate which mode goes first so a monotone slowdown across
+        // the measurement biases neither mode.
+        let (u, t) = if round % 2 == 0 {
+            let u = run_burst(&pool, &system, req, fleet, per_client, false);
+            (u, run_burst(&pool, &system, req, fleet, per_client, true))
+        } else {
+            let t = run_burst(&pool, &system, req, fleet, per_client, true);
+            (run_burst(&pool, &system, req, fleet, per_client, false), t)
+        };
+        untraced.push(u);
+        traced.push(t);
+        if t > 0.0 {
+            // Each round's two bursts are adjacent in time, so their
+            // ratio is immune to drift that spans rounds.
+            ratios.push(u / t);
+        }
+    }
+    pool.shutdown();
+    TracingSummary {
+        traced_rps: median(&mut traced),
+        untraced_rps: median(&mut untraced),
+        overhead_ratio: median(&mut ratios),
+    }
 }
 
 /// TCP phases: a real controller on an ephemeral port, resilient clients
@@ -340,6 +550,9 @@ fn run_tcp(
                             {
                                 tally.shed.fetch_add(1, Ordering::Relaxed);
                                 tally.retries.fetch_add(1, Ordering::Relaxed);
+                                if let Some(r) = pddl_cluster::retry::overload_reason(&e) {
+                                    tally.record_reason(r);
+                                }
                                 std::thread::sleep(Duration::from_millis(
                                     config.retry_after_ms,
                                 ));

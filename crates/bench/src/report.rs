@@ -64,6 +64,23 @@ pub fn summarize(latencies_us: &mut [u64]) -> LatencySummary {
     }
 }
 
+/// Typed breakdown of *why* requests were rejected during a phase. The
+/// four buckets mirror [`pddl_cluster::retry::ShedReason`] — every shed
+/// and expiry lands in exactly one, so `queue_full + deadline +
+/// connection_limit + draining <= shed + expired + failed` (transport
+/// deaths carry no reason).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShedReasons {
+    /// Admission queue was full (`SubmitError::Full` / `queue_full`).
+    pub queue_full: u64,
+    /// Expired waiting in the queue past the request deadline.
+    pub deadline: u64,
+    /// Rejected at accept because the connection cap was reached.
+    pub connection_limit: u64,
+    /// Rejected because the pool was shutting down.
+    pub draining: u64,
+}
+
 /// One load phase: a client fleet driven at `target_rps` (0 = unpaced,
 /// i.e. saturation) with every request outcome accounted for —
 /// `completed + shed + expired + failed == requests`.
@@ -81,6 +98,8 @@ pub struct PhaseReport {
     pub completed: u64,
     /// Requests shed at admission (`queue_full` / `connection_limit`).
     pub shed: u64,
+    /// Typed reasons behind the sheds and expiries.
+    pub shed_reasons: ShedReasons,
     /// Requests expired in the queue (`deadline`).
     pub expired: u64,
     /// Requests that failed for any other reason (transport death).
@@ -91,6 +110,39 @@ pub struct PhaseReport {
     pub throughput_rps: f64,
     /// Latency of completed requests.
     pub latency: LatencySummary,
+}
+
+/// Per-pipeline-stage latency summary read from the `trace.stage.*`
+/// histograms after the run — the serving pipeline as the flight recorder
+/// saw it, in microseconds (histograms record nanoseconds; the report
+/// divides by 1000).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageSummary {
+    /// Spans recorded for this stage across the whole run.
+    pub count: u64,
+    /// Median stage latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile stage latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile stage latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// Tracing-overhead measurement from dedicated closed-loop bursts on the
+/// serving core, interleaving rounds with every request carrying a trace
+/// context against rounds with tracing fully off. `overhead_ratio` is the
+/// median of the per-round `untraced / traced` throughput ratios, so 1.0
+/// means free and 1.05 means tracing costs 5% throughput — the committed
+/// baseline is gated at ≤ 1.05 by the bench schema tier.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TracingSummary {
+    /// Median completed requests/second with per-request trace contexts.
+    pub traced_rps: f64,
+    /// Median completed requests/second with tracing off.
+    pub untraced_rps: f64,
+    /// Median per-round `untraced_rps / traced_rps` (0 when the bursts
+    /// did not run). Not exactly the quotient of the two medians above.
+    pub overhead_ratio: f64,
 }
 
 /// The full benchmark report — rendered to `BENCH_serve.json`.
@@ -112,6 +164,12 @@ pub struct ServeReport {
     pub retry_after_ms: u64,
     /// The measured phases, in execution order.
     pub phases: Vec<PhaseReport>,
+    /// Per-stage latency summaries keyed by flight-recorder stage name
+    /// (`queue_wait`, `embed_cache`, `ghn_embed`, `regress`, `serialize`),
+    /// in render order.
+    pub stages: Vec<(String, StageSummary)>,
+    /// Tracing-overhead burst results.
+    pub tracing: TracingSummary,
     /// Final values of the serving-side telemetry series, keyed by their
     /// exact registry names (e.g. `controller.requests_shed`).
     pub telemetry: Vec<(String, u64)>,
@@ -134,7 +192,8 @@ impl ServeReport {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str("  \"benchmark\": \"serve\",\n");
-        out.push_str("  \"version\": 1,\n");
+        // v2: per-phase shed_reasons, per-stage percentiles, tracing block.
+        out.push_str("  \"version\": 2,\n");
         out.push_str(&format!("  \"transport\": \"{}\",\n", escape(&self.transport)));
         out.push_str("  \"config\": {\n");
         out.push_str(&format!("    \"workers\": {},\n", self.workers));
@@ -159,6 +218,18 @@ impl ServeReport {
             out.push_str(&format!("      \"requests\": {},\n", p.requests));
             out.push_str(&format!("      \"completed\": {},\n", p.completed));
             out.push_str(&format!("      \"shed\": {},\n", p.shed));
+            out.push_str("      \"shed_reasons\": {\n");
+            out.push_str(&format!(
+                "        \"queue_full\": {},\n",
+                p.shed_reasons.queue_full
+            ));
+            out.push_str(&format!("        \"deadline\": {},\n", p.shed_reasons.deadline));
+            out.push_str(&format!(
+                "        \"connection_limit\": {},\n",
+                p.shed_reasons.connection_limit
+            ));
+            out.push_str(&format!("        \"draining\": {}\n", p.shed_reasons.draining));
+            out.push_str("      },\n");
             out.push_str(&format!("      \"expired\": {},\n", p.expired));
             out.push_str(&format!("      \"failed\": {},\n", p.failed));
             out.push_str(&format!("      \"retries\": {},\n", p.retries));
@@ -176,6 +247,27 @@ impl ServeReport {
             out.push_str(if i + 1 == self.phases.len() { "    }\n" } else { "    },\n" });
         }
         out.push_str("  ],\n");
+        out.push_str("  \"stages\": {\n");
+        for (i, (name, s)) in self.stages.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {{\n", escape(name)));
+            out.push_str(&format!("      \"count\": {},\n", s.count));
+            out.push_str(&format!("      \"p50_us\": {},\n", s.p50_us));
+            out.push_str(&format!("      \"p95_us\": {},\n", s.p95_us));
+            out.push_str(&format!("      \"p99_us\": {}\n", s.p99_us));
+            out.push_str(if i + 1 == self.stages.len() { "    }\n" } else { "    },\n" });
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"tracing\": {\n");
+        out.push_str(&format!("    \"traced_rps\": {},\n", fnum(self.tracing.traced_rps)));
+        out.push_str(&format!(
+            "    \"untraced_rps\": {},\n",
+            fnum(self.tracing.untraced_rps)
+        ));
+        out.push_str(&format!(
+            "    \"overhead_ratio\": {}\n",
+            fnum(self.tracing.overhead_ratio)
+        ));
+        out.push_str("  },\n");
         out.push_str("  \"telemetry\": {\n");
         for (i, (name, value)) in self.telemetry.iter().enumerate() {
             out.push_str(&format!("    \"{}\": {}", escape(name), value));
@@ -378,6 +470,7 @@ mod tests {
                     requests: 400,
                     completed: 400,
                     shed: 0,
+                    shed_reasons: ShedReasons::default(),
                     expired: 0,
                     failed: 0,
                     retries: 0,
@@ -397,6 +490,7 @@ mod tests {
                     requests: 400,
                     completed: 300,
                     shed: 100,
+                    shed_reasons: ShedReasons { queue_full: 100, ..Default::default() },
                     expired: 0,
                     failed: 0,
                     retries: 0,
@@ -404,6 +498,15 @@ mod tests {
                     latency: LatencySummary::default(),
                 },
             ],
+            stages: vec![
+                ("queue_wait".into(), StageSummary { count: 700, p50_us: 40, p95_us: 90, p99_us: 120 }),
+                ("regress".into(), StageSummary { count: 700, p50_us: 5, p95_us: 9, p99_us: 12 }),
+            ],
+            tracing: TracingSummary {
+                traced_rps: 950.0,
+                untraced_rps: 1000.0,
+                overhead_ratio: 1.053,
+            },
             telemetry: vec![
                 ("controller.requests_shed".into(), 100),
                 ("controller.queue_depth_peak".into(), 4),
@@ -415,7 +518,15 @@ mod tests {
     fn render_parses_back() {
         let doc = JsonValue::parse(&sample().render()).expect("valid JSON");
         assert_eq!(doc.get("benchmark").and_then(|v| v.as_str()), Some("serve"));
-        assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(2));
+        let tracing = doc.get("tracing").expect("tracing block");
+        assert_eq!(tracing.get("overhead_ratio").and_then(|v| v.as_f64()), Some(1.053));
+        let qw = doc.get("stages").and_then(|s| s.get("queue_wait")).expect("queue_wait");
+        assert_eq!(qw.get("p95_us").and_then(|v| v.as_u64()), Some(90));
+        let sat = doc.get("phases").and_then(|p| p.as_array()).unwrap()[1]
+            .get("shed_reasons")
+            .expect("shed_reasons");
+        assert_eq!(sat.get("queue_full").and_then(|v| v.as_u64()), Some(100));
         let phases = doc.get("phases").expect("phases");
         match phases {
             JsonValue::Array(items) => assert_eq!(items.len(), 2),

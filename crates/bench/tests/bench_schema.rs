@@ -23,8 +23,8 @@
 //! serde_json is stubbed out.
 
 use pddl_bench::report::{
-    schema_paths, EmbedE2e, GemmCase, LatencySummary, PhaseReport, ServeReport, TensorReport,
-    TrainE2e,
+    schema_paths, EmbedE2e, GemmCase, LatencySummary, PhaseReport, ServeReport, ShedReasons,
+    StageSummary, TensorReport, TracingSummary, TrainE2e,
 };
 use pddl_telemetry::JsonValue;
 use std::path::PathBuf;
@@ -110,6 +110,7 @@ fn sample_report() -> ServeReport {
                 requests: 800,
                 completed: 800,
                 shed: 0,
+                shed_reasons: ShedReasons::default(),
                 expired: 0,
                 failed: 0,
                 retries: 0,
@@ -129,6 +130,12 @@ fn sample_report() -> ServeReport {
                 requests: 800,
                 completed: 640,
                 shed: 150,
+                shed_reasons: ShedReasons {
+                    queue_full: 140,
+                    deadline: 8,
+                    connection_limit: 10,
+                    draining: 0,
+                },
                 expired: 8,
                 failed: 2,
                 retries: 150,
@@ -142,9 +149,24 @@ fn sample_report() -> ServeReport {
                 },
             },
         ],
+        stages: ["queue_wait", "embed_cache", "ghn_embed", "regress", "serialize"]
+            .iter()
+            .map(|name| {
+                (
+                    name.to_string(),
+                    StageSummary { count: 640, p50_us: 30, p95_us: 80, p99_us: 110 },
+                )
+            })
+            .collect(),
+        tracing: TracingSummary {
+            traced_rps: 970.0,
+            untraced_rps: 1000.0,
+            overhead_ratio: 1.031,
+        },
         telemetry: vec![
             ("controller.requests_shed".into(), 150),
             ("controller.requests_expired".into(), 8),
+            ("controller.traced_requests".into(), 640),
             ("controller.queue_depth_peak".into(), 4),
             ("controller_client.retries".into(), 150),
             ("controller_client.overloads".into(), 150),
@@ -254,12 +276,57 @@ fn committed_baseline_matches_pinned_schema() {
             completed + get("shed") + get("expired") + get("failed"),
             "phase {name}: request accounting does not balance"
         );
+        let reasons = p.get("shed_reasons").expect("phase shed_reasons");
+        let reason = |k: &str| reasons.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
         match name {
             "low_rate" => assert_eq!(get("shed"), 0, "low_rate phase must not shed"),
-            "saturate" => assert!(get("shed") > 0, "saturate phase must shed"),
+            "saturate" => {
+                assert!(get("shed") > 0, "saturate phase must shed");
+                assert!(
+                    reason("queue_full") > 0,
+                    "saturation sheds must be typed queue_full"
+                );
+            }
             other => panic!("unexpected phase name {other:?}"),
         }
     }
+}
+
+/// Tracing must stay cheap: the committed baseline's dedicated overhead
+/// bursts may show at most a 5% throughput regression with per-request
+/// trace contexts on (`tracing.overhead_ratio <= 1.05`), and the traced
+/// phases must actually have produced per-stage data. Reads the committed
+/// file only — deterministic, no benchmark runs in the test.
+#[test]
+fn committed_serve_baseline_meets_tracing_overhead_floor() {
+    let baseline = repo_root().join("BENCH_serve.json");
+    let Ok(contents) = std::fs::read_to_string(&baseline) else {
+        eprintln!("no committed BENCH_serve.json — skipping tracing overhead check");
+        return;
+    };
+    let doc = JsonValue::parse(&contents)
+        .unwrap_or_else(|e| panic!("{}: unparseable baseline: {e}", baseline.display()));
+    let tracing = doc.get("tracing").expect("baseline has a tracing block");
+    let rps = |k: &str| tracing.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    assert!(rps("traced_rps") > 0.0, "tracing bursts must have run");
+    assert!(rps("untraced_rps") > 0.0, "tracing bursts must have run");
+    let ratio = tracing
+        .get("overhead_ratio")
+        .and_then(|v| v.as_f64())
+        .expect("tracing.overhead_ratio");
+    assert!(
+        ratio > 0.0 && ratio <= 1.05,
+        "tracing may cost at most 5% throughput (committed ratio: {ratio})"
+    );
+
+    let qw = doc
+        .get("stages")
+        .and_then(|s| s.get("queue_wait"))
+        .expect("baseline stages.queue_wait");
+    assert!(
+        qw.get("count").and_then(|v| v.as_u64()).unwrap_or(0) > 0,
+        "traced phases must record queue_wait spans"
+    );
 }
 
 #[test]

@@ -31,7 +31,8 @@ use crate::spec::ServerSpec;
 use crate::state::{ClusterState, ServerStatus};
 use parking_lot::RwLock;
 use pddl_faults::{Direction, FaultPlan, FaultyRead, FaultyWrite};
-use pddl_telemetry::{tlog, Counter, Gauge, Histogram, Level};
+use pddl_telemetry::trace::{flight_recorder, stages};
+use pddl_telemetry::{tlog, Counter, Gauge, Histogram, Level, SpanStatus, TraceContext};
 use std::collections::HashMap;
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -362,6 +363,7 @@ pub struct CollectorClient {
     spec: ServerSpec,
     addr: SocketAddr,
     retry: Option<RetryPolicy>,
+    exchanges: u64,
 }
 
 impl CollectorClient {
@@ -417,12 +419,32 @@ impl CollectorClient {
         };
         let writer = stream.try_clone()?;
         let reader = BufReader::new(stream);
-        Ok(Self { writer, reader, spec, addr, retry })
+        Ok(Self { writer, reader, spec, addr, retry, exchanges: 0 })
+    }
+
+    /// Records one collector wire exchange as a `collect` span. All of a
+    /// node's exchanges share one trace id (derived from the hostname),
+    /// so the flight recorder shows a node's register/heartbeat cadence
+    /// as a single trace; each exchange is a distinct child span.
+    fn record_collect(&mut self, t0: Instant, ok: bool) {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.spec.hostname.hash(&mut h);
+        let ctx = TraceContext::root(h.finish());
+        self.exchanges += 1;
+        let rec = flight_recorder();
+        let el = t0.elapsed();
+        let start = rec.now_us().saturating_sub(el.as_micros() as u64);
+        let status = if ok { SpanStatus::Ok } else { SpanStatus::Error };
+        rec.record_span(ctx.child(self.exchanges), stages::COLLECT, start, el, status);
     }
 
     fn send_register(&mut self) -> std::io::Result<()> {
-        write_msg(&mut self.writer, &ClientMsg::Register { spec: self.spec.clone() })?;
-        self.expect_ack()
+        let t0 = Instant::now();
+        let out = write_msg(&mut self.writer, &ClientMsg::Register { spec: self.spec.clone() })
+            .and_then(|()| self.expect_ack());
+        self.record_collect(t0, out.is_ok());
+        out
     }
 
     /// Sends a load report. Under a retry policy, transport failures
@@ -452,15 +474,18 @@ impl CollectorClient {
     }
 
     fn try_heartbeat(&mut self, cpu_util: f64, gpus_busy: usize) -> std::io::Result<()> {
-        write_msg(
+        let t0 = Instant::now();
+        let out = write_msg(
             &mut self.writer,
             &ClientMsg::Heartbeat {
                 hostname: self.spec.hostname.clone(),
                 cpu_util,
                 gpus_busy,
             },
-        )?;
-        self.expect_ack()
+        )
+        .and_then(|()| self.expect_ack());
+        self.record_collect(t0, out.is_ok());
+        out
     }
 
     /// Re-dials the collector and re-registers on the fresh connection.
@@ -473,8 +498,14 @@ impl CollectorClient {
 
     /// Gracefully leaves the cluster.
     pub fn leave(mut self) -> std::io::Result<()> {
-        write_msg(&mut self.writer, &ClientMsg::Leave { hostname: self.spec.hostname.clone() })?;
-        self.expect_ack()
+        let t0 = Instant::now();
+        let out = write_msg(
+            &mut self.writer,
+            &ClientMsg::Leave { hostname: self.spec.hostname.clone() },
+        )
+        .and_then(|()| self.expect_ack());
+        self.record_collect(t0, out.is_ok());
+        out
     }
 
     fn expect_ack(&mut self) -> std::io::Result<()> {

@@ -21,7 +21,8 @@ pub use collector::{CollectorClient, CollectorServer, DEFAULT_STALE_AFTER};
 pub use equations::{available_flops, available_ram, per_core};
 pub use protocol::{LinePoll, LineReader, WireError, MAX_FRAME_BYTES};
 pub use retry::{
-    is_transient, overload_retry_hint, overloaded_error, Backoff, Overloaded, RetryPolicy,
+    is_transient, overload_reason, overload_retry_hint, overloaded_error,
+    overloaded_error_with_reason, Backoff, Overloaded, RetryPolicy, ShedReason,
 };
 pub use spec::{ServerClass, ServerSpec};
 pub use state::{ClusterState, ServerStatus, CLUSTER_FEATURE_DIM};

@@ -85,20 +85,73 @@ impl Backoff {
     }
 }
 
+/// Why the server shed a request — the typed `reason` field of an
+/// `overloaded` reply. Distinguishing the causes matters operationally:
+/// `QueueFull` wants more capacity, `Deadline` wants a laxer deadline or
+/// faster handlers, `ConnectionLimit` wants fewer clients per node, and
+/// `Draining` is expected during rollout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The bounded request queue was at capacity.
+    QueueFull,
+    /// The request expired in the queue past its deadline.
+    Deadline,
+    /// The per-controller connection cap was reached.
+    ConnectionLimit,
+    /// The server is draining for graceful shutdown.
+    Draining,
+    /// The reply carried no (or an unrecognized) reason — e.g. a peer
+    /// predating the typed field.
+    Unknown,
+}
+
+impl ShedReason {
+    /// Wire name, as carried in the `reason` field of a shed reply.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Deadline => "deadline",
+            ShedReason::ConnectionLimit => "connection_limit",
+            ShedReason::Draining => "draining",
+            ShedReason::Unknown => "unknown",
+        }
+    }
+
+    /// Parses a wire name; anything unrecognized maps to `Unknown` rather
+    /// than erroring — the reason is advisory.
+    pub fn parse(s: &str) -> ShedReason {
+        match s {
+            "queue_full" => ShedReason::QueueFull,
+            "deadline" => ShedReason::Deadline,
+            "connection_limit" => ShedReason::ConnectionLimit,
+            "draining" => ShedReason::Draining,
+            _ => ShedReason::Unknown,
+        }
+    }
+}
+
 /// The error payload of a server-side load shed: the bounded serving core
-/// replied `{"error":"overloaded","retry_after_ms":...}` instead of doing
-/// the work. Classified as transient by [`is_transient`] — the condition
-/// clears as soon as the queue drains — and carries the server's advisory
-/// pacing hint, retrievable with [`overload_retry_hint`].
+/// replied `{"error":"overloaded","retry_after_ms":...,"reason":...}`
+/// instead of doing the work. Classified as transient by [`is_transient`]
+/// — the condition clears as soon as the queue drains — and carries the
+/// server's advisory pacing hint ([`overload_retry_hint`]) and typed shed
+/// reason ([`overload_reason`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Overloaded {
     /// Server-suggested minimum wait before retrying.
     pub retry_after: Duration,
+    /// Why the server shed the request.
+    pub reason: ShedReason,
 }
 
 impl std::fmt::Display for Overloaded {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "server overloaded; retry after {}ms", self.retry_after.as_millis())
+        write!(
+            f,
+            "server overloaded ({}); retry after {}ms",
+            self.reason.as_str(),
+            self.retry_after.as_millis()
+        )
     }
 }
 
@@ -106,11 +159,18 @@ impl std::error::Error for Overloaded {}
 
 /// Wraps a shed reply as an `io::Error` that [`is_transient`] accepts, so
 /// the resilient retry loops treat "overloaded" exactly like any other
-/// transient transport failure — back off and try again.
+/// transient transport failure — back off and try again. Replies without
+/// a typed reason use [`ShedReason::Unknown`]; prefer
+/// [`overloaded_error_with_reason`] when the reason is known.
 pub fn overloaded_error(retry_after_ms: u64) -> std::io::Error {
+    overloaded_error_with_reason(retry_after_ms, ShedReason::Unknown)
+}
+
+/// [`overloaded_error`] carrying the server's typed shed reason.
+pub fn overloaded_error_with_reason(retry_after_ms: u64, reason: ShedReason) -> std::io::Error {
     std::io::Error::new(
         std::io::ErrorKind::WouldBlock,
-        Overloaded { retry_after: Duration::from_millis(retry_after_ms) },
+        Overloaded { retry_after: Duration::from_millis(retry_after_ms), reason },
     )
 }
 
@@ -120,6 +180,15 @@ pub fn overload_retry_hint(e: &std::io::Error) -> Option<Duration> {
     e.get_ref()
         .and_then(|inner| inner.downcast_ref::<Overloaded>())
         .map(|o| o.retry_after)
+}
+
+/// The typed shed reason, if `e` is an overload shed. Load generators and
+/// dashboards use this to attribute sheds to their cause instead of
+/// lumping them into one count.
+pub fn overload_reason(e: &std::io::Error) -> Option<ShedReason> {
+    e.get_ref()
+        .and_then(|inner| inner.downcast_ref::<Overloaded>())
+        .map(|o| o.reason)
 }
 
 /// Transport-level failures worth a retry — as opposed to semantic
@@ -194,9 +263,28 @@ mod tests {
         let e = overloaded_error(40);
         assert!(is_transient(&e), "overload must enter the retry path");
         assert_eq!(overload_retry_hint(&e), Some(Duration::from_millis(40)));
+        assert_eq!(overload_reason(&e), Some(ShedReason::Unknown));
         assert!(e.to_string().contains("overloaded"), "{e}");
-        // Unrelated errors of the same kind carry no hint.
+        // Unrelated errors of the same kind carry no hint or reason.
         let plain = std::io::Error::new(std::io::ErrorKind::WouldBlock, "timed out");
         assert_eq!(overload_retry_hint(&plain), None);
+        assert_eq!(overload_reason(&plain), None);
+    }
+
+    #[test]
+    fn shed_reasons_round_trip_and_tolerate_garbage() {
+        for r in [
+            ShedReason::QueueFull,
+            ShedReason::Deadline,
+            ShedReason::ConnectionLimit,
+            ShedReason::Draining,
+            ShedReason::Unknown,
+        ] {
+            assert_eq!(ShedReason::parse(r.as_str()), r);
+        }
+        assert_eq!(ShedReason::parse("???"), ShedReason::Unknown);
+        let e = overloaded_error_with_reason(10, ShedReason::QueueFull);
+        assert_eq!(overload_reason(&e), Some(ShedReason::QueueFull));
+        assert!(e.to_string().contains("queue_full"), "{e}");
     }
 }

@@ -7,6 +7,8 @@
 //!                        [--batch 128] [--epochs 10]
 //! predictddl-cli serve --system system.json --addr 127.0.0.1:7077
 //! predictddl-cli stats --addr 127.0.0.1:7077
+//! predictddl-cli trace --addr 127.0.0.1:7077 [--json]
+//! predictddl-cli metrics --addr 127.0.0.1:7077
 //! predictddl-cli models
 //! ```
 //!
@@ -41,6 +43,8 @@ fn main() -> ExitCode {
         "predict" => cmd_predict(&flags),
         "serve" => cmd_serve(&flags),
         "stats" => cmd_stats(&flags),
+        "trace" => cmd_trace(&flags),
+        "metrics" => cmd_metrics(&flags),
         "models" => cmd_models(),
         _ => {
             eprintln!("unknown command '{cmd}'\n{USAGE}");
@@ -65,9 +69,11 @@ const USAGE: &str = "usage:
                          --servers <n> [--gpu|--cpu] [--batch 128] [--epochs 10]
   predictddl-cli serve   --system <file> [--addr 127.0.0.1:7077]
                          [--workers N] [--queue-depth N] [--max-conns N]
-                         [--deadline-ms N]
+                         [--deadline-ms N] [--trace-sample N] [--trace-slow-ms N]
                          [--fault-plan 'seed=42,delay=0.05:5,reset=0.02']
   predictddl-cli stats   [--addr 127.0.0.1:7077] [--timeout-ms 5000]
+  predictddl-cli trace   [--addr 127.0.0.1:7077] [--timeout-ms 5000] [--json]
+  predictddl-cli metrics [--addr 127.0.0.1:7077] [--timeout-ms 5000]
   predictddl-cli models
   predictddl-cli help | --help | -h
 options:
@@ -76,6 +82,9 @@ options:
   --queue-depth    serve: admission queue slots before load shedding (256)
   --max-conns      serve: simultaneous connection cap (1024)
   --deadline-ms    serve: queue-wait deadline before a request is expired (5000)
+  --trace-sample   serve: trace 1-in-N headerless requests (0 disables, 1 all)
+  --trace-slow-ms  serve: retain any trace slower than N ms (0 = off)
+  --json           trace: print the raw dump document instead of a waterfall
   --fault-plan     inject deterministic wire faults (sets PDDL_FAULT_PLAN;
                    see the pddl-faults crate and TESTING.md for the spec)
   PDDL_LOG=<spec>  structured JSON logs, e.g. PDDL_LOG=info,controller=debug
@@ -211,6 +220,12 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         let ms: u64 = v.parse().map_err(|_| "--deadline-ms must be an integer")?;
         config.request_deadline = Duration::from_millis(ms);
     }
+    if let Some(v) = flags.get("trace-sample") {
+        config.trace_sample = v.parse().map_err(|_| "--trace-sample must be an integer")?;
+    }
+    if let Some(v) = flags.get("trace-slow-ms") {
+        config.trace_slow_ms = v.parse().map_err(|_| "--trace-slow-ms must be an integer")?;
+    }
     let controller = Controller::serve_with(addr, system, config).map_err(|e| e.to_string())?;
     println!(
         "PredictDDL controller listening on {} ({} workers, queue depth {})",
@@ -220,7 +235,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     );
     println!(
         "protocol: one JSON PredictionRequest per line (a JSON array is a \
-         pooled batch); {{\"op\":\"stats\"}} for metrics; Ctrl-C to stop"
+         pooled batch); {{\"op\":\"stats\"}}, {{\"op\":\"trace\"}}, and \
+         {{\"op\":\"metrics\"}} for observability; Ctrl-C to stop"
     );
     install_shutdown_handler();
     while !SHUTDOWN.load(Ordering::SeqCst) {
@@ -231,10 +247,19 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         controller.requests_served()
     );
     eprintln!("{}", pddl_telemetry::snapshot_json());
+    // Graceful-drain trace dump: whatever the flight recorder retained
+    // (shed / errored / slow traces) is the last chance to see it.
+    let rec = pddl_telemetry::trace::flight_recorder();
+    if !rec.retained().is_empty() || rec.suppressed() > 0 {
+        eprintln!("retained traces at drain:");
+        eprintln!("{}", rec.retained_json());
+    }
     Ok(())
 }
 
-fn cmd_stats(flags: &Flags) -> Result<(), String> {
+/// Shared connect logic for the read-only control commands (`stats`,
+/// `trace`, `metrics`).
+fn control_client(flags: &Flags) -> Result<ControllerClient, String> {
     let addr = flags.get("addr").map_or("127.0.0.1:7077", |s| s.as_str());
     let timeout_ms: u64 = flags
         .get("timeout-ms")
@@ -243,10 +268,40 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
     let sock: std::net::SocketAddr = addr
         .parse()
         .map_err(|_| format!("--addr '{addr}' is not a socket address"))?;
-    let mut client = ControllerClient::connect_with_timeout(sock, Duration::from_millis(timeout_ms))
-        .map_err(|e| format!("connect to {addr}: {e}"))?;
-    let snapshot = client.stats().map_err(|e| e.to_string())?;
+    ControllerClient::connect_with_timeout(sock, Duration::from_millis(timeout_ms))
+        .map_err(|e| format!("connect to {addr}: {e}"))
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let snapshot = control_client(flags)?.stats().map_err(|e| e.to_string())?;
     println!("{}", snapshot.to_json());
+    Ok(())
+}
+
+fn cmd_trace(flags: &Flags) -> Result<(), String> {
+    let dump = control_client(flags)?.trace_dump().map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        println!("{}", dump.to_json());
+        return Ok(());
+    }
+    let traces = pddl_telemetry::trace::parse_trace_dump(&dump)?;
+    let suppressed = dump.get("suppressed").and_then(|v| v.as_u64()).unwrap_or(0);
+    if traces.is_empty() {
+        println!("no retained traces ({suppressed} suppressed)");
+        return Ok(());
+    }
+    print!("{}", pddl_telemetry::trace::render_waterfall(&traces));
+    println!(
+        "{} retained trace(s), {} suppressed since last dump",
+        traces.len(),
+        suppressed
+    );
+    Ok(())
+}
+
+fn cmd_metrics(flags: &Flags) -> Result<(), String> {
+    let text = control_client(flags)?.metrics_text().map_err(|e| e.to_string())?;
+    print!("{text}");
     Ok(())
 }
 

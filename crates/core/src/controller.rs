@@ -8,9 +8,30 @@
 //! a JSON *array* of prediction requests is a batch: the controller fans
 //! the batch out across the [`pddl_par`] work pool and answers with one
 //! JSON array of responses in request order. Besides prediction requests,
-//! the wire protocol carries one control op: `{"op":"stats"}` returns a
-//! live JSON snapshot of the telemetry registry (see the README's
-//! "Observability" section for the metric catalogue).
+//! the wire protocol carries three control ops, each answered inline by
+//! the reader so they stay available during overload:
+//!
+//! * `{"op":"stats"}` — a live JSON snapshot of the telemetry registry
+//!   (see the README's "Observability" section for the metric catalogue);
+//! * `{"op":"metrics"}` — the same registry rendered as Prometheus text
+//!   exposition, wrapped as `{"status":"metrics","exposition":"..."}`;
+//! * `{"op":"trace"}` — the flight recorder's retained traces
+//!   ([`pddl_telemetry::trace::FlightRecorder::retained_json`]).
+//!
+//! ## Request tracing
+//!
+//! A [`RequestEnvelope`] may carry a [`TraceHeader`] minted by the client;
+//! such requests are always traced and the header is echoed on the
+//! [`ResponseEnvelope`]. Requests without a header are sampled: every
+//! `trace_sample`-th work frame per connection gets a server-minted root
+//! context (0 disables). A traced request records one child span per
+//! pipeline stage — accept marker, frame decode, queue wait (in
+//! [`crate::serve`]), worker dispatch, embedding-cache probe (hit/miss),
+//! GHN forward pass on a miss, regression, response serialization — into
+//! the process-wide lock-free flight recorder. Traces that end badly
+//! (shed, expired, application error) or slowly (`trace_slow_ms`) are
+//! tail-promoted into the bounded retained set served by `{"op":"trace"}`
+//! and rendered by the CLI `trace` subcommand.
 //!
 //! ## Bounded serving core
 //!
@@ -49,10 +70,12 @@ use crate::serve::{
 };
 use pddl_cluster::protocol::{LinePoll, LineReader, WireError, MAX_FRAME_BYTES};
 use pddl_cluster::retry::{
-    is_transient, overload_retry_hint, overloaded_error, Backoff, RetryPolicy,
+    is_transient, overload_retry_hint, overloaded_error_with_reason, Backoff, RetryPolicy,
+    ShedReason,
 };
 use pddl_faults::{Direction, FaultPlan, FaultyRead, FaultyWrite};
-use pddl_telemetry::{tlog, Counter, Gauge, Histogram, Level, Snapshot};
+use pddl_telemetry::trace::{flight_recorder, stage_id, stages};
+use pddl_telemetry::{tlog, Counter, Gauge, Histogram, Level, Snapshot, SpanStatus, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -88,6 +111,12 @@ pub struct RequestEnvelope {
     pub client: u64,
     /// Request number within the session.
     pub id: u64,
+    /// Client-minted trace context. When present the request is always
+    /// traced (sampling applies only to context-free requests) and the
+    /// same ids are echoed on the response. Absent on the wire for
+    /// clients that predate tracing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<TraceHeader>,
     /// The wrapped request.
     pub req: PredictionRequest,
 }
@@ -101,8 +130,38 @@ pub struct ResponseEnvelope {
     pub client: u64,
     /// Echo of the request's id.
     pub id: u64,
+    /// Echo of the request's trace context, if it carried one.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<TraceHeader>,
     /// The actual response.
     pub resp: WireResponse,
+}
+
+/// Wire form of a [`TraceContext`], carried as the optional `trace` field
+/// of the request/response envelopes. Ids stay plain u64s here —
+/// serde_json round-trips them exactly; only the hand-rolled trace dump
+/// (parsed with the in-tree f64-backed [`pddl_telemetry::JsonValue`])
+/// needs hex strings.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TraceHeader {
+    /// Logical request id, stable across retries and reconnects.
+    pub trace_id: u64,
+    /// The client's root span id.
+    pub span_id: u64,
+    /// Enclosing span id (0 when the client's span is the root).
+    pub parent_id: u64,
+}
+
+impl From<TraceContext> for TraceHeader {
+    fn from(c: TraceContext) -> TraceHeader {
+        TraceHeader { trace_id: c.trace_id, span_id: c.span_id, parent_id: c.parent_id }
+    }
+}
+
+impl From<TraceHeader> for TraceContext {
+    fn from(h: TraceHeader) -> TraceContext {
+        TraceContext { trace_id: h.trace_id, span_id: h.span_id, parent_id: h.parent_id }
+    }
 }
 
 /// Control operations multiplexed onto the request stream. Tried before
@@ -110,10 +169,14 @@ pub struct ResponseEnvelope {
 /// prediction request's fields.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 #[serde(tag = "op", rename_all = "snake_case")]
+#[allow(dead_code)] // constructed only through the derived Deserialize
 enum ControlOp {
     /// Return a JSON snapshot of the telemetry registry.
-    #[allow(dead_code)] // constructed only through the derived Deserialize
     Stats,
+    /// Return the flight recorder's retained traces.
+    Trace,
+    /// Return the registry as Prometheus text exposition.
+    Metrics,
 }
 
 /// One classified request frame (see [`parse_frame`]).
@@ -121,6 +184,10 @@ enum ControlOp {
 pub enum ParsedFrame {
     /// `{"op":"stats"}` — telemetry snapshot request.
     Stats,
+    /// `{"op":"trace"}` — retained-trace dump request.
+    Trace,
+    /// `{"op":"metrics"}` — Prometheus exposition request.
+    Metrics,
     /// A JSON array of prediction requests (a batch).
     Batch(Vec<PredictionRequest>),
     /// An id-wrapped single request (idempotent-retry path).
@@ -133,8 +200,12 @@ pub enum ParsedFrame {
 /// controller's entire peer-facing parser: it must return `Err` — never
 /// panic — for arbitrary bytes (enforced by `tests/wire_fuzz.rs`).
 pub fn parse_frame(line: &str) -> Result<ParsedFrame, String> {
-    if serde_json::from_str::<ControlOp>(line).is_ok() {
-        return Ok(ParsedFrame::Stats);
+    if let Ok(op) = serde_json::from_str::<ControlOp>(line) {
+        return Ok(match op {
+            ControlOp::Stats => ParsedFrame::Stats,
+            ControlOp::Trace => ParsedFrame::Trace,
+            ControlOp::Metrics => ParsedFrame::Metrics,
+        });
     }
     if line.trim_start().starts_with('[') {
         return match serde_json::from_str::<Vec<PredictionRequest>>(line) {
@@ -158,6 +229,13 @@ struct Metrics {
     requests_ok: &'static Counter,
     requests_err: &'static Counter,
     stats_requests: &'static Counter,
+    trace_requests: &'static Counter,
+    metrics_requests: &'static Counter,
+    traced_requests: &'static Counter,
+    shed_queue_full: &'static Counter,
+    shed_deadline: &'static Counter,
+    shed_connection_limit: &'static Counter,
+    shed_draining: &'static Counter,
     batch_requests: &'static Counter,
     malformed_frames: &'static Counter,
     oversize_frames: &'static Counter,
@@ -176,6 +254,13 @@ fn metrics() -> &'static Metrics {
         requests_ok: pddl_telemetry::counter("controller.requests_ok"),
         requests_err: pddl_telemetry::counter("controller.requests_err"),
         stats_requests: pddl_telemetry::counter("controller.stats_requests"),
+        trace_requests: pddl_telemetry::counter("controller.trace_requests"),
+        metrics_requests: pddl_telemetry::counter("controller.metrics_requests"),
+        traced_requests: pddl_telemetry::counter("controller.traced_requests"),
+        shed_queue_full: pddl_telemetry::counter("controller.shed.queue_full"),
+        shed_deadline: pddl_telemetry::counter("controller.shed.deadline"),
+        shed_connection_limit: pddl_telemetry::counter("controller.shed.connection_limit"),
+        shed_draining: pddl_telemetry::counter("controller.shed.draining"),
         batch_requests: pddl_telemetry::counter("controller.batch_requests"),
         malformed_frames: pddl_telemetry::counter("controller.malformed_frames"),
         oversize_frames: pddl_telemetry::counter("controller.oversize_frames"),
@@ -245,6 +330,21 @@ fn overload_line(retry_after_ms: u64, reason: &str) -> String {
     format!("{{\"error\":\"overloaded\",\"retry_after_ms\":{retry_after_ms},\"reason\":\"{reason}\"}}")
 }
 
+/// [`overload_line`] plus accounting: every shed is attributed to its
+/// cause under `controller.shed.<reason>`, so a dashboard (or the load
+/// generator's report) can tell a full queue from expired deadlines.
+fn shed_line(retry_after_ms: u64, reason: ShedReason) -> String {
+    let m = metrics();
+    match reason {
+        ShedReason::QueueFull => m.shed_queue_full.inc(),
+        ShedReason::Deadline => m.shed_deadline.inc(),
+        ShedReason::ConnectionLimit => m.shed_connection_limit.inc(),
+        ShedReason::Draining => m.shed_draining.inc(),
+        ShedReason::Unknown => {} // the server always sheds for a reason
+    }
+    overload_line(retry_after_ms, reason.as_str())
+}
+
 /// Classifies a response line as a typed overload reply, mapping it to
 /// the transient [`pddl_cluster::retry::Overloaded`] error the resilient
 /// retry loop understands.
@@ -259,7 +359,12 @@ fn overload_from_line(resp: &str) -> Option<std::io::Error> {
         return None;
     }
     let ms = doc.get("retry_after_ms").and_then(|v| v.as_u64()).unwrap_or(0);
-    Some(overloaded_error(ms))
+    let reason = doc
+        .get("reason")
+        .and_then(|v| v.as_str())
+        .map(ShedReason::parse)
+        .unwrap_or(ShedReason::Unknown);
+    Some(overloaded_error_with_reason(ms, reason))
 }
 
 /// A running prediction service. Dropping the handle drains and stops it.
@@ -339,7 +444,7 @@ impl Controller {
                                 stream.set_nonblocking(false).ok();
                                 let _ = write_line(
                                     &mut stream,
-                                    &overload_line(config.retry_after_ms, "connection_limit"),
+                                    &shed_line(config.retry_after_ms, ShedReason::ConnectionLimit),
                                 );
                                 continue;
                             }
@@ -436,6 +541,21 @@ impl Drop for Controller {
         }
         self.readers.wait();
         self.pool.shutdown();
+        // Drain-time trace dump: the retained set outlives the server
+        // handle (the recorder is process-wide), but logging it here puts
+        // the interesting traces next to the final stats line.
+        let rec = flight_recorder();
+        let retained = rec.retained();
+        if !retained.is_empty() {
+            tlog!(
+                Level::Info,
+                "controller",
+                "retained traces at drain",
+                count = retained.len() as u64,
+                suppressed = rec.suppressed(),
+            );
+            tlog!(Level::Debug, "controller", "trace dump", dump = rec.retained_json());
+        }
         tlog!(
             Level::Info,
             "controller",
@@ -491,11 +611,12 @@ fn submit_and_wait(
     pool: &ServePool,
     writer: &SharedWriter,
     retry_after_ms: u64,
+    trace: Option<TraceContext>,
     work: Box<dyn FnOnce(JobOutcome) + Send>,
 ) -> std::io::Result<()> {
     let latch = Arc::new(Latch::new());
     let guard = OpenOnDrop(Arc::clone(&latch));
-    match pool.try_submit(move |outcome| {
+    match pool.try_submit_traced(trace, move |outcome| {
         let _open = guard;
         work(outcome);
     }) {
@@ -503,11 +624,13 @@ fn submit_and_wait(
             latch.wait();
             Ok(())
         }
+        // The pool records the shed span and promotes the trace on both
+        // rejection paths; only the wire reply happens here.
         Err(SubmitError::Full) => {
-            write_shared(writer, &overload_line(retry_after_ms, "queue_full"))
+            write_shared(writer, &shed_line(retry_after_ms, ShedReason::QueueFull))
         }
         Err(SubmitError::Closed) => {
-            let _ = write_shared(writer, &overload_line(retry_after_ms, "draining"));
+            let _ = write_shared(writer, &shed_line(retry_after_ms, ShedReason::Draining));
             Err(std::io::Error::new(
                 std::io::ErrorKind::ConnectionAborted,
                 "serving pool draining",
@@ -534,6 +657,10 @@ fn reader_loop(
     let mut reader = BufReader::new(reader);
     let mut lines = LineReader::bounded(MAX_FRAME_BYTES);
     let writer: SharedWriter = Arc::new(Mutex::new(writer));
+    let rec = flight_recorder();
+    let accepted_us = rec.now_us();
+    let mut accept_marked = false;
+    let mut work_frames: u64 = 0;
     loop {
         if shutdown.load(Ordering::Relaxed) {
             break; // drain: stop reading new requests
@@ -563,6 +690,7 @@ fn reader_loop(
         if line.trim().is_empty() {
             continue;
         }
+        let decode_t0 = Instant::now();
         let frame = match parse_frame(&line) {
             Ok(frame) => frame,
             Err(detail) => {
@@ -576,16 +704,66 @@ fn reader_loop(
                 continue;
             }
         };
+        let decode = decode_t0.elapsed();
         let retry_after = config.retry_after_ms;
+        // Trace decision: an explicit client context always traces;
+        // otherwise every `trace_sample`-th work frame on this connection
+        // gets a server-minted root (0 disables sampling). Control ops
+        // are never traced.
+        let ctx = match &frame {
+            ParsedFrame::Stats | ParsedFrame::Trace | ParsedFrame::Metrics => None,
+            ParsedFrame::Enveloped(env) if env.trace.is_some() => {
+                env.trace.map(TraceContext::from)
+            }
+            _ => {
+                let n = work_frames;
+                work_frames += 1;
+                (config.trace_sample > 0 && n.is_multiple_of(config.trace_sample))
+                    .then(|| TraceContext::root(next_sampled_trace_id()))
+            }
+        };
+        // Start of this request for the root span: now, minus the frame
+        // decode we just did.
+        let req_start_us = rec.now_us().saturating_sub(decode.as_micros() as u64);
+        if let Some(ctx) = ctx {
+            m.traced_requests.inc();
+            if !accept_marked {
+                // Zero-length marker anchoring the waterfall at the
+                // moment this connection was accepted.
+                rec.record_stage(
+                    ctx,
+                    stages::ACCEPT,
+                    accepted_us,
+                    Duration::ZERO,
+                    SpanStatus::Ok,
+                );
+                accept_marked = true;
+            }
+            rec.record_stage(ctx, stages::FRAME_READ, req_start_us, decode, SpanStatus::Ok);
+        }
         match frame {
-            // Control op: answered inline by the reader, never queued or
-            // shed — stats stay observable *during* overload.
+            // Control ops: answered inline by the reader, never queued or
+            // shed — stats, traces, and metrics stay observable *during*
+            // overload.
             ParsedFrame::Stats => {
                 m.stats_requests.inc();
                 let out = format!(
                     "{{\"status\":\"stats\",\"snapshot\":{}}}",
                     pddl_telemetry::snapshot().to_json()
                 );
+                write_shared(&writer, &out)?;
+            }
+            ParsedFrame::Trace => {
+                m.trace_requests.inc();
+                write_shared(&writer, &rec.retained_json())?;
+            }
+            ParsedFrame::Metrics => {
+                m.metrics_requests.inc();
+                let expo = pddl_telemetry::expo::prometheus_global();
+                let mut out = String::with_capacity(expo.len() + 40);
+                out.push_str("{\"status\":\"metrics\",\"exposition\":");
+                pddl_telemetry::push_json_string(&mut out, &expo);
+                out.push('}');
                 write_shared(&writer, &out)?;
             }
             // Batch requests: a JSON *array* of prediction requests. One
@@ -595,16 +773,19 @@ fn reader_loop(
                 let system = Arc::clone(system);
                 let served = Arc::clone(served);
                 let writer_j = Arc::clone(&writer);
+                let slow_ms = config.trace_slow_ms;
                 submit_and_wait(
                     pool,
                     &writer,
                     retry_after,
+                    ctx,
                     Box::new(move |outcome| {
                         let m = metrics();
                         if outcome == JobOutcome::Expired {
+                            expire_traced(ctx, req_start_us);
                             let _ = write_shared(
                                 &writer_j,
-                                &overload_line(retry_after, "deadline"),
+                                &shed_line(retry_after, ShedReason::Deadline),
                             );
                             return;
                         }
@@ -612,6 +793,8 @@ fn reader_loop(
                         m.batch_requests.inc();
                         m.requests_total.add(reqs.len() as u64);
                         let results = system.predict_many(&reqs);
+                        let dispatch_el = t0.elapsed();
+                        let mut errored = false;
                         let responses: Vec<WireResponse> = results
                             .into_iter()
                             .map(|r| match r {
@@ -621,15 +804,31 @@ fn reader_loop(
                                 }
                                 Err(error) => {
                                     m.requests_err.inc();
+                                    errored = true;
                                     WireResponse::Err { error }
                                 }
                             })
                             .collect();
+                        if let Some(c) = ctx {
+                            // One dispatch span for the whole batch; the
+                            // per-request fan-out happens inside
+                            // predict_many and is not traced separately.
+                            let rec = flight_recorder();
+                            let start = rec
+                                .now_us()
+                                .saturating_sub(dispatch_el.as_micros() as u64);
+                            let d = c.child(stage_id(stages::DISPATCH).wrapping_add(1));
+                            let status =
+                                if errored { SpanStatus::Error } else { SpanStatus::Ok };
+                            rec.record_span(d, stages::DISPATCH, start, dispatch_el, status);
+                        }
                         served.fetch_add(responses.len() as u64, Ordering::Relaxed);
+                        let s0 = Instant::now();
                         let Ok(out) = serde_json::to_string(&responses) else {
                             return;
                         };
                         let _ = write_shared(&writer_j, &out);
+                        finish_traced(ctx, req_start_us, s0.elapsed(), errored, slow_ms);
                         let elapsed = t0.elapsed();
                         m.request_latency.record_duration(elapsed);
                         tlog!(
@@ -656,34 +855,54 @@ fn reader_loop(
                         client = env.client,
                         id = env.id,
                     );
+                    let replay_t0 = Instant::now();
                     write_shared(&writer, &cached)?;
+                    if let Some(c) = ctx {
+                        // The replay is its own deterministic span: a
+                        // re-promotion merges it into the retained trace
+                        // without duplicating the original pipeline spans.
+                        let el = replay_t0.elapsed();
+                        let start = rec.now_us().saturating_sub(el.as_micros() as u64);
+                        rec.record_stage(
+                            c,
+                            stages::DEDUP_REPLAY,
+                            start,
+                            el,
+                            SpanStatus::CacheHit,
+                        );
+                    }
                     continue;
                 }
                 let system = Arc::clone(system);
                 let served = Arc::clone(served);
                 let cache = Arc::clone(cache);
                 let writer_j = Arc::clone(&writer);
+                let slow_ms = config.trace_slow_ms;
                 submit_and_wait(
                     pool,
                     &writer,
                     retry_after,
+                    ctx,
                     Box::new(move |outcome| {
                         let m = metrics();
                         if outcome == JobOutcome::Expired {
                             // Not cached: the client's retry should get a
                             // real execution, not a replayed shed.
+                            expire_traced(ctx, req_start_us);
                             let _ = write_shared(
                                 &writer_j,
-                                &overload_line(retry_after, "deadline"),
+                                &shed_line(retry_after, ShedReason::Deadline),
                             );
                             return;
                         }
                         let t0 = Instant::now();
                         m.requests_total.inc();
-                        let resp = predict_one(&system, &env.req, m);
+                        let (resp, errored) = predict_one(&system, &env.req, m, ctx);
+                        let s0 = Instant::now();
                         let Ok(out) = serde_json::to_string(&ResponseEnvelope {
                             client: env.client,
                             id: env.id,
+                            trace: env.trace,
                             resp,
                         }) else {
                             return;
@@ -691,6 +910,7 @@ fn reader_loop(
                         cache.put(key, out.clone());
                         served.fetch_add(1, Ordering::Relaxed);
                         let _ = write_shared(&writer_j, &out);
+                        finish_traced(ctx, req_start_us, s0.elapsed(), errored, slow_ms);
                         m.request_latency.record_duration(t0.elapsed());
                     }),
                 )?;
@@ -699,27 +919,32 @@ fn reader_loop(
                 let system = Arc::clone(system);
                 let served = Arc::clone(served);
                 let writer_j = Arc::clone(&writer);
+                let slow_ms = config.trace_slow_ms;
                 submit_and_wait(
                     pool,
                     &writer,
                     retry_after,
+                    ctx,
                     Box::new(move |outcome| {
                         let m = metrics();
                         if outcome == JobOutcome::Expired {
+                            expire_traced(ctx, req_start_us);
                             let _ = write_shared(
                                 &writer_j,
-                                &overload_line(retry_after, "deadline"),
+                                &shed_line(retry_after, ShedReason::Deadline),
                             );
                             return;
                         }
                         let t0 = Instant::now();
                         m.requests_total.inc();
-                        let response = predict_one(&system, &req, m);
+                        let (response, errored) = predict_one(&system, &req, m, ctx);
                         served.fetch_add(1, Ordering::Relaxed);
+                        let s0 = Instant::now();
                         let Ok(out) = serde_json::to_string(&response) else {
                             return;
                         };
                         let _ = write_shared(&writer_j, &out);
+                        finish_traced(ctx, req_start_us, s0.elapsed(), errored, slow_ms);
                         let elapsed = t0.elapsed();
                         m.request_latency.record_duration(elapsed);
                         match &response {
@@ -749,9 +974,28 @@ fn reader_loop(
     Ok(())
 }
 
-/// Runs one prediction, recording ok/err counters.
-fn predict_one(system: &PredictDdl, req: &PredictionRequest, m: &Metrics) -> WireResponse {
-    match system.predict(req) {
+/// Runs one prediction, recording ok/err counters and — when traced —
+/// the dispatch span wrapping the inference-stage children recorded by
+/// [`PredictDdl::predict_traced`]. Returns the response plus whether it
+/// was an error (the tail-sampling trigger).
+fn predict_one(
+    system: &PredictDdl,
+    req: &PredictionRequest,
+    m: &Metrics,
+    ctx: Option<TraceContext>,
+) -> (WireResponse, bool) {
+    let dispatch = ctx.map(|c| c.child(stage_id(stages::DISPATCH).wrapping_add(1)));
+    let t0 = Instant::now();
+    let result = system.predict_traced(req, dispatch);
+    let errored = result.is_err();
+    if let Some(d) = dispatch {
+        let el = t0.elapsed();
+        let rec = flight_recorder();
+        let start = rec.now_us().saturating_sub(el.as_micros() as u64);
+        let status = if errored { SpanStatus::Error } else { SpanStatus::Ok };
+        rec.record_span(d, stages::DISPATCH, start, el, status);
+    }
+    let resp = match result {
         Ok(prediction) => {
             m.requests_ok.inc();
             WireResponse::Ok { prediction }
@@ -760,7 +1004,53 @@ fn predict_one(system: &PredictDdl, req: &PredictionRequest, m: &Metrics) -> Wir
             m.requests_err.inc();
             WireResponse::Err { error }
         }
+    };
+    (resp, errored)
+}
+
+/// Records the trailing spans of one traced request — `serialize` (whose
+/// window ends now) and the root `request` span from frame arrival to
+/// response write — then applies the tail-sampling verdicts: promote on
+/// application error, or as `slow` past the `trace_slow_ms` threshold.
+fn finish_traced(
+    ctx: Option<TraceContext>,
+    req_start_us: u64,
+    serialize: Duration,
+    errored: bool,
+    slow_ms: u64,
+) {
+    let Some(ctx) = ctx else { return };
+    let rec = flight_recorder();
+    let end = rec.now_us();
+    let s_start = end.saturating_sub(serialize.as_micros() as u64);
+    rec.record_stage(ctx, stages::SERIALIZE, s_start, serialize, SpanStatus::Ok);
+    let total = Duration::from_micros(end.saturating_sub(req_start_us));
+    let status = if errored { SpanStatus::Error } else { SpanStatus::Ok };
+    rec.record_span(ctx, stages::REQUEST, req_start_us, total, status);
+    if errored {
+        rec.promote(ctx.trace_id, "error");
+    } else if slow_ms > 0 && total.as_millis() as u64 >= slow_ms {
+        rec.promote(ctx.trace_id, "slow");
     }
+}
+
+/// Records the root span of a traced request that expired in the queue,
+/// then re-promotes so the root merges into the already-retained trace
+/// (the pool promoted `shed` when it observed the expiry).
+fn expire_traced(ctx: Option<TraceContext>, req_start_us: u64) {
+    let Some(ctx) = ctx else { return };
+    let rec = flight_recorder();
+    let total = Duration::from_micros(rec.now_us().saturating_sub(req_start_us));
+    rec.record_span(ctx, stages::REQUEST, req_start_us, total, SpanStatus::Expired);
+    rec.promote(ctx.trace_id, "shed");
+}
+
+/// Server-minted trace ids for sampled (context-free) requests. The top
+/// bit marks them as server-minted, keeping them visually distinct from
+/// client-minted ids in dumps.
+fn next_sampled_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed) | (1 << 63)
 }
 
 /// Client-side metric handles.
@@ -901,7 +1191,7 @@ impl ControllerClient {
         req: &PredictionRequest,
     ) -> std::io::Result<Result<Prediction, RequestError>> {
         if let Some(policy) = self.retry {
-            return self.predict_resilient(req, policy);
+            return self.predict_resilient(req, policy, None);
         }
         let line = serde_json::to_string(req)?;
         let resp = self.round_trip(&line)?;
@@ -928,12 +1218,17 @@ impl ControllerClient {
         &mut self,
         req: &PredictionRequest,
         policy: RetryPolicy,
+        trace: Option<TraceContext>,
     ) -> std::io::Result<Result<Prediction, RequestError>> {
         let cm = client_metrics();
         let id = self.next_id;
         self.next_id += 1;
-        let envelope =
-            RequestEnvelope { client: self.session, id, req: req.clone() };
+        let envelope = RequestEnvelope {
+            client: self.session,
+            id,
+            trace: trace.map(TraceHeader::from),
+            req: req.clone(),
+        };
         let line = serde_json::to_string(&envelope)?;
         // Mix the request id into the jitter stream so concurrent requests
         // back off on decorrelated schedules.
@@ -1025,6 +1320,77 @@ impl ControllerClient {
                 WireResponse::Err { error } => Err(error),
             })
             .collect())
+    }
+
+    /// [`Self::predict`] under an explicit trace context: the request is
+    /// id-wrapped with `trace` in its header, so the controller records
+    /// the full pipeline span tree under the caller's root span and the
+    /// response echoes the ids back. On a resilient client every retry
+    /// reuses the same context — the deterministic span derivation merges
+    /// the attempts into one retained trace.
+    pub fn predict_with_trace(
+        &mut self,
+        req: &PredictionRequest,
+        trace: TraceContext,
+    ) -> std::io::Result<Result<Prediction, RequestError>> {
+        if let Some(policy) = self.retry {
+            return self.predict_resilient(req, policy, Some(trace));
+        }
+        let cm = client_metrics();
+        let id = self.next_id;
+        self.next_id += 1;
+        let envelope = RequestEnvelope {
+            client: self.session,
+            id,
+            trace: Some(TraceHeader::from(trace)),
+            req: req.clone(),
+        };
+        let line = serde_json::to_string(&envelope)?;
+        let resp = self.round_trip(&line)?;
+        if let Some(e) = overload_from_line(&resp) {
+            cm.overloads.inc();
+            return Err(e);
+        }
+        let renv: ResponseEnvelope = serde_json::from_str(resp.trim_end())?;
+        if renv.client != self.session || renv.id != id {
+            cm.mismatches.inc();
+            self.conn = None;
+            return Err(invalid_data(
+                "response did not echo the request identity".to_string(),
+            ));
+        }
+        Ok(match renv.resp {
+            WireResponse::Ok { prediction } => Ok(prediction),
+            WireResponse::Err { error } => Err(error),
+        })
+    }
+
+    /// Fetches the flight recorder's retained traces (`{"op":"trace"}` on
+    /// the wire) as the parsed dump document; decode the trace list with
+    /// [`pddl_telemetry::trace::parse_trace_dump`].
+    pub fn trace_dump(&mut self) -> std::io::Result<pddl_telemetry::JsonValue> {
+        let resp = self.round_trip("{\"op\":\"trace\"}")?;
+        let doc = pddl_telemetry::JsonValue::parse(resp.trim_end())
+            .map_err(invalid_data)?;
+        if doc.get("status").and_then(|s| s.as_str()) != Some("trace") {
+            return Err(invalid_data("response is not a trace payload".to_string()));
+        }
+        Ok(doc)
+    }
+
+    /// Fetches the controller's metrics as Prometheus text exposition
+    /// (`{"op":"metrics"}` on the wire).
+    pub fn metrics_text(&mut self) -> std::io::Result<String> {
+        let resp = self.round_trip("{\"op\":\"metrics\"}")?;
+        let doc = pddl_telemetry::JsonValue::parse(resp.trim_end())
+            .map_err(invalid_data)?;
+        if doc.get("status").and_then(|s| s.as_str()) != Some("metrics") {
+            return Err(invalid_data("response is not a metrics payload".to_string()));
+        }
+        doc.get("exposition")
+            .and_then(|v| v.as_str())
+            .map(str::to_string)
+            .ok_or_else(|| invalid_data("metrics response missing 'exposition'".to_string()))
     }
 
     /// Requests a live telemetry snapshot from the controller

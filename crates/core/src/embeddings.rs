@@ -234,6 +234,19 @@ impl EmbeddingCache {
         dataset: &str,
         graph: &CompGraph,
     ) -> Option<Vec<f32>> {
+        self.get_or_embed_detailed(registry, dataset, graph).map(|(v, _)| v)
+    }
+
+    /// [`EmbeddingCache::get_or_embed`] plus whether the probe *hit* (the
+    /// key was already resident or in flight). The traced prediction path
+    /// uses the flag to distinguish `embed_cache` hit spans — microseconds
+    /// — from miss spans that paid for a GHN forward pass.
+    pub fn get_or_embed_detailed(
+        &self,
+        registry: &GhnRegistry,
+        dataset: &str,
+        graph: &CompGraph,
+    ) -> Option<(Vec<f32>, bool)> {
         let ghn = registry.get(dataset)?;
         let key: CacheKey = (dataset.to_ascii_lowercase(), graph.fingerprint());
         let m = cache_metrics();
@@ -246,7 +259,7 @@ impl EmbeddingCache {
         }
         let shard = &self.shards[(mix % self.shards.len() as u64) as usize];
 
-        let cell = {
+        let (cell, hit) = {
             let mut s = shard.lock().unwrap();
             s.tick += 1;
             let tick = s.tick;
@@ -254,7 +267,7 @@ impl EmbeddingCache {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 m.hits.inc();
-                Arc::clone(&entry.cell)
+                (Arc::clone(&entry.cell), true)
             } else {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 m.misses.inc();
@@ -278,7 +291,7 @@ impl EmbeddingCache {
                         m.entries.dec();
                     }
                 }
-                cell
+                (cell, false)
             }
         };
 
@@ -288,7 +301,7 @@ impl EmbeddingCache {
             m.ghn_embeds.inc();
             ghn.embed_graph(graph)
         });
-        Some(v.clone())
+        Some((v.clone(), hit))
     }
 }
 
@@ -357,8 +370,10 @@ mod tests {
         let cache = EmbeddingCache::new(64);
         let g = build_model("resnet18", &CIFAR10).unwrap();
         let direct = gen.embed(&reg, "cifar10", &g).unwrap();
-        let first = cache.get_or_embed(&reg, "cifar10", &g).unwrap();
-        let second = cache.get_or_embed(&reg, "cifar10", &g).unwrap();
+        let (first, was_hit) = cache.get_or_embed_detailed(&reg, "cifar10", &g).unwrap();
+        assert!(!was_hit, "first probe is a miss");
+        let (second, was_hit) = cache.get_or_embed_detailed(&reg, "cifar10", &g).unwrap();
+        assert!(was_hit, "second probe is a hit");
         assert_eq!(direct, first);
         assert_eq!(direct, second);
         let s = cache.stats();

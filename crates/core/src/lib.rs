@@ -43,7 +43,7 @@
 //!
 //! ## Wire protocol
 //!
-//! The controller speaks newline-delimited JSON over TCP. Four request
+//! The controller speaks newline-delimited JSON over TCP. Six request
 //! shapes share the stream:
 //!
 //! * a single [`PredictionRequest`] object → one [`Prediction`] (or error)
@@ -51,13 +51,26 @@
 //! * a [`RequestEnvelope`] (`{"client":…,"id":…,"req":{…}}`) → the same,
 //!   wrapped in a [`ResponseEnvelope`] echoing the identity; retried ids
 //!   replay the cached response, giving resilient clients exactly-once
-//!   results (see [`ControllerClient::connect_resilient`]);
+//!   results (see [`ControllerClient::connect_resilient`]); an optional
+//!   `"trace"` member (a [`TraceHeader`] — `trace_id`/`span_id`/
+//!   `parent_id`) propagates a client-minted trace context through every
+//!   pipeline stage and is echoed back on the response;
 //! * a JSON **array** of prediction requests → a batch, fanned out across
 //!   the [`pddl_par`] work pool, answered as one JSON array in request
 //!   order;
 //! * `{"op":"stats"}` → a live snapshot of every telemetry counter, gauge,
 //!   and histogram (including the `embed_cache.*` hit/miss/eviction
-//!   counters), as `{"status":"stats","snapshot":{...}}`.
+//!   counters), as `{"status":"stats","snapshot":{...}}`;
+//! * `{"op":"trace"}` → the flight recorder's retained trace dump
+//!   (`{"status":"trace","suppressed":…,"retained":[…]}`) — see
+//!   [`pddl_telemetry::trace`] and `ARCHITECTURE.md`'s observability
+//!   section for the span model;
+//! * `{"op":"metrics"}` → the full metric registry rendered as Prometheus
+//!   text exposition, as `{"status":"metrics","exposition":"…"}`.
+//!
+//! The three `op` frames are answered inline by the connection reader —
+//! they bypass the worker pool, so stats, traces, and metrics stay
+//! observable while the service is overloaded or draining.
 //!
 //! Frames are bounded at [`pddl_cluster::MAX_FRAME_BYTES`]; malformed
 //! frames get typed error replies; and when `PDDL_FAULT_PLAN` is set the
@@ -84,7 +97,7 @@ pub mod task_checker;
 pub use batch::{compare_batch, compare_batch_serial, BatchComparison, BatchJob};
 pub use controller::{
     parse_frame, Controller, ControllerClient, ParsedFrame, RequestEnvelope,
-    ResponseEnvelope, WireResponse,
+    ResponseEnvelope, TraceHeader, WireResponse,
 };
 pub use embeddings::{CacheStats, EmbeddingCache, EmbeddingsGenerator};
 pub use inference::{InferenceEngine, InferenceConfig};

@@ -16,7 +16,8 @@ use pddl_ddlsim::{generate_trace, TraceConfig, TraceRecord, Workload};
 use pddl_ghn::GhnConfig;
 use pddl_ghn::train::TrainConfig;
 use pddl_regress::{Kernel, Regression};
-use pddl_telemetry::{tlog, Counter, Histogram, Level, Span};
+use pddl_telemetry::trace::{flight_recorder, stage_handle, stages, StageHandle};
+use pddl_telemetry::{tlog, Counter, Histogram, Level, Span, SpanStatus, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -36,6 +37,23 @@ fn inference_metrics() -> &'static InferenceMetrics {
         predictions: pddl_telemetry::counter("inference.predictions"),
         embed_latency: pddl_telemetry::histogram("inference.embed_latency"),
         regress_latency: pddl_telemetry::histogram("inference.regress_latency"),
+    })
+}
+
+/// Predict-path stage handles, resolved once so traced inference records
+/// spans without touching the stage-intern lock.
+struct PredictStages {
+    embed_cache: StageHandle,
+    ghn_embed: StageHandle,
+    regress: StageHandle,
+}
+
+fn predict_stages() -> &'static PredictStages {
+    static STAGES: OnceLock<PredictStages> = OnceLock::new();
+    STAGES.get_or_init(|| PredictStages {
+        embed_cache: stage_handle(stages::EMBED_CACHE),
+        ghn_embed: stage_handle(stages::GHN_EMBED),
+        regress: stage_handle(stages::REGRESS),
     })
 }
 
@@ -356,6 +374,20 @@ impl PredictDdl {
     /// Handles one prediction request end-to-end: Task Checker → Embeddings
     /// Generator → Inference Engine (steps ③–⑥ of Fig. 7).
     pub fn predict(&self, req: &PredictionRequest) -> Result<Prediction, RequestError> {
+        self.predict_traced(req, None)
+    }
+
+    /// [`Self::predict`] with optional trace recording: when `trace` names
+    /// a parent span (the controller's dispatch span), each inference
+    /// stage — embedding-cache lookup (hit/miss distinguished), the GHN
+    /// forward pass on a miss, and the regression — lands as a child span
+    /// in the global [`flight_recorder`]. With `None` this is exactly
+    /// `predict`: no recorder interaction, no extra clock reads.
+    pub fn predict_traced(
+        &self,
+        req: &PredictionRequest,
+        trace: Option<TraceContext>,
+    ) -> Result<Prediction, RequestError> {
         let graph = match TaskChecker::check(req, &self.registry)? {
             TaskDecision::Proceed(g) => g,
             TaskDecision::OfflineTrainingRequired { dataset, .. } => {
@@ -367,12 +399,27 @@ impl PredictDdl {
         let embed_timer = m.embed_latency.start_timer();
         // Cached GHN embedding: repeated workloads (same dataset + same
         // graph structure) skip the forward pass entirely.
-        let embedding = self
+        let (embedding, was_hit) = self
             .cache
-            .get_or_embed(&self.registry, &req.dataset, &graph)
+            .get_or_embed_detailed(&self.registry, &req.dataset, &graph)
             .expect("registry checked by TaskChecker");
+        let embed_elapsed = t0.elapsed();
         embed_timer.observe();
+        if let Some(ctx) = trace {
+            let rec = flight_recorder();
+            let start = rec.now_us().saturating_sub(embed_elapsed.as_micros() as u64);
+            let status = if was_hit { SpanStatus::CacheHit } else { SpanStatus::CacheMiss };
+            let st = predict_stages();
+            rec.record_stage_resolved(ctx, st.embed_cache, start, embed_elapsed, status);
+            if !was_hit {
+                // A miss is dominated by the GHN forward pass; attribute
+                // the same window to it so waterfalls show where the time
+                // went without a second clock read inside the cache.
+                rec.record_stage_resolved(ctx, st.ghn_embed, start, embed_elapsed, SpanStatus::Ok);
+            }
+        }
         let regress_timer = m.regress_latency.start_timer();
+        let t1 = Instant::now();
         let seconds = self.engine.predict(
             &embedding,
             &req.cluster,
@@ -380,7 +427,13 @@ impl PredictDdl {
             req.epochs,
             &req.dataset,
         );
+        let regress_elapsed = t1.elapsed();
         regress_timer.observe();
+        if let Some(ctx) = trace {
+            let rec = flight_recorder();
+            let start = rec.now_us().saturating_sub(regress_elapsed.as_micros() as u64);
+            rec.record_stage_resolved(ctx, predict_stages().regress, start, regress_elapsed, SpanStatus::Ok);
+        }
         m.predictions.inc();
         let nearest = self.embeddings.nearest(&req.dataset, &embedding);
         Ok(Prediction {
@@ -455,6 +508,49 @@ mod tests {
             system.predict_workload(&w, &cluster),
             Err(RequestError::NeedsOfflineTraining { .. })
         ));
+    }
+
+    #[test]
+    fn traced_predict_distinguishes_cache_miss_from_hit() {
+        let system = OfflineTrainer::tiny().train_full();
+        let cluster = ClusterState::homogeneous(ServerClass::GpuP100, 4);
+        let w = Workload::new("resnet18", "cifar10", 128, 2);
+        let req = PredictionRequest::zoo(w, cluster);
+
+        let cold = TraceContext::root(0x0FF1_0001);
+        system.predict_traced(&req, Some(cold)).unwrap();
+        let spans = flight_recorder().spans_for(cold.trace_id);
+        let stage_status: Vec<(&str, SpanStatus)> =
+            spans.iter().map(|s| (s.stage, s.status)).collect();
+        assert!(
+            stage_status.contains(&(stages::EMBED_CACHE, SpanStatus::CacheMiss)),
+            "cold lookup must record a miss: {stage_status:?}"
+        );
+        assert!(
+            stage_status.contains(&(stages::GHN_EMBED, SpanStatus::Ok)),
+            "miss must attribute the GHN forward pass: {stage_status:?}"
+        );
+        assert!(
+            stage_status.contains(&(stages::REGRESS, SpanStatus::Ok)),
+            "regression stage missing: {stage_status:?}"
+        );
+        for s in &spans {
+            assert_eq!(s.parent_id, cold.span_id, "stages parent to the dispatch span");
+        }
+
+        let warm = TraceContext::root(0x0FF1_0002);
+        system.predict_traced(&req, Some(warm)).unwrap();
+        let spans = flight_recorder().spans_for(warm.trace_id);
+        let stage_status: Vec<(&str, SpanStatus)> =
+            spans.iter().map(|s| (s.stage, s.status)).collect();
+        assert!(
+            stage_status.contains(&(stages::EMBED_CACHE, SpanStatus::CacheHit)),
+            "warm lookup must record a hit: {stage_status:?}"
+        );
+        assert!(
+            !stage_status.iter().any(|(st, _)| *st == stages::GHN_EMBED),
+            "a hit runs no GHN forward pass: {stage_status:?}"
+        );
     }
 
     #[test]

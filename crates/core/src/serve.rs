@@ -25,7 +25,8 @@
 //! (histogram of time spent queued).
 
 use pddl_par::{PushError, TaskQueue};
-use pddl_telemetry::{tlog, Counter, Gauge, Histogram, Level};
+use pddl_telemetry::trace::{flight_recorder, stage_handle, stages, StageHandle};
+use pddl_telemetry::{tlog, Counter, Gauge, Histogram, Level, SpanStatus, TraceContext};
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
@@ -52,6 +53,15 @@ pub struct ServeConfig {
     /// Advisory pacing hint carried in every overload reply, in
     /// milliseconds.
     pub retry_after_ms: u64,
+    /// Trace one in `trace_sample` requests that arrive without an
+    /// explicit [`TraceContext`] (0 disables sampling; envelopes carrying
+    /// a context are always traced). Sampling keeps the flight-recorder
+    /// writes off most of the hot path at high request rates.
+    pub trace_sample: u64,
+    /// Promote a traced request to the retained set as `slow` when its
+    /// end-to-end time exceeds this many milliseconds (0 disables the
+    /// latency trigger; shed/error promotion is always on).
+    pub trace_slow_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +72,8 @@ impl Default for ServeConfig {
             max_connections: 1024,
             request_deadline: Duration::from_secs(5),
             retry_after_ms: 25,
+            trace_sample: 1,
+            trace_slow_ms: 0,
         }
     }
 }
@@ -87,6 +99,9 @@ pub enum SubmitError {
 
 struct Job {
     enqueued: Instant,
+    /// Root context of the request this job serves, when it is traced;
+    /// the dispatching worker records the `queue_wait` span against it.
+    trace: Option<TraceContext>,
     run: Box<dyn FnOnce(JobOutcome) + Send>,
 }
 
@@ -108,6 +123,13 @@ fn pool_metrics() -> &'static PoolMetrics {
         requests_expired: pddl_telemetry::counter("controller.requests_expired"),
         queue_wait: pddl_telemetry::histogram("controller.queue_wait"),
     })
+}
+
+/// The queue-wait stage handle, resolved once so the per-job trace record
+/// on the worker hot path takes no lock.
+fn queue_wait_stage() -> StageHandle {
+    static STAGE: OnceLock<StageHandle> = OnceLock::new();
+    *STAGE.get_or_init(|| stage_handle(stages::QUEUE_WAIT))
 }
 
 /// A fixed pool of workers consuming a bounded admission queue. See the
@@ -151,19 +173,51 @@ impl ServePool {
     where
         F: FnOnce(JobOutcome) + Send + 'static,
     {
+        self.try_submit_traced(None, f)
+    }
+
+    /// [`ServePool::try_submit`] for a traced request: the dispatching
+    /// worker records a `queue_wait` child span of `trace`, and a shed at
+    /// admission promotes the trace into the flight recorder's retained
+    /// set (the tail-sampling contract: every shed trace is kept, up to
+    /// the retained bound).
+    pub fn try_submit_traced<F>(
+        &self,
+        trace: Option<TraceContext>,
+        f: F,
+    ) -> Result<(), SubmitError>
+    where
+        F: FnOnce(JobOutcome) + Send + 'static,
+    {
         let m = pool_metrics();
-        let job = Job { enqueued: Instant::now(), run: Box::new(f) };
+        let job = Job { enqueued: Instant::now(), trace, run: Box::new(f) };
         match self.queue.try_push(job) {
             Ok(()) => {
                 m.queue_depth.inc();
                 m.queue_depth_peak.set_max(self.queue.peak() as i64);
                 Ok(())
             }
-            Err(PushError::Full(_)) => {
+            Err(PushError::Full(job)) => {
                 m.requests_shed.inc();
+                if let Some(ctx) = job.trace {
+                    let rec = flight_recorder();
+                    rec.record_stage_resolved(
+                        ctx,
+                        queue_wait_stage(),
+                        rec.now_us(),
+                        Duration::ZERO,
+                        SpanStatus::Shed,
+                    );
+                    rec.promote(ctx.trace_id, "shed");
+                }
                 Err(SubmitError::Full)
             }
-            Err(PushError::Closed(_)) => Err(SubmitError::Closed),
+            Err(PushError::Closed(job)) => {
+                if let Some(ctx) = job.trace {
+                    flight_recorder().promote(ctx.trace_id, "shed");
+                }
+                Err(SubmitError::Closed)
+            }
         }
     }
 
@@ -223,6 +277,20 @@ fn worker_loop(queue: &TaskQueue<Job>, deadline: Duration) {
         } else {
             JobOutcome::Run
         };
+        if let Some(ctx) = job.trace {
+            let rec = flight_recorder();
+            let start = rec.now_us().saturating_sub(waited.as_micros() as u64);
+            let status = match outcome {
+                JobOutcome::Run => SpanStatus::Ok,
+                JobOutcome::Expired => SpanStatus::Expired,
+            };
+            rec.record_stage_resolved(ctx, queue_wait_stage(), start, waited, status);
+            if outcome == JobOutcome::Expired {
+                // Deadline expiry answers the peer with an overload
+                // reply, so retain the trace like any other shed.
+                rec.promote(ctx.trace_id, "shed");
+            }
+        }
         let run = job.run;
         // A panicking handler must not take the worker (and its queue
         // slot) down with it — the reader waiting on this job's latch is
@@ -489,5 +557,66 @@ mod tests {
         assert!(c.max_connections >= 1);
         assert!(!c.request_deadline.is_zero());
         assert!(c.retry_after_ms > 0);
+        assert_eq!(c.trace_sample, 1, "tracing on by default");
+        assert_eq!(c.trace_slow_ms, 0, "latency trigger off by default");
+    }
+
+    #[test]
+    fn traced_dispatch_records_queue_wait_span() {
+        let pool = ServePool::start(test_config(1, 8));
+        let ctx = TraceContext::root(0x5EAF_0001);
+        let latch = Arc::new(Latch::new());
+        {
+            let guard = OpenOnDrop(Arc::clone(&latch));
+            pool.try_submit_traced(Some(ctx), move |o| {
+                assert_eq!(o, JobOutcome::Run);
+                drop(guard);
+            })
+            .unwrap();
+        }
+        latch.wait();
+        pool.shutdown();
+        let spans = flight_recorder().spans_for(ctx.trace_id);
+        assert!(
+            spans.iter().any(|s| s.stage == stages::QUEUE_WAIT
+                && s.parent_id == ctx.span_id
+                && s.status == SpanStatus::Ok),
+            "queue_wait child span recorded: {spans:?}"
+        );
+    }
+
+    #[test]
+    fn traced_shed_promotes_the_trace() {
+        // One worker pinned, depth 1: the third submission sheds and its
+        // trace must land in the retained set with a shed verdict.
+        let pool = ServePool::start(test_config(1, 1));
+        let gate = Arc::new(Latch::new());
+        {
+            let gate = Arc::clone(&gate);
+            pool.try_submit(move |_| gate.wait()).unwrap();
+        }
+        while pool.queue_len() > 0 {
+            std::thread::yield_now();
+        }
+        pool.try_submit(|_| {}).unwrap();
+        let ctx = TraceContext::root(0x5EAF_0002);
+        assert_eq!(
+            pool.try_submit_traced(Some(ctx), |_| {}),
+            Err(SubmitError::Full)
+        );
+        gate.open();
+        pool.shutdown();
+        let retained = flight_recorder().retained();
+        let t = retained
+            .iter()
+            .find(|t| t.trace_id == ctx.trace_id)
+            .expect("shed trace retained");
+        assert_eq!(t.verdict, "shed");
+        assert!(
+            t.spans.iter().any(|s| s.stage == stages::QUEUE_WAIT
+                && s.status == SpanStatus::Shed),
+            "shed marker span present: {:?}",
+            t.spans
+        );
     }
 }

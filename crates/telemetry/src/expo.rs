@@ -1,0 +1,132 @@
+//! Prometheus-style text exposition of a metrics [`Snapshot`].
+//!
+//! Hand-rolled (the workspace carries no `prometheus` crate): counters
+//! and gauges become single samples, histograms become summaries
+//! (`{quantile="…"}` samples plus `_sum`/`_count`), and a histogram's
+//! overflow count — observations clamped at the top of the `u64` range —
+//! is surfaced as a separate `_overflow` counter so silent saturation is
+//! visible. Dotted registry names are sanitized to the Prometheus
+//! grammar and prefixed `pddl_`; output is sorted by metric name, so a
+//! given snapshot renders byte-identically (the golden test pins this).
+
+use crate::snapshot::Snapshot;
+use std::fmt::Write as _;
+
+/// Maps a registry name like `controller.queue_wait` to a legal metric
+/// name like `pddl_controller_queue_wait`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("pddl_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders `snap` in the Prometheus text exposition format (version
+/// 0.0.4). Deterministic: metrics are emitted sorted by name.
+pub fn prometheus(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, v) in &snap.counters {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        let _ = writeln!(out, "{n}{{quantile=\"0.5\"}} {}", h.p50);
+        let _ = writeln!(out, "{n}{{quantile=\"0.95\"}} {}", h.p95);
+        let _ = writeln!(out, "{n}{{quantile=\"0.99\"}} {}", h.p99);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+        let _ = writeln!(out, "# TYPE {n}_overflow counter");
+        let _ = writeln!(out, "{n}_overflow {}", h.overflow);
+    }
+    out
+}
+
+/// Renders the *global* registry snapshot — what `{"op":"metrics"}`
+/// serves over the wire.
+pub fn prometheus_global() -> String {
+    prometheus(&crate::snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::HistogramSnapshot;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![("controller.requests".into(), 42), ("shed.queue_full".into(), 3)],
+            gauges: vec![("controller.active_connections".into(), -1)],
+            histograms: vec![(
+                "controller.queue_wait".into(),
+                HistogramSnapshot {
+                    count: 5,
+                    sum: 1000,
+                    min: 10,
+                    max: 700,
+                    mean: 200.0,
+                    p50: 128,
+                    p95: 600,
+                    p99: 700,
+                    overflow: 2,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn exposition_shape_is_stable() {
+        let text = prometheus(&sample());
+        assert_eq!(
+            text,
+            "# TYPE pddl_controller_requests counter\n\
+             pddl_controller_requests 42\n\
+             # TYPE pddl_shed_queue_full counter\n\
+             pddl_shed_queue_full 3\n\
+             # TYPE pddl_controller_active_connections gauge\n\
+             pddl_controller_active_connections -1\n\
+             # TYPE pddl_controller_queue_wait summary\n\
+             pddl_controller_queue_wait{quantile=\"0.5\"} 128\n\
+             pddl_controller_queue_wait{quantile=\"0.95\"} 600\n\
+             pddl_controller_queue_wait{quantile=\"0.99\"} 700\n\
+             pddl_controller_queue_wait_sum 1000\n\
+             pddl_controller_queue_wait_count 5\n\
+             # TYPE pddl_controller_queue_wait_overflow counter\n\
+             pddl_controller_queue_wait_overflow 2\n"
+        );
+    }
+
+    #[test]
+    fn names_are_sanitized_to_the_grammar() {
+        assert_eq!(sanitize("a.b-c d"), "pddl_a_b_c_d");
+        assert_eq!(sanitize("ns:sub.metric"), "pddl_ns:sub_metric");
+        let text = prometheus(&sample());
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "illegal metric name {name:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn global_exposition_includes_registered_metrics() {
+        crate::counter("expo.test_counter").inc();
+        let text = prometheus_global();
+        assert!(text.contains("pddl_expo_test_counter"), "{text}");
+    }
+}

@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Appends `s` as a JSON string literal (with quotes) to `out`.
-pub(crate) fn push_json_string(out: &mut String, s: &str) {
+pub fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -104,6 +104,53 @@ impl JsonValue {
         match self {
             JsonValue::Object(m) => Some(m),
             _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Serializes back to compact JSON text (object keys stay sorted,
+    /// matching the parse representation).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => push_f64(out, *n),
+            JsonValue::String(s) => push_json_string(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_json(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_string(out, k);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
         }
     }
 }
@@ -313,6 +360,14 @@ mod tests {
         assert!(JsonValue::parse("{\"a\" 1}").is_err());
         assert!(JsonValue::parse("12 34").is_err());
         assert!(JsonValue::parse("").is_err());
+    }
+
+    #[test]
+    fn to_json_round_trips() {
+        let src = r#"{"a":1,"b":[true,null,-25,"x\ny"],"c":{"d":0.5}}"#;
+        let v = JsonValue::parse(src).unwrap();
+        assert_eq!(JsonValue::parse(&v.to_json()).unwrap(), v);
+        assert_eq!(v.to_json(), src);
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! `PDDL_LOG` environment filter, and a JSON snapshot exporter served live
 //! over the controller wire protocol (`{"op":"stats"}`).
 //!
+//! On top of the flat metrics sit two request-level facilities:
+//!
+//! * [`trace`] — per-request [`TraceContext`]s and a lock-free
+//!   [`FlightRecorder`] ring of span events with tail-sampled retention
+//!   of shed / errored / slow traces, served via `{"op":"trace"}`;
+//! * [`expo`] — Prometheus-style text exposition of the registry,
+//!   served via `{"op":"metrics"}`.
+//!
 //! Built entirely on `std` — no `tracing`, no `prometheus`, no serde — so
 //! every crate in the workspace can depend on it without weight.
 //!
@@ -53,17 +61,20 @@
 
 #![warn(missing_docs)]
 
+pub mod expo;
 mod json;
 mod log;
 mod metrics;
 mod snapshot;
 mod span;
+pub mod trace;
 
-pub use json::JsonValue;
+pub use json::{push_json_string, JsonValue};
 pub use log::{log_enabled, log_line, FieldValue, Level, LogFilter};
 pub use metrics::{Counter, Gauge, HistTimer, Histogram, Registry};
 pub use snapshot::{HistogramSnapshot, Snapshot};
 pub use span::Span;
+pub use trace::{flight_recorder, FlightRecorder, SpanEvent, SpanStatus, TraceContext};
 
 use std::sync::OnceLock;
 

@@ -136,6 +136,9 @@ fn filter() -> &'static LogFilter {
 static MAX_LEVEL: AtomicU8 = AtomicU8::new(u8::MAX);
 
 /// Cheap check whether a line at `level`/`target` would be emitted.
+/// Inlined so the common "globally off" case compiles down to one
+/// relaxed load and a compare at the call site.
+#[inline]
 pub fn log_enabled(level: Level, target: &str) -> bool {
     if level as u8 > MAX_LEVEL.load(Ordering::Relaxed) {
         return false; // fast reject once the filter is parsed

@@ -96,6 +96,9 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Observations clamped into the top bucket because the raw value
+    /// exceeded `u64` (e.g. a `Duration` over ~584 years of nanoseconds).
+    overflow: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -106,6 +109,7 @@ impl Default for Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
         }
     }
 }
@@ -134,9 +138,23 @@ impl Histogram {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
-    /// Records a wall-clock duration in nanoseconds.
+    /// Records a wall-clock duration in nanoseconds. A duration whose
+    /// nanosecond count exceeds `u64` is clamped to `u64::MAX` — it still
+    /// lands in the top bucket instead of vanishing — and counted in
+    /// [`Histogram::overflow`] so the saturation is visible.
     pub fn record_duration(&self, d: Duration) {
-        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        match u64::try_from(d.as_nanos()) {
+            Ok(ns) => self.record(ns),
+            Err(_) => {
+                self.overflow.fetch_add(1, Ordering::Relaxed);
+                self.record(u64::MAX);
+            }
+        }
+    }
+
+    /// Number of clamped (overflowing) observations.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
     }
 
     /// Starts a timer that records elapsed nanoseconds when dropped.
@@ -206,6 +224,7 @@ impl Histogram {
             p50: self.snapshot_quantile(&buckets, 0.50),
             p95: self.snapshot_quantile(&buckets, 0.95),
             p99: self.snapshot_quantile(&buckets, 0.99),
+            overflow: self.overflow.load(Ordering::Relaxed),
         }
     }
 
@@ -217,6 +236,7 @@ impl Histogram {
         self.sum.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+        self.overflow.store(0, Ordering::Relaxed);
     }
 }
 
@@ -473,6 +493,22 @@ mod tests {
             assert!(*qs.first().unwrap() >= s.min, "case {case}");
             assert!(*qs.last().unwrap() <= s.max, "case {case}");
         }
+    }
+
+    #[test]
+    fn overflowing_duration_is_clamped_and_counted() {
+        let h = Histogram::default();
+        // ~584 years: one nanosecond past what u64 can hold.
+        let too_long = Duration::from_secs(u64::MAX / 1_000_000_000 + 1);
+        h.record_duration(too_long);
+        h.record_duration(Duration::from_nanos(5));
+        let s = h.summarize();
+        assert_eq!(s.count, 2, "clamped observation still recorded");
+        assert_eq!(s.max, u64::MAX, "clamped into the top bucket");
+        assert_eq!(s.overflow, 1);
+        assert_eq!(h.overflow(), 1);
+        h.reset();
+        assert_eq!(h.overflow(), 0, "reset clears the overflow count");
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub struct HistogramSnapshot {
     pub p95: u64,
     /// 99th percentile (bucket upper bound).
     pub p99: u64,
+    /// Observations clamped at `u64::MAX` because the raw value
+    /// overflowed the top bucket.
+    pub overflow: u64,
 }
 
 /// A consistent-enough snapshot of every registered metric (each metric is
@@ -107,6 +110,8 @@ impl Snapshot {
             out.push_str(&h.p95.to_string());
             out.push_str(",\"p99\":");
             out.push_str(&h.p99.to_string());
+            out.push_str(",\"overflow\":");
+            out.push_str(&h.overflow.to_string());
             out.push('}');
         }
         out.push_str("}}");
@@ -162,6 +167,8 @@ impl Snapshot {
                     p50: field("p50")?,
                     p95: field("p95")?,
                     p99: field("p99")?,
+                    // Absent in snapshots from pre-overflow peers.
+                    overflow: val.get("overflow").and_then(JsonValue::as_u64).unwrap_or(0),
                 },
             ));
         }
@@ -193,9 +200,19 @@ mod tests {
                     p50: 128,
                     p95: 600,
                     p99: 700,
+                    overflow: 1,
                 },
             )],
         }
+    }
+
+    #[test]
+    fn missing_overflow_field_defaults_to_zero() {
+        // A snapshot rendered by a peer predating the overflow counter.
+        let legacy = r#"{"counters":{},"gauges":{},"histograms":{"lat":
+            {"count":1,"sum":2,"min":2,"max":2,"mean":2.0,"p50":2,"p95":2,"p99":2}}}"#;
+        let snap = Snapshot::from_json(legacy).unwrap();
+        assert_eq!(snap.histogram("lat").unwrap().overflow, 0);
     }
 
     #[test]

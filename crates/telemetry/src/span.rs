@@ -4,7 +4,7 @@
 //! structured completion line.
 
 use crate::metrics::Histogram;
-use crate::{histogram, tlog, Level};
+use crate::{histogram, log_enabled, tlog, Level};
 use std::time::Instant;
 
 /// An in-flight timing span.
@@ -21,6 +21,11 @@ pub struct Span {
     hist: &'static Histogram,
     name: &'static str,
     start: Instant,
+    /// Whether the completion line would pass the `PDDL_LOG` filter,
+    /// decided once at construction so [`Drop`] does no filter walk and
+    /// no argument formatting when logging is disabled — the common case
+    /// on the hot path.
+    log_on: bool,
 }
 
 impl Span {
@@ -33,7 +38,7 @@ impl Span {
 
     /// Opens a span on a pre-resolved histogram handle (lock-free).
     pub fn on(hist: &'static Histogram, name: &'static str) -> Span {
-        Span { hist, name, start: Instant::now() }
+        Span { hist, name, start: Instant::now(), log_on: log_enabled(Level::Debug, name) }
     }
 
     /// Elapsed time so far.
@@ -49,12 +54,17 @@ impl Drop for Span {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
         self.hist.record_duration(elapsed);
-        tlog!(
-            Level::Debug,
-            self.name,
-            "span",
-            elapsed_us = elapsed.as_micros() as u64,
-        );
+        // Level-check fast path: the filter verdict was cached at
+        // construction, so a disabled span drop is just the histogram
+        // record — no directive walk, no field formatting.
+        if self.log_on {
+            tlog!(
+                Level::Debug,
+                self.name,
+                "span",
+                elapsed_us = elapsed.as_micros() as u64,
+            );
+        }
     }
 }
 
@@ -81,5 +91,16 @@ mod tests {
             let _s = Span::on(h, "test.span_on");
         }
         assert!(h.count() >= 1);
+    }
+
+    #[test]
+    fn disabled_logging_caches_the_verdict_at_construction() {
+        // Tests run without PDDL_LOG, so debug is disabled; the span must
+        // carry the cached "off" verdict and still record its histogram.
+        let h = crate::histogram("test.span_log_off");
+        let s = Span::on(h, "test.span_log_off");
+        assert!(!s.log_on, "default env: completion line disabled");
+        drop(s);
+        assert!(h.count() >= 1, "histogram recording is independent of logging");
     }
 }

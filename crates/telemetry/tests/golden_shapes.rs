@@ -1,0 +1,110 @@
+//! Golden fixtures for the two observability wire formats:
+//!
+//! 1. the Prometheus text exposition served by `{"op":"metrics"}`, and
+//! 2. the retained-trace JSON served by `{"op":"trace"}`.
+//!
+//! Both renderers are deterministic for fixed inputs, so the fixtures pin
+//! *exact bytes*, not just field names — external scrapers and the CLI
+//! parse these formats, and a silent reshape is a breaking change. On an
+//! intentional change, regenerate with
+//! `PDDL_REGEN_GOLDEN=1 cargo test -p pddl-telemetry --test golden_shapes`
+//! and review the fixture diff like any other code change.
+
+use pddl_telemetry::trace::{stages, FlightRecorder};
+use pddl_telemetry::{expo, HistogramSnapshot, Snapshot, SpanStatus, TraceContext};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures")
+}
+
+fn check_or_regen(name: &str, live: &str) {
+    let path = fixture_dir().join(name);
+    if std::env::var("PDDL_REGEN_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).unwrap();
+        std::fs::write(&path, live).unwrap();
+        eprintln!("{name} regenerated — commit the fixture diff");
+        return;
+    }
+    let stored = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {} ({e}); regenerate with PDDL_REGEN_GOLDEN=1", path.display())
+    });
+    assert_eq!(
+        stored, live,
+        "{name} drifted from the golden fixture \
+         (intentional? regenerate with PDDL_REGEN_GOLDEN=1)"
+    );
+}
+
+/// One of every metric kind, with enough variety to exercise name
+/// sanitization and the overflow counter.
+fn sample_snapshot() -> Snapshot {
+    Snapshot {
+        counters: vec![
+            ("controller.requests".into(), 1024),
+            ("controller.shed.queue_full".into(), 17),
+        ],
+        gauges: vec![("controller.active_connections".into(), 3)],
+        histograms: vec![(
+            "controller.queue_wait".into(),
+            HistogramSnapshot {
+                count: 900,
+                sum: 123_456_789,
+                min: 1_200,
+                max: 9_800_000,
+                mean: 137_174.2,
+                p50: 80_000,
+                p95: 2_100_000,
+                p99: 7_500_000,
+                overflow: 1,
+            },
+        )],
+    }
+}
+
+/// A fixed two-trace retained set: one shed request with a partial
+/// pipeline, one errored request with a full one (cache miss included).
+fn sample_recorder() -> FlightRecorder {
+    let r = FlightRecorder::new(64, 8);
+    let ms = Duration::from_millis;
+
+    let shed = TraceContext::root(0x1111);
+    r.record_stage(shed, stages::FRAME_READ, 100, ms(1), SpanStatus::Ok);
+    r.record_span(shed, stages::REQUEST, 100, ms(2), SpanStatus::Shed);
+    r.promote(shed.trace_id, "shed");
+
+    let errored = TraceContext::root(0x2222);
+    r.record_stage(errored, stages::FRAME_READ, 500, ms(1), SpanStatus::Ok);
+    r.record_stage(errored, stages::QUEUE_WAIT, 501, ms(2), SpanStatus::Ok);
+    let dispatch = errored.child(1000);
+    r.record_stage(dispatch, stages::EMBED_CACHE, 503, ms(3), SpanStatus::CacheMiss);
+    r.record_stage(dispatch, stages::GHN_EMBED, 504, ms(2), SpanStatus::Ok);
+    r.record_stage(dispatch, stages::REGRESS, 507, ms(1), SpanStatus::Error);
+    r.record_span(dispatch, stages::DISPATCH, 503, ms(5), SpanStatus::Error);
+    r.record_stage(errored, stages::SERIALIZE, 509, ms(1), SpanStatus::Ok);
+    r.record_span(errored, stages::REQUEST, 500, ms(10), SpanStatus::Error);
+    r.promote(errored.trace_id, "error");
+
+    r
+}
+
+#[test]
+fn prometheus_exposition_matches_golden_fixture() {
+    check_or_regen("metrics_exposition.txt", &expo::prometheus(&sample_snapshot()));
+}
+
+#[test]
+fn trace_dump_matches_golden_fixture() {
+    check_or_regen("trace_dump.json", &sample_recorder().retained_json());
+}
+
+/// The waterfall rendering of the golden dump is itself pinned — the CLI
+/// `trace` subcommand prints exactly this for these inputs.
+#[test]
+fn trace_waterfall_matches_golden_fixture() {
+    let json = sample_recorder().retained_json();
+    let v = pddl_telemetry::JsonValue::parse(&json).expect("dump parses");
+    let traces = pddl_telemetry::trace::parse_trace_dump(&v).expect("dump decodes");
+    check_or_regen("trace_waterfall.txt", &pddl_telemetry::trace::render_waterfall(&traces));
+}

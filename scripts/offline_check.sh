@@ -17,6 +17,8 @@
 #   scripts/offline_check.sh test-golden      # run the golden-trace fixture test
 #   scripts/offline_check.sh test-bench       # run pddl-bench's tests (report schema)
 #   scripts/offline_check.sh test-tensor      # run the GEMM equivalence/determinism suite
+#   scripts/offline_check.sh test-trace       # trace unit tests + type-check the trace tier
+#   scripts/offline_check.sh metrics-expo     # exposition + golden trace/metrics shape tests
 #   scripts/offline_check.sh bench-serve      # run the inproc serving benchmark
 #   scripts/offline_check.sh bench-tensor     # run the GEMM benchmark (BENCH_tensor.json)
 #   scripts/offline_check.sh gate-unwrap      # no-unwrap grep gate on the wire parser
@@ -90,6 +92,7 @@ NON_PROPTEST_TESTS=(
   --test soak
   --test load
   --test golden_traces
+  --test trace
 )
 
 case "${1:-check}" in
@@ -131,6 +134,19 @@ case "${1:-check}" in
     # Lib tests plus the equivalence/determinism/pack-reuse suite; the
     # proptest target is excluded (stubbed offline).
     cargo test -p pddl-tensor --offline --lib --test gemm_equivalence
+    ;;
+  test-trace)
+    # The flight-recorder/span/waterfall unit tests run for real (pure
+    # std); the TCP trace tier needs serde at runtime, so offline it is
+    # type-checked only and executes in networked CI.
+    cargo test -p pddl-telemetry --offline trace
+    cargo check -p predictddl --offline --test trace
+    ;;
+  metrics-expo)
+    # Prometheus exposition renderer + the golden fixtures pinning the
+    # exposition, trace-dump, and waterfall shapes byte-for-byte.
+    cargo test -p pddl-telemetry --offline expo
+    cargo test -p pddl-telemetry --offline --test golden_shapes
     ;;
   bench-serve)
     shift

@@ -25,6 +25,8 @@ use pddl_cluster::{
 };
 use pddl_ddlsim::Workload;
 use pddl_faults::{Direction, FaultPlan, FaultyWrite, FAULT_PLAN_ENV};
+use pddl_telemetry::trace::flight_recorder;
+use pddl_telemetry::TraceContext;
 use std::io::Write;
 use predictddl::{Controller, ControllerClient, OfflineTrainer, PredictionRequest};
 use std::time::{Duration, Instant};
@@ -107,6 +109,14 @@ fn soak_round(seed: u64, truth: &[(PredictionRequest, Result<u64, String>)]) {
     std::env::remove_var(FAULT_PLAN_ENV);
 
     let idle_connections = gauge("controller.active_connections");
+    flight_recorder().reset();
+
+    // Every request carries a client-minted trace context; the first two
+    // per client are promoted into the retained set right after they
+    // complete, so the round can assert trace identity survived the
+    // chaos (retries and reconnects merge into ONE trace, not several).
+    let trace_id = |i: usize| 0x50AC_0000_0000 + i as u64;
+    const PROMOTED_PER_CLIENT: usize = 2;
 
     let results: Vec<Vec<(usize, Result<u64, String>)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..CLIENTS)
@@ -121,8 +131,11 @@ fn soak_round(seed: u64, truth: &[(PredictionRequest, Result<u64, String>)]) {
                         .map(|r| {
                             let i = c * REQUESTS_PER_CLIENT + r;
                             let outcome = client
-                                .predict(&truth[i].0)
+                                .predict_with_trace(&truth[i].0, TraceContext::root(trace_id(i)))
                                 .expect("request lost despite retry budget");
+                            if r < PROMOTED_PER_CLIENT {
+                                flight_recorder().promote(trace_id(i), "soak");
+                            }
                             (i, outcome.map(|p| p.seconds.to_bits()).map_err(|e| e.to_string()))
                         })
                         .collect()
@@ -139,6 +152,28 @@ fn soak_round(seed: u64, truth: &[(PredictionRequest, Result<u64, String>)]) {
         assert_eq!(outcome, truth[i].1, "seed {seed} request {i} diverged from serial");
     }
     assert!(seen.iter().all(|&n| n == 1), "seed {seed}: lost or duplicated replies");
+
+    // Trace identity under chaos: each promoted request is retained as
+    // exactly one trace holding its own id, and deterministic span
+    // derivation keeps retried/replayed spans deduplicated.
+    let retained = flight_recorder().retained();
+    for c in 0..CLIENTS {
+        for r in 0..PROMOTED_PER_CLIENT {
+            let id = trace_id(c * REQUESTS_PER_CLIENT + r);
+            let matches: Vec<_> = retained.iter().filter(|t| t.trace_id == id).collect();
+            assert_eq!(matches.len(), 1, "seed {seed}: trace {id:#x} retained {} times", matches.len());
+            let spans = &matches[0].spans;
+            assert!(!spans.is_empty(), "seed {seed}: trace {id:#x} retained without spans");
+            let mut ids: Vec<u64> = spans.iter().map(|sp| sp.span_id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(
+                ids.len(),
+                spans.len(),
+                "seed {seed}: trace {id:#x} double-recorded spans across retries"
+            );
+        }
+    }
 
     drop(controller);
     await_gauge("controller.active_connections", idle_connections);

@@ -11,7 +11,7 @@ use pddl_cluster::protocol::{read_line_bounded, read_msg_bounded, ClientMsg, Wir
 use pddl_cluster::{ClusterState, ServerClass};
 use pddl_ddlsim::Workload;
 use pddl_faults::FaultRng;
-use predictddl::{parse_frame, ParsedFrame, PredictionRequest, RequestEnvelope};
+use predictddl::{parse_frame, ParsedFrame, PredictionRequest, RequestEnvelope, TraceHeader};
 use std::io::BufReader;
 
 const CASES_PER_SEED: usize = 10_000;
@@ -172,16 +172,29 @@ fn valid_frames_always_classify() {
         let batch = serde_json::to_string(&vec![req.clone(), req.clone()]).unwrap();
         assert!(matches!(parse_frame(&batch), Ok(ParsedFrame::Batch(b)) if b.len() == 2));
 
-        let env = RequestEnvelope { client: rng.next_u64(), id: rng.next_u64(), req };
+        // Alternate bare and trace-carrying envelopes: both wire shapes
+        // must classify, and the header must survive the round trip.
+        let trace = (rng.below(2) == 0).then(|| TraceHeader {
+            trace_id: rng.next_u64(),
+            span_id: rng.next_u64(),
+            parent_id: 0,
+        });
+        let env = RequestEnvelope { client: rng.next_u64(), id: rng.next_u64(), trace, req };
         let enveloped = serde_json::to_string(&env).unwrap();
         match parse_frame(&enveloped) {
             Ok(ParsedFrame::Enveloped(e)) => {
                 assert_eq!((e.client, e.id), (env.client, env.id));
+                assert_eq!(
+                    e.trace.map(|t| (t.trace_id, t.span_id)),
+                    env.trace.map(|t| (t.trace_id, t.span_id)),
+                );
             }
             other => panic!("envelope misclassified: {other:?}"),
         }
     }
     assert!(matches!(parse_frame("{\"op\":\"stats\"}"), Ok(ParsedFrame::Stats)));
+    assert!(matches!(parse_frame("{\"op\":\"trace\"}"), Ok(ParsedFrame::Trace)));
+    assert!(matches!(parse_frame("{\"op\":\"metrics\"}"), Ok(ParsedFrame::Metrics)));
     assert!(parse_frame("not json").is_err());
     assert!(parse_frame("[{\"bad\":1}]").is_err());
 }
