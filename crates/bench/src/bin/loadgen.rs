@@ -19,7 +19,7 @@
 //!    base fleet alone barely sheds); in-flight demand durably exceeds
 //!    capacity and the report must show nonzero sheds.
 //!
-//! Two transports:
+//! Three transports:
 //!
 //! * `--transport inproc` (default): clients call
 //!   [`predictddl::ServePool`] directly. No sockets, no JSON, no serde at
@@ -30,16 +30,31 @@
 //!   and clients use [`predictddl::ControllerClient::connect_resilient`],
 //!   measuring the wire stack end-to-end (retries and overload replies
 //!   included). Requires a network-enabled environment (CI).
+//! * `--transport fleet`: the sharded-serving benchmark — N in-process
+//!   shard pools behind the router's real [`pddl_router::HashRing`] and
+//!   [`pddl_router::routing_key`], writing `BENCH_shard.json` instead
+//!   (scaling curve at 1/2/4 shards, ring-rebalance cost, and a
+//!   shard-kill phase with exactly-once accounting). Each request pays a
+//!   `--service-us` floor, modelling shards whose capacity is
+//!   accelerator/IO-bound, so fleet scaling is measurable on the
+//!   single-core offline runner. Like `inproc`, it needs no sockets and
+//!   no serde — it is the mode that produces the committed
+//!   `BENCH_shard.json` baseline.
 //!
 //! ```text
 //! pddl-loadgen [--transport inproc|tcp] [--clients 8] [--requests 100]
 //!              [--workers 2] [--queue-depth 4] [--deadline-ms 5000]
 //!              [--low-rps 50] [--out BENCH_serve.json]
+//! pddl-loadgen --transport fleet [--clients 4] [--requests 50]
+//!              [--queue-depth 8] [--service-us 4000] [--vnodes 128]
+//!              [--keyspace 256] [--out BENCH_shard.json]
 //! ```
 
 use pddl_bench::report::{
-    summarize, PhaseReport, ServeReport, ShedReasons, StageSummary, TracingSummary,
+    summarize, KillSummary, PhaseReport, RebalanceStep, ScalingPoint, ServeReport,
+    ShardReport, ShedReasons, StageSummary, TracingSummary,
 };
+use pddl_router::{routing_key, HashRing};
 use pddl_cluster::retry::{RetryPolicy, ShedReason};
 use pddl_cluster::{ClusterState, ServerClass};
 use pddl_ddlsim::Workload;
@@ -59,6 +74,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flags = parse_flags(&args);
     let transport = flags.get("transport").map_or("inproc", |s| s.as_str()).to_string();
+    if transport == "fleet" {
+        run_fleet(&flags);
+        return;
+    }
     let clients: usize = flag(&flags, "clients", 8);
     let requests: usize = flag(&flags, "requests", 100);
     let workers: usize = flag(&flags, "workers", 2);
@@ -99,7 +118,7 @@ fn main() {
             run_tcp(system, &req, config, clients, requests, low_rps)
         }
         other => {
-            eprintln!("error: unknown --transport '{other}' (inproc|tcp)");
+            eprintln!("error: unknown --transport '{other}' (inproc|tcp|fleet)");
             std::process::exit(2);
         }
     };
@@ -571,6 +590,384 @@ fn run_tcp(
     }
     drop(controller);
     phases
+}
+
+/// Live membership for the in-proc fleet: the router's real ring plus a
+/// dead-set, behind one lock with an epoch that bumps on every change —
+/// the same discipline `pddl_router::Router` applies to TCP shards.
+struct Fleet {
+    pools: Vec<Arc<ServePool>>,
+    state: Mutex<FleetState>,
+}
+
+struct FleetState {
+    epoch: u64,
+    ring: HashRing,
+    dead: Vec<bool>,
+}
+
+impl Fleet {
+    fn new(shards: usize, vnodes: u32, config: ServeConfig) -> Self {
+        let ids: Vec<u64> = (0..shards as u64).collect();
+        Self {
+            pools: (0..shards).map(|_| Arc::new(ServePool::start(config))).collect(),
+            state: Mutex::new(FleetState {
+                epoch: 1,
+                ring: HashRing::with_shards(vnodes, &ids),
+                dead: vec![false; shards],
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FleetState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The shard owning `key` under the current membership.
+    fn route(&self, key: u64) -> Option<usize> {
+        self.lock().ring.lookup(key).map(|id| id as usize)
+    }
+
+    /// Removes a discovered-dead shard from the ring (idempotent; only
+    /// the first discovery bumps the epoch).
+    fn mark_dead(&self, sid: usize) {
+        let mut state = self.lock();
+        if state.dead[sid] {
+            return;
+        }
+        state.dead[sid] = true;
+        state.ring.remove_shard(sid as u64);
+        state.epoch += 1;
+    }
+
+    fn epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    fn shutdown(&self) {
+        for pool in &self.pools {
+            pool.shutdown();
+        }
+    }
+}
+
+/// Shared accounting for one fleet phase. `completions[id]` counts how
+/// many times request `id` was answered — exactly-once means every slot
+/// ends at exactly 1.
+struct FleetTally {
+    shed: AtomicU64,
+    rerouted: AtomicU64,
+    progress: AtomicU64,
+    completions: Vec<AtomicU64>,
+}
+
+impl FleetTally {
+    fn new(total_requests: usize) -> Self {
+        Self {
+            shed: AtomicU64::new(0),
+            rerouted: AtomicU64::new(0),
+            progress: AtomicU64::new(0),
+            completions: (0..total_requests).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn duplicates(&self) -> u64 {
+        self.completions
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed).saturating_sub(1))
+            .sum()
+    }
+
+    fn unanswered(&self) -> u64 {
+        self.completions
+            .iter()
+            .filter(|c| c.load(Ordering::Relaxed) == 0)
+            .count() as u64
+    }
+
+    fn completed(&self) -> u64 {
+        self.completions
+            .iter()
+            .filter(|c| c.load(Ordering::Relaxed) > 0)
+            .count() as u64
+    }
+}
+
+/// Drives `clients` closed-loop clients through the ring until every
+/// request is answered exactly once (requests whose shard dies are
+/// re-routed onto the survivor ring). Returns phase wall-clock.
+#[allow(clippy::too_many_arguments)]
+fn drive_fleet(
+    fleet: &Fleet,
+    system: &Arc<PredictDdl>,
+    mix: &[(PredictionRequest, u64)],
+    clients: usize,
+    requests: usize,
+    service_us: u64,
+    retry_after_ms: u64,
+    tally: &Arc<FleetTally>,
+) -> Duration {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let tally = Arc::clone(tally);
+            s.spawn(move || {
+                for i in 0..requests {
+                    let id = c * requests + i;
+                    // Stride the keyspace so every shard sees work from
+                    // every client throughout the phase.
+                    let (req, key) = &mix[(c * 7 + i) % mix.len()];
+                    loop {
+                        let Some(sid) = fleet.route(*key) else {
+                            return; // whole fleet dead: id stays unanswered
+                        };
+                        let latch = Arc::new(Latch::new());
+                        let ran = Arc::new(AtomicU64::new(0));
+                        let submit = {
+                            let latch = Arc::clone(&latch);
+                            let ran = Arc::clone(&ran);
+                            let system = Arc::clone(system);
+                            let req = req.clone();
+                            let tally = Arc::clone(&tally);
+                            fleet.pools[sid].try_submit(move |o| {
+                                if o == JobOutcome::Run {
+                                    let t_job = Instant::now();
+                                    let _ = system.predict(&req);
+                                    // Pad to the service-time floor: the
+                                    // shard's capacity bound, not the
+                                    // host CPU, is what the fleet scales.
+                                    let floor = Duration::from_micros(service_us);
+                                    let spent = t_job.elapsed();
+                                    if spent < floor {
+                                        std::thread::sleep(floor - spent);
+                                    }
+                                    tally.completions[id]
+                                        .fetch_add(1, Ordering::Relaxed);
+                                    tally.progress.fetch_add(1, Ordering::Relaxed);
+                                    ran.store(1, Ordering::Relaxed);
+                                }
+                                latch.open();
+                            })
+                        };
+                        match submit {
+                            Ok(()) => {
+                                latch.wait();
+                                if ran.load(Ordering::Relaxed) == 1 {
+                                    break;
+                                }
+                                // Expired in queue: provably never ran,
+                                // safe to resubmit.
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(SubmitError::Full) => {
+                                tally.shed.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(retry_after_ms));
+                            }
+                            Err(SubmitError::Closed) => {
+                                // The shard died under us; the submit was
+                                // rejected, so the request never executed
+                                // — re-route on the survivor ring.
+                                tally.rerouted.fetch_add(1, Ordering::Relaxed);
+                                fleet.mark_dead(sid);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+/// The sharded-fleet benchmark: scaling at 1/2/4 shards, ring-rebalance
+/// cost, and a shard-kill phase — writes `BENCH_shard.json`.
+fn run_fleet(flags: &Flags) {
+    let clients_per_shard: usize = flag(flags, "clients", 4);
+    let requests: usize = flag(flags, "requests", 50);
+    let queue_depth: usize = flag(flags, "queue-depth", 8);
+    let service_us: u64 = flag(flags, "service-us", 4000);
+    let vnodes: u32 = flag(flags, "vnodes", 128);
+    let keyspace: usize = flag(flags, "keyspace", 256).max(1);
+    let out = flags.get("out").map_or("BENCH_shard.json", |s| s.as_str()).to_string();
+
+    // One worker per shard: each shard is a serialized capacity of
+    // 1e6/service_us rps, so the scaling curve isolates the routing
+    // plane's aggregation rather than host parallelism.
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth,
+        request_deadline: Duration::from_secs(30),
+        retry_after_ms: 2,
+        ..ServeConfig::default()
+    };
+
+    eprintln!("training tiny system for the fleet workload ...");
+    let system = Arc::new(OfflineTrainer::tiny().train_full());
+    // Distinct workloads = distinct ring keys: the request mix spans the
+    // keyspace so load spreads the way a real reusable-workload mix does.
+    let mix: Vec<(PredictionRequest, u64)> = (0..keyspace)
+        .map(|i| {
+            let req = PredictionRequest::zoo(
+                Workload::new("resnet18", "cifar10", 16 + i, 2),
+                ClusterState::homogeneous(ServerClass::GpuP100, 4),
+            );
+            let key = routing_key(&req);
+            (req, key)
+        })
+        .collect();
+
+    // Phase 1: the scaling curve.
+    let mut scaling: Vec<ScalingPoint> = Vec::new();
+    let mut base_rps = 0.0;
+    for &shards in &[1usize, 2, 4] {
+        let clients = clients_per_shard * shards;
+        let total = clients * requests;
+        let fleet = Fleet::new(shards, vnodes, config);
+        let tally = Arc::new(FleetTally::new(total));
+        let elapsed = drive_fleet(
+            &fleet,
+            &system,
+            &mix,
+            clients,
+            requests,
+            service_us,
+            config.retry_after_ms,
+            &tally,
+        );
+        fleet.shutdown();
+        let completed = tally.completed();
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let rps = completed as f64 / secs;
+        if shards == 1 {
+            base_rps = rps;
+        }
+        let speedup = if base_rps > 0.0 { rps / base_rps } else { 0.0 };
+        eprintln!(
+            "scaling {shards} shard(s): {completed}/{total} completed in {secs:.2}s, \
+             {rps:.0} rps, speedup {speedup:.2}x"
+        );
+        scaling.push(ScalingPoint {
+            shards,
+            clients,
+            requests: total as u64,
+            completed,
+            shed: tally.shed.load(Ordering::Relaxed),
+            duration_secs: secs,
+            throughput_rps: rps,
+            speedup_vs_1: speedup,
+        });
+    }
+
+    // Phase 2: rebalance cost, pure ring math over a synthetic keyspace.
+    const REBALANCE_KEYS: u64 = 10_000;
+    let rebalance: Vec<RebalanceStep> = [(1usize, 2usize), (3, 4)]
+        .iter()
+        .map(|&(from, to)| {
+            let ids: Vec<u64> = (0..from as u64).collect();
+            let before = HashRing::with_shards(vnodes, &ids);
+            let mut after = before.clone();
+            after.add_shard(from as u64);
+            let moved = before.moved_keys(&after, 0..REBALANCE_KEYS) as u64;
+            RebalanceStep {
+                from_shards: from,
+                to_shards: to,
+                keys: REBALANCE_KEYS,
+                moved,
+                moved_fraction: moved as f64 / REBALANCE_KEYS as f64,
+                // 1/to_shards plus 50% slack for vnode variance — far
+                // below the 1 - 1/to a modulo router would pay.
+                bound_fraction: 1.5 / to as f64,
+            }
+        })
+        .collect();
+    for r in &rebalance {
+        eprintln!(
+            "rebalance {}->{} shards: {}/{} keys moved ({:.3}, bound {:.3})",
+            r.from_shards, r.to_shards, r.moved, r.keys, r.moved_fraction, r.bound_fraction
+        );
+    }
+
+    // Phase 3: kill a shard mid-load; every request must still be
+    // answered exactly once, on the survivor ring.
+    let kill_shards = 4usize;
+    let clients = clients_per_shard * kill_shards;
+    let total = clients * requests;
+    let fleet = Arc::new(Fleet::new(kill_shards, vnodes, config));
+    let tally = Arc::new(FleetTally::new(total));
+    let epoch_before = fleet.epoch();
+    let victim = 1u64;
+    let killer = {
+        let fleet = Arc::clone(&fleet);
+        let tally = Arc::clone(&tally);
+        std::thread::spawn(move || {
+            // Crash the victim once a quarter of the load has completed
+            // — a mid-load death, not an edge case at either end.
+            while tally.progress.load(Ordering::Relaxed) < total as u64 / 4 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            fleet.pools[victim as usize].shutdown();
+        })
+    };
+    let elapsed = drive_fleet(
+        &fleet,
+        &system,
+        &mix,
+        clients,
+        requests,
+        service_us,
+        config.retry_after_ms,
+        &tally,
+    );
+    killer.join().expect("killer thread");
+    fleet.shutdown();
+    let kill = KillSummary {
+        shards: kill_shards,
+        killed_shard: victim,
+        requests: total as u64,
+        completed: tally.completed(),
+        rerouted: tally.rerouted.load(Ordering::Relaxed),
+        shed: tally.shed.load(Ordering::Relaxed),
+        duplicates: tally.duplicates(),
+        unanswered: tally.unanswered(),
+        epoch_before,
+        epoch_after: fleet.epoch(),
+    };
+    eprintln!(
+        "kill phase: {}/{} completed ({} rerouted, {} dup, {} unanswered) in {:.2}s; \
+         epoch {} -> {}",
+        kill.completed,
+        kill.requests,
+        kill.rerouted,
+        kill.duplicates,
+        kill.unanswered,
+        elapsed.as_secs_f64(),
+        kill.epoch_before,
+        kill.epoch_after,
+    );
+
+    let snapshot = pddl_telemetry::snapshot();
+    let report = ShardReport {
+        workers_per_shard: 1,
+        queue_depth,
+        clients_per_shard,
+        requests_per_client: requests,
+        vnodes,
+        service_us,
+        keyspace,
+        scaling,
+        rebalance,
+        kill,
+        telemetry: vec![
+            ("controller.requests_shed".to_string(), counter(&snapshot, "controller.requests_shed")),
+            ("controller.requests_expired".to_string(), counter(&snapshot, "controller.requests_expired")),
+            ("controller.queue_depth_peak".to_string(), gauge(&snapshot, "controller.queue_depth_peak")),
+        ],
+    };
+    std::fs::write(&out, report.render()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
 }
 
 fn counter(snapshot: &pddl_telemetry::Snapshot, name: &str) -> u64 {

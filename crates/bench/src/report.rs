@@ -16,9 +16,12 @@
 //! the exact `pddl-telemetry` counter/gauge names so a report can be
 //! cross-checked against a live `{"op":"stats"}` snapshot.
 //!
-//! The same conventions apply to [`TensorReport`] / `BENCH_tensor.json`,
-//! the GEMM-core benchmark written by `pddl-tensorbench` and pinned by
-//! `tests/fixtures/bench_tensor_schema.json`.
+//! The same conventions apply to [`TensorReport`] / `BENCH_tensor.json`
+//! (the GEMM-core benchmark written by `pddl-tensorbench`, pinned by
+//! `tests/fixtures/bench_tensor_schema.json`) and to [`ShardReport`] /
+//! `BENCH_shard.json` (the sharded-fleet benchmark written by
+//! `pddl-loadgen --transport fleet`, pinned by
+//! `tests/fixtures/bench_shard_schema.json`).
 
 use pddl_telemetry::JsonValue;
 
@@ -404,6 +407,190 @@ impl TensorReport {
     }
 }
 
+/// One point on the fleet-scaling curve: the same saturating client
+/// fleet (scaled with the shard count) driven through the consistent-hash
+/// ring at a given fleet size.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Fleet size this point was measured at.
+    pub shards: usize,
+    /// Concurrent clients driving the fleet.
+    pub clients: usize,
+    /// Round trips attempted.
+    pub requests: u64,
+    /// Requests answered with a real prediction.
+    pub completed: u64,
+    /// Requests shed at admission (clients back off and retry).
+    pub shed: u64,
+    /// Wall-clock length of the point.
+    pub duration_secs: f64,
+    /// Completed requests per second of wall-clock.
+    pub throughput_rps: f64,
+    /// `throughput_rps / single-shard throughput_rps` — the headline
+    /// fleet-scaling number (1.0 by construction on the first point).
+    pub speedup_vs_1: f64,
+}
+
+/// The measured cost of one ring resize, counted over a fixed synthetic
+/// keyspace: consistent hashing promises `moved_fraction` stays near
+/// `1/to_shards` (only the new shard's arcs move) instead of the
+/// `1 - 1/to_shards` a modulo router would pay.
+#[derive(Clone, Copy, Debug)]
+pub struct RebalanceStep {
+    /// Fleet size before the resize.
+    pub from_shards: usize,
+    /// Fleet size after the resize.
+    pub to_shards: usize,
+    /// Keys sampled.
+    pub keys: u64,
+    /// Keys whose owning shard changed.
+    pub moved: u64,
+    /// `moved / keys`.
+    pub moved_fraction: f64,
+    /// The bound the schema tier pins: `1/to_shards` plus vnode-variance
+    /// slack. `moved_fraction` must stay at or below it.
+    pub bound_fraction: f64,
+}
+
+/// Exactly-once accounting for the shard-death phase: a shard is killed
+/// mid-load, clients observe the typed re-route signal, refresh
+/// membership, and retry on the survivor ring. Every request must end
+/// completed (exactly once) or shed — `duplicates` and `unanswered`
+/// are hard zeros on the committed baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct KillSummary {
+    /// Fleet size before the kill.
+    pub shards: usize,
+    /// Id of the shard killed mid-load.
+    pub killed_shard: u64,
+    /// Round trips attempted across the phase.
+    pub requests: u64,
+    /// Requests answered with a real prediction, exactly once each.
+    pub completed: u64,
+    /// Requests that hit the dead shard and were re-routed to a survivor.
+    pub rerouted: u64,
+    /// Requests shed by survivor admission control (typed, retried-out).
+    pub shed: u64,
+    /// Requests answered more than once — must be zero.
+    pub duplicates: u64,
+    /// Requests never answered at all — must be zero.
+    pub unanswered: u64,
+    /// Membership epoch at phase start.
+    pub epoch_before: u64,
+    /// Membership epoch after the kill converged (one bump per death).
+    pub epoch_after: u64,
+}
+
+/// The sharded-fleet benchmark report — rendered to `BENCH_shard.json`
+/// by `pddl-loadgen --transport fleet`.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Worker threads per shard pool.
+    pub workers_per_shard: usize,
+    /// Admission queue capacity per shard.
+    pub queue_depth: usize,
+    /// Clients per shard in the scaling fleet (total = this × shards).
+    pub clients_per_shard: usize,
+    /// Requests attempted per client per point.
+    pub requests_per_client: usize,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: u32,
+    /// Floor per-request service time, microseconds — models a shard
+    /// whose capacity is accelerator/IO-bound rather than host-CPU-bound,
+    /// so fleet scaling is measurable on a single-core runner.
+    pub service_us: u64,
+    /// Distinct workloads (ring keys) in the request mix.
+    pub keyspace: usize,
+    /// The scaling curve, ascending fleet sizes, first entry is the
+    /// single-shard baseline.
+    pub scaling: Vec<ScalingPoint>,
+    /// Ring-resize costs over the synthetic keyspace.
+    pub rebalance: Vec<RebalanceStep>,
+    /// The shard-death phase.
+    pub kill: KillSummary,
+    /// Final values of fleet-side telemetry series, keyed by their exact
+    /// registry names.
+    pub telemetry: Vec<(String, u64)>,
+}
+
+impl ShardReport {
+    /// Renders pretty-printed JSON with a fixed field order; the shape is
+    /// pinned by the golden schema test like [`ServeReport::render`].
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"benchmark\": \"shard\",\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str("  \"config\": {\n");
+        out.push_str(&format!("    \"workers_per_shard\": {},\n", self.workers_per_shard));
+        out.push_str(&format!("    \"queue_depth\": {},\n", self.queue_depth));
+        out.push_str(&format!("    \"clients_per_shard\": {},\n", self.clients_per_shard));
+        out.push_str(&format!(
+            "    \"requests_per_client\": {},\n",
+            self.requests_per_client
+        ));
+        out.push_str(&format!("    \"vnodes\": {},\n", self.vnodes));
+        out.push_str(&format!("    \"service_us\": {},\n", self.service_us));
+        out.push_str(&format!("    \"keyspace\": {}\n", self.keyspace));
+        out.push_str("  },\n");
+        out.push_str("  \"scaling\": [\n");
+        for (i, p) in self.scaling.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"shards\": {},\n", p.shards));
+            out.push_str(&format!("      \"clients\": {},\n", p.clients));
+            out.push_str(&format!("      \"requests\": {},\n", p.requests));
+            out.push_str(&format!("      \"completed\": {},\n", p.completed));
+            out.push_str(&format!("      \"shed\": {},\n", p.shed));
+            out.push_str(&format!("      \"duration_secs\": {},\n", fnum(p.duration_secs)));
+            out.push_str(&format!(
+                "      \"throughput_rps\": {},\n",
+                fnum(p.throughput_rps)
+            ));
+            out.push_str(&format!("      \"speedup_vs_1\": {}\n", fnum(p.speedup_vs_1)));
+            out.push_str(if i + 1 == self.scaling.len() { "    }\n" } else { "    },\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"rebalance\": [\n");
+        for (i, r) in self.rebalance.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"from_shards\": {},\n", r.from_shards));
+            out.push_str(&format!("      \"to_shards\": {},\n", r.to_shards));
+            out.push_str(&format!("      \"keys\": {},\n", r.keys));
+            out.push_str(&format!("      \"moved\": {},\n", r.moved));
+            out.push_str(&format!(
+                "      \"moved_fraction\": {},\n",
+                fnum(r.moved_fraction)
+            ));
+            out.push_str(&format!(
+                "      \"bound_fraction\": {}\n",
+                fnum(r.bound_fraction)
+            ));
+            out.push_str(if i + 1 == self.rebalance.len() { "    }\n" } else { "    },\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"kill\": {\n");
+        out.push_str(&format!("    \"shards\": {},\n", self.kill.shards));
+        out.push_str(&format!("    \"killed_shard\": {},\n", self.kill.killed_shard));
+        out.push_str(&format!("    \"requests\": {},\n", self.kill.requests));
+        out.push_str(&format!("    \"completed\": {},\n", self.kill.completed));
+        out.push_str(&format!("    \"rerouted\": {},\n", self.kill.rerouted));
+        out.push_str(&format!("    \"shed\": {},\n", self.kill.shed));
+        out.push_str(&format!("    \"duplicates\": {},\n", self.kill.duplicates));
+        out.push_str(&format!("    \"unanswered\": {},\n", self.kill.unanswered));
+        out.push_str(&format!("    \"epoch_before\": {},\n", self.kill.epoch_before));
+        out.push_str(&format!("    \"epoch_after\": {}\n", self.kill.epoch_after));
+        out.push_str("  },\n");
+        out.push_str("  \"telemetry\": {\n");
+        for (i, (name, value)) in self.telemetry.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {}", escape(name), value));
+            out.push_str(if i + 1 == self.telemetry.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
 /// Flattens a JSON document into its sorted set of key paths — the
 /// *schema* of the document, independent of values. Array elements
 /// contribute `[]`-suffixed paths (all elements are visited, so a phase
@@ -580,6 +767,80 @@ mod tests {
         }
         assert!(doc.get("embed_graph").is_some());
         assert!(doc.get("train_epoch").is_some());
+    }
+
+    fn sample_shard() -> ShardReport {
+        ShardReport {
+            workers_per_shard: 1,
+            queue_depth: 4,
+            clients_per_shard: 4,
+            requests_per_client: 50,
+            vnodes: 64,
+            service_us: 1500,
+            keyspace: 64,
+            scaling: vec![
+                ScalingPoint {
+                    shards: 1,
+                    clients: 4,
+                    requests: 200,
+                    completed: 200,
+                    shed: 0,
+                    duration_secs: 0.4,
+                    throughput_rps: 500.0,
+                    speedup_vs_1: 1.0,
+                },
+                ScalingPoint {
+                    shards: 4,
+                    clients: 16,
+                    requests: 800,
+                    completed: 800,
+                    shed: 12,
+                    duration_secs: 0.45,
+                    throughput_rps: 1780.0,
+                    speedup_vs_1: 3.56,
+                },
+            ],
+            rebalance: vec![RebalanceStep {
+                from_shards: 3,
+                to_shards: 4,
+                keys: 10_000,
+                moved: 2_480,
+                moved_fraction: 0.248,
+                bound_fraction: 0.375,
+            }],
+            kill: KillSummary {
+                shards: 4,
+                killed_shard: 2,
+                requests: 800,
+                completed: 800,
+                rerouted: 190,
+                shed: 3,
+                duplicates: 0,
+                unanswered: 0,
+                epoch_before: 1,
+                epoch_after: 2,
+            },
+            telemetry: vec![("controller.requests_shed".into(), 15)],
+        }
+    }
+
+    #[test]
+    fn shard_render_parses_back() {
+        let doc = JsonValue::parse(&sample_shard().render()).expect("valid JSON");
+        assert_eq!(doc.get("benchmark").and_then(|v| v.as_str()), Some("shard"));
+        let scaling = doc.get("scaling").and_then(|v| v.as_array()).expect("scaling");
+        assert_eq!(scaling.len(), 2);
+        assert_eq!(scaling[1].get("shards").and_then(|v| v.as_u64()), Some(4));
+        let kill = doc.get("kill").expect("kill block");
+        assert_eq!(kill.get("duplicates").and_then(|v| v.as_u64()), Some(0));
+        let rb = doc.get("rebalance").and_then(|v| v.as_array()).expect("rebalance");
+        assert_eq!(rb[0].get("to_shards").and_then(|v| v.as_u64()), Some(4));
+        // Schema paths must be value-independent here too.
+        let a = schema_paths(&doc);
+        let mut other = sample_shard();
+        other.kill.rerouted = 7;
+        let b = schema_paths(&JsonValue::parse(&other.render()).unwrap());
+        assert_eq!(a, b);
     }
 
     #[test]

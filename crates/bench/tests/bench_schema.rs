@@ -427,3 +427,214 @@ fn committed_tensor_baseline_meets_speedup_floor() {
         "batched embed_graph must beat the scalar reference (committed: {embed_speedup})"
     );
 }
+
+// ---------------------------------------------------------------------------
+// BENCH_shard.json: the sharded-fleet benchmark.
+// ---------------------------------------------------------------------------
+
+use pddl_bench::report::{KillSummary, RebalanceStep, ScalingPoint, ShardReport};
+
+fn shard_fixture_path() -> PathBuf {
+    repo_root().join("tests/fixtures/bench_shard_schema.json")
+}
+
+/// A fully populated shard report: a three-point scaling curve, two
+/// rebalance steps, and a kill phase — every field `render()` can emit.
+fn sample_shard_report() -> ShardReport {
+    let point = |shards: usize, rps: f64, speedup: f64| ScalingPoint {
+        shards,
+        clients: 4 * shards,
+        requests: 200 * shards as u64,
+        completed: 200 * shards as u64,
+        shed: 12,
+        duration_secs: 0.9,
+        throughput_rps: rps,
+        speedup_vs_1: speedup,
+    };
+    ShardReport {
+        workers_per_shard: 1,
+        queue_depth: 8,
+        clients_per_shard: 4,
+        requests_per_client: 50,
+        vnodes: 128,
+        service_us: 4000,
+        keyspace: 256,
+        scaling: vec![
+            point(1, 240.0, 1.0),
+            point(2, 410.0, 1.71),
+            point(4, 790.0, 3.29),
+        ],
+        rebalance: vec![
+            RebalanceStep {
+                from_shards: 1,
+                to_shards: 2,
+                keys: 10_000,
+                moved: 4_960,
+                moved_fraction: 0.496,
+                bound_fraction: 0.75,
+            },
+            RebalanceStep {
+                from_shards: 3,
+                to_shards: 4,
+                keys: 10_000,
+                moved: 2_580,
+                moved_fraction: 0.258,
+                bound_fraction: 0.375,
+            },
+        ],
+        kill: KillSummary {
+            shards: 4,
+            killed_shard: 1,
+            requests: 800,
+            completed: 800,
+            rerouted: 1,
+            shed: 40,
+            duplicates: 0,
+            unanswered: 0,
+            epoch_before: 1,
+            epoch_after: 2,
+        },
+        telemetry: vec![
+            ("controller.requests_shed".into(), 52),
+            ("controller.requests_expired".into(), 0),
+            ("controller.queue_depth_peak".into(), 8),
+        ],
+    }
+}
+
+fn render_shard_fixture(paths: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"shard\",\n  \"schema_version\": 1,\n");
+    out.push_str("  \"paths\": [\n");
+    for (i, p) in paths.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{p}\"{}\n",
+            if i + 1 < paths.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[test]
+fn bench_shard_schema_matches_golden_fixture() {
+    let rendered = sample_shard_report().render();
+    let doc = JsonValue::parse(&rendered).expect("rendered shard report parses");
+    let live = schema_paths(&doc);
+    let path = shard_fixture_path();
+
+    if std::env::var("PDDL_REGEN_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).unwrap();
+        std::fs::write(&path, render_shard_fixture(&live)).unwrap();
+        eprintln!("shard schema fixture regenerated — commit the fixture diff");
+        return;
+    }
+
+    let stored = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with PDDL_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    let fixture = JsonValue::parse(&stored)
+        .unwrap_or_else(|e| panic!("{}: unparseable fixture: {e}", path.display()));
+    assert_eq!(
+        stored_paths(&fixture),
+        live,
+        "BENCH_shard.json schema drifted from golden fixture \
+         (intentional? regenerate with PDDL_REGEN_GOLDEN=1)"
+    );
+}
+
+/// The committed `BENCH_shard.json` must match the pinned schema and
+/// demonstrate the serving fleet's headline claims: ≥2.5× throughput at
+/// 4 shards, consistent-hash movement within its theoretical bound on
+/// every resize, and a mid-load shard kill with zero duplicated and zero
+/// lost requests. Reads the committed file only — deterministic, no
+/// benchmark runs in the test.
+#[test]
+fn committed_shard_baseline_meets_fleet_floors() {
+    let baseline = repo_root().join("BENCH_shard.json");
+    let Ok(contents) = std::fs::read_to_string(&baseline) else {
+        eprintln!("no committed BENCH_shard.json — skipping baseline check");
+        return;
+    };
+    let doc = JsonValue::parse(&contents)
+        .unwrap_or_else(|e| panic!("{}: unparseable baseline: {e}", baseline.display()));
+    let live = schema_paths(&doc);
+
+    let stored = std::fs::read_to_string(shard_fixture_path())
+        .expect("shard schema fixture exists (PDDL_REGEN_GOLDEN=1 to create)");
+    let fixture = JsonValue::parse(&stored).expect("fixture parses");
+    assert_eq!(
+        stored_paths(&fixture),
+        live,
+        "committed BENCH_shard.json does not match the pinned schema — \
+         re-run `pddl-loadgen --transport fleet` after a schema change"
+    );
+
+    // Scaling floor: the curve must start at 1 shard (speedup 1.0 by
+    // construction) and reach >=2.5x at the 4-shard point.
+    let scaling = match doc.get("scaling") {
+        Some(JsonValue::Array(points)) => points,
+        other => panic!("baseline 'scaling' is not an array: {other:?}"),
+    };
+    let shards_of = |p: &JsonValue| p.get("shards").and_then(|v| v.as_u64()).unwrap_or(0);
+    assert_eq!(shards_of(&scaling[0]), 1, "first scaling point must be the 1-shard baseline");
+    let four = scaling
+        .iter()
+        .find(|p| shards_of(p) == 4)
+        .expect("baseline must include a 4-shard scaling point");
+    let speedup = four
+        .get("speedup_vs_1")
+        .and_then(|v| v.as_f64())
+        .expect("4-shard speedup_vs_1");
+    assert!(
+        speedup >= 2.5,
+        "4-shard fleet must reach >=2.5x single-shard throughput (committed: {speedup})"
+    );
+    for p in scaling {
+        let get = |k: &str| p.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        assert_eq!(
+            get("requests"),
+            get("completed"),
+            "scaling point at {} shards lost requests (sheds must be retried to completion)",
+            shards_of(p)
+        );
+    }
+
+    // Rebalance bound: every resize stays within its committed bound —
+    // the consistent-hashing guarantee (a modulo rehash moves ~1-1/N and
+    // blows straight through it).
+    let rebalance = match doc.get("rebalance") {
+        Some(JsonValue::Array(steps)) => steps,
+        other => panic!("baseline 'rebalance' is not an array: {other:?}"),
+    };
+    assert!(!rebalance.is_empty(), "baseline must measure at least one resize");
+    for step in rebalance {
+        let frac = |k: &str| step.get(k).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+        let (moved, bound) = (frac("moved_fraction"), frac("bound_fraction"));
+        assert!(
+            moved <= bound,
+            "resize {}->{} moved {moved} of the keyspace, over its bound {bound}",
+            step.get("from_shards").and_then(|v| v.as_u64()).unwrap_or(0),
+            step.get("to_shards").and_then(|v| v.as_u64()).unwrap_or(0),
+        );
+    }
+
+    // Kill phase: exactly-once accounting and epoch convergence.
+    let kill = doc.get("kill").expect("baseline has a kill block");
+    let get = |k: &str| kill.get(k).and_then(|v| v.as_u64()).unwrap_or(u64::MAX);
+    assert_eq!(get("duplicates"), 0, "a killed shard must not duplicate predictions");
+    assert_eq!(get("unanswered"), 0, "every request must be answered or shed typed");
+    assert_eq!(
+        get("requests"),
+        get("completed"),
+        "kill phase lost requests (survivors must absorb the dead shard's load)"
+    );
+    assert!(get("rerouted") >= 1, "the kill must actually have been observed mid-load");
+    assert!(
+        get("epoch_after") > get("epoch_before"),
+        "the shard death must bump the membership epoch"
+    );
+}

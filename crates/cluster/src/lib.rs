@@ -22,7 +22,8 @@ pub use equations::{available_flops, available_ram, per_core};
 pub use protocol::{LinePoll, LineReader, WireError, MAX_FRAME_BYTES};
 pub use retry::{
     is_transient, overload_reason, overload_retry_hint, overloaded_error,
-    overloaded_error_with_reason, Backoff, Overloaded, RetryPolicy, ShedReason,
+    overloaded_error_with_reason, shard_moved_epoch, shard_moved_error,
+    shard_moved_retry_hint, Backoff, Overloaded, RetryPolicy, ShardMoved, ShedReason,
 };
 pub use spec::{ServerClass, ServerSpec};
 pub use state::{ClusterState, ServerStatus, CLUSTER_FEATURE_DIM};

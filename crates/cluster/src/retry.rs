@@ -191,6 +191,61 @@ pub fn overload_reason(e: &std::io::Error) -> Option<ShedReason> {
         .map(|o| o.reason)
 }
 
+/// The error payload of a router re-route: the shard a request was routed
+/// to died before answering, membership has already absorbed the death
+/// (epoch bumped, ring rebuilt), and the client should refresh its route
+/// table and retry — the retry lands on the replacement shard. Classified
+/// as transient by [`is_transient`]. The request was not executed twice:
+/// this reply is only sent in place of an answer, and the dedup cache
+/// absorbs replays of answered requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMoved {
+    /// Membership epoch after the death was absorbed. A client whose
+    /// cached route table already carries this epoch need not refresh.
+    pub epoch: u64,
+    /// Router-suggested minimum wait before retrying.
+    pub retry_after: Duration,
+}
+
+impl std::fmt::Display for ShardMoved {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard moved (membership epoch {}); retry after {}ms",
+            self.epoch,
+            self.retry_after.as_millis()
+        )
+    }
+}
+
+impl std::error::Error for ShardMoved {}
+
+/// Wraps a router `shard_moved` reply as an `io::Error` that
+/// [`is_transient`] accepts, carrying the post-death membership epoch
+/// ([`shard_moved_epoch`]) and pacing hint ([`shard_moved_retry_hint`]).
+pub fn shard_moved_error(epoch: u64, retry_after_ms: u64) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::WouldBlock,
+        ShardMoved { epoch, retry_after: Duration::from_millis(retry_after_ms) },
+    )
+}
+
+/// The membership epoch, if `e` is a `shard_moved` reply produced by
+/// [`shard_moved_error`].
+pub fn shard_moved_epoch(e: &std::io::Error) -> Option<u64> {
+    e.get_ref()
+        .and_then(|inner| inner.downcast_ref::<ShardMoved>())
+        .map(|s| s.epoch)
+}
+
+/// The router's `retry_after` hint, if `e` is a `shard_moved` reply.
+/// Retry loops use it as a backoff floor, like [`overload_retry_hint`].
+pub fn shard_moved_retry_hint(e: &std::io::Error) -> Option<Duration> {
+    e.get_ref()
+        .and_then(|inner| inner.downcast_ref::<ShardMoved>())
+        .map(|s| s.retry_after)
+}
+
 /// Transport-level failures worth a retry — as opposed to semantic
 /// rejections (`InvalidData`, `InvalidInput`) that the server would repeat
 /// verbatim. Includes `WouldBlock`, which covers both client-side read
@@ -269,6 +324,18 @@ mod tests {
         let plain = std::io::Error::new(std::io::ErrorKind::WouldBlock, "timed out");
         assert_eq!(overload_retry_hint(&plain), None);
         assert_eq!(overload_reason(&plain), None);
+    }
+
+    #[test]
+    fn shard_moved_errors_are_transient_and_carry_the_epoch() {
+        let e = shard_moved_error(12, 15);
+        assert!(is_transient(&e), "shard_moved must enter the retry path");
+        assert_eq!(shard_moved_epoch(&e), Some(12));
+        assert_eq!(shard_moved_retry_hint(&e), Some(Duration::from_millis(15)));
+        // The two typed payloads do not cross-classify.
+        assert_eq!(overload_retry_hint(&e), None);
+        assert_eq!(shard_moved_epoch(&overloaded_error(5)), None);
+        assert!(e.to_string().contains("epoch 12"), "{e}");
     }
 
     #[test]

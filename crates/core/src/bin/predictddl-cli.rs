@@ -71,6 +71,7 @@ const USAGE: &str = "usage:
                          [--workers N] [--queue-depth N] [--max-conns N]
                          [--deadline-ms N] [--trace-sample N] [--trace-slow-ms N]
                          [--fault-plan 'seed=42,delay=0.05:5,reset=0.02']
+                         [--shard-id N]
   predictddl-cli stats   [--addr 127.0.0.1:7077] [--timeout-ms 5000]
   predictddl-cli trace   [--addr 127.0.0.1:7077] [--timeout-ms 5000] [--json]
   predictddl-cli metrics [--addr 127.0.0.1:7077] [--timeout-ms 5000]
@@ -84,6 +85,8 @@ options:
   --deadline-ms    serve: queue-wait deadline before a request is expired (5000)
   --trace-sample   serve: trace 1-in-N headerless requests (0 disables, 1 all)
   --trace-slow-ms  serve: retain any trace slower than N ms (0 = off)
+  --shard-id       serve: echo this shard id in stats/envelope replies
+                   (set when the controller is one shard behind pddl-router)
   --json           trace: print the raw dump document instead of a waterfall
   --fault-plan     inject deterministic wire faults (sets PDDL_FAULT_PLAN;
                    see the pddl-faults crate and TESTING.md for the spec)
@@ -225,6 +228,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     }
     if let Some(v) = flags.get("trace-slow-ms") {
         config.trace_slow_ms = v.parse().map_err(|_| "--trace-slow-ms must be an integer")?;
+    }
+    if let Some(v) = flags.get("shard-id") {
+        config.shard_id = Some(v.parse().map_err(|_| "--shard-id must be an integer")?);
     }
     let controller = Controller::serve_with(addr, system, config).map_err(|e| e.to_string())?;
     println!(

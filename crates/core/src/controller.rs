@@ -8,15 +8,32 @@
 //! a JSON *array* of prediction requests is a batch: the controller fans
 //! the batch out across the [`pddl_par`] work pool and answers with one
 //! JSON array of responses in request order. Besides prediction requests,
-//! the wire protocol carries three control ops, each answered inline by
+//! the wire protocol carries four control ops, each answered inline by
 //! the reader so they stay available during overload:
 //!
 //! * `{"op":"stats"}` — a live JSON snapshot of the telemetry registry
-//!   (see the README's "Observability" section for the metric catalogue);
+//!   (see `OPERATIONS.md` for the metric catalogue);
 //! * `{"op":"metrics"}` — the same registry rendered as Prometheus text
 //!   exposition, wrapped as `{"status":"metrics","exposition":"..."}`;
 //! * `{"op":"trace"}` — the flight recorder's retained traces
-//!   ([`pddl_telemetry::trace::FlightRecorder::retained_json`]).
+//!   ([`pddl_telemetry::trace::FlightRecorder::retained_json`]);
+//! * `{"op":"route_table"}` — the shard's one-entry identity
+//!   [`RouteTable`] (the `pddl-router` process answers the same op with
+//!   the live fleet membership).
+//!
+//! The wire *shapes* themselves — envelopes, control ops, typed error
+//! lines — live in [`crate::protocol`]; `PROTOCOL.md` at the repository
+//! root is the op-by-op reference with captured transcripts.
+//!
+//! ## Sharded serving
+//!
+//! A controller may be started as one shard of a fleet
+//! ([`ServeConfig::shard_id`]): it then echoes its shard id in enveloped
+//! responses, in `{"op":"stats"}` replies, and in its identity route
+//! table, so clients and the router can attribute every answer to the
+//! shard that computed it ([`ControllerClient::last_shard`]). Sharding
+//! changes nothing else about the serving loop — the router owns key
+//! placement; the shard just declares who it is.
 //!
 //! ## Request tracing
 //!
@@ -63,20 +80,26 @@
 //! semantics. When `PDDL_FAULT_PLAN` is set (see [`pddl_faults`]), every
 //! accepted connection wears deterministic fault injectors.
 
+pub use crate::protocol::{
+    parse_frame, ParsedFrame, RequestEnvelope, ResponseEnvelope, TraceHeader, WireResponse,
+};
+
 use crate::offline::PredictDdl;
+use crate::protocol::{
+    overload_from_line, overload_line, shard_moved_from_line, RouteShard, RouteTable,
+};
 use crate::request::{Prediction, PredictionRequest, RequestError};
 use crate::serve::{
     JobOutcome, Latch, OpenOnDrop, ServeConfig, ServePool, SubmitError, WaitGroup,
 };
 use pddl_cluster::protocol::{LinePoll, LineReader, WireError, MAX_FRAME_BYTES};
 use pddl_cluster::retry::{
-    is_transient, overload_retry_hint, overloaded_error_with_reason, Backoff, RetryPolicy,
+    is_transient, overload_retry_hint, shard_moved_retry_hint, Backoff, RetryPolicy,
     ShedReason,
 };
 use pddl_faults::{Direction, FaultPlan, FaultyRead, FaultyWrite};
 use pddl_telemetry::trace::{flight_recorder, stage_id, stages};
 use pddl_telemetry::{tlog, Counter, Gauge, Histogram, Level, Snapshot, SpanStatus, TraceContext};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -84,143 +107,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
-
-/// Wire response.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-#[serde(tag = "status", rename_all = "snake_case")]
-pub enum WireResponse {
-    /// Successful prediction.
-    Ok {
-        /// The prediction payload.
-        prediction: Prediction,
-    },
-    /// Rejected or failed request.
-    Err {
-        /// Why the request failed.
-        error: RequestError,
-    },
-}
-
-/// A prediction request wrapped with a client-chosen identity, enabling
-/// idempotent retry: the controller caches the response under
-/// `(client, id)` and serves it again verbatim if the same identity
-/// reappears (e.g. after the original reply was lost in transit).
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct RequestEnvelope {
-    /// Client session token (unique per [`ControllerClient`] instance).
-    pub client: u64,
-    /// Request number within the session.
-    pub id: u64,
-    /// Client-minted trace context. When present the request is always
-    /// traced (sampling applies only to context-free requests) and the
-    /// same ids are echoed on the response. Absent on the wire for
-    /// clients that predate tracing.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    pub trace: Option<TraceHeader>,
-    /// The wrapped request.
-    pub req: PredictionRequest,
-}
-
-/// The response to a [`RequestEnvelope`], echoing its identity so the
-/// client can match replies to requests across retries and reject frames
-/// corrupted in transit.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct ResponseEnvelope {
-    /// Echo of the request's client token.
-    pub client: u64,
-    /// Echo of the request's id.
-    pub id: u64,
-    /// Echo of the request's trace context, if it carried one.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    pub trace: Option<TraceHeader>,
-    /// The actual response.
-    pub resp: WireResponse,
-}
-
-/// Wire form of a [`TraceContext`], carried as the optional `trace` field
-/// of the request/response envelopes. Ids stay plain u64s here —
-/// serde_json round-trips them exactly; only the hand-rolled trace dump
-/// (parsed with the in-tree f64-backed [`pddl_telemetry::JsonValue`])
-/// needs hex strings.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct TraceHeader {
-    /// Logical request id, stable across retries and reconnects.
-    pub trace_id: u64,
-    /// The client's root span id.
-    pub span_id: u64,
-    /// Enclosing span id (0 when the client's span is the root).
-    pub parent_id: u64,
-}
-
-impl From<TraceContext> for TraceHeader {
-    fn from(c: TraceContext) -> TraceHeader {
-        TraceHeader { trace_id: c.trace_id, span_id: c.span_id, parent_id: c.parent_id }
-    }
-}
-
-impl From<TraceHeader> for TraceContext {
-    fn from(h: TraceHeader) -> TraceContext {
-        TraceContext { trace_id: h.trace_id, span_id: h.span_id, parent_id: h.parent_id }
-    }
-}
-
-/// Control operations multiplexed onto the request stream. Tried before
-/// [`PredictionRequest`] parsing; the `op` tag cannot collide with a
-/// prediction request's fields.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-#[serde(tag = "op", rename_all = "snake_case")]
-#[allow(dead_code)] // constructed only through the derived Deserialize
-enum ControlOp {
-    /// Return a JSON snapshot of the telemetry registry.
-    Stats,
-    /// Return the flight recorder's retained traces.
-    Trace,
-    /// Return the registry as Prometheus text exposition.
-    Metrics,
-}
-
-/// One classified request frame (see [`parse_frame`]).
-#[derive(Clone, Debug)]
-pub enum ParsedFrame {
-    /// `{"op":"stats"}` — telemetry snapshot request.
-    Stats,
-    /// `{"op":"trace"}` — retained-trace dump request.
-    Trace,
-    /// `{"op":"metrics"}` — Prometheus exposition request.
-    Metrics,
-    /// A JSON array of prediction requests (a batch).
-    Batch(Vec<PredictionRequest>),
-    /// An id-wrapped single request (idempotent-retry path).
-    Enveloped(RequestEnvelope),
-    /// A bare single request.
-    Single(Box<PredictionRequest>),
-}
-
-/// Classifies one request line into a [`ParsedFrame`]. This is the
-/// controller's entire peer-facing parser: it must return `Err` — never
-/// panic — for arbitrary bytes (enforced by `tests/wire_fuzz.rs`).
-pub fn parse_frame(line: &str) -> Result<ParsedFrame, String> {
-    if let Ok(op) = serde_json::from_str::<ControlOp>(line) {
-        return Ok(match op {
-            ControlOp::Stats => ParsedFrame::Stats,
-            ControlOp::Trace => ParsedFrame::Trace,
-            ControlOp::Metrics => ParsedFrame::Metrics,
-        });
-    }
-    if line.trim_start().starts_with('[') {
-        return match serde_json::from_str::<Vec<PredictionRequest>>(line) {
-            Ok(reqs) => Ok(ParsedFrame::Batch(reqs)),
-            Err(e) => Err(format!("malformed batch request: {e}")),
-        };
-    }
-    if let Ok(env) = serde_json::from_str::<RequestEnvelope>(line) {
-        return Ok(ParsedFrame::Enveloped(env));
-    }
-    match serde_json::from_str::<PredictionRequest>(line) {
-        Ok(req) => Ok(ParsedFrame::Single(Box::new(req))),
-        Err(e) => Err(format!("malformed request: {e}")),
-    }
-}
 
 /// Controller-side metric handles, resolved once (increments stay
 /// lock-free on the request path).
@@ -231,6 +117,7 @@ struct Metrics {
     stats_requests: &'static Counter,
     trace_requests: &'static Counter,
     metrics_requests: &'static Counter,
+    route_table_requests: &'static Counter,
     traced_requests: &'static Counter,
     shed_queue_full: &'static Counter,
     shed_deadline: &'static Counter,
@@ -256,6 +143,7 @@ fn metrics() -> &'static Metrics {
         stats_requests: pddl_telemetry::counter("controller.stats_requests"),
         trace_requests: pddl_telemetry::counter("controller.trace_requests"),
         metrics_requests: pddl_telemetry::counter("controller.metrics_requests"),
+        route_table_requests: pddl_telemetry::counter("controller.route_table_requests"),
         traced_requests: pddl_telemetry::counter("controller.traced_requests"),
         shed_queue_full: pddl_telemetry::counter("controller.shed.queue_full"),
         shed_deadline: pddl_telemetry::counter("controller.shed.deadline"),
@@ -322,14 +210,6 @@ impl ResponseCache {
 /// connections.
 const SHUTDOWN_POLL: Duration = Duration::from_millis(250);
 
-/// Renders the typed overload reply. Hand-rolled (no serde) so the exact
-/// wire shape is fixed and the in-process benchmark path stays free of
-/// JSON machinery; `reason` is one of `queue_full`, `deadline`,
-/// `connection_limit`, `draining`.
-fn overload_line(retry_after_ms: u64, reason: &str) -> String {
-    format!("{{\"error\":\"overloaded\",\"retry_after_ms\":{retry_after_ms},\"reason\":\"{reason}\"}}")
-}
-
 /// [`overload_line`] plus accounting: every shed is attributed to its
 /// cause under `controller.shed.<reason>`, so a dashboard (or the load
 /// generator's report) can tell a full queue from expired deadlines.
@@ -343,28 +223,6 @@ fn shed_line(retry_after_ms: u64, reason: ShedReason) -> String {
         ShedReason::Unknown => {} // the server always sheds for a reason
     }
     overload_line(retry_after_ms, reason.as_str())
-}
-
-/// Classifies a response line as a typed overload reply, mapping it to
-/// the transient [`pddl_cluster::retry::Overloaded`] error the resilient
-/// retry loop understands.
-fn overload_from_line(resp: &str) -> Option<std::io::Error> {
-    let trimmed = resp.trim_end();
-    // Fast path: every overload reply carries this exact key/value.
-    if !trimmed.contains("\"error\":\"overloaded\"") {
-        return None;
-    }
-    let doc = pddl_telemetry::JsonValue::parse(trimmed).ok()?;
-    if doc.get("error")?.as_str()? != "overloaded" {
-        return None;
-    }
-    let ms = doc.get("retry_after_ms").and_then(|v| v.as_u64()).unwrap_or(0);
-    let reason = doc
-        .get("reason")
-        .and_then(|v| v.as_str())
-        .map(ShedReason::parse)
-        .unwrap_or(ShedReason::Unknown);
-    Some(overloaded_error_with_reason(ms, reason))
 }
 
 /// A running prediction service. Dropping the handle drains and stops it.
@@ -473,7 +331,7 @@ impl Controller {
                                     .and_then(|(r, w)| {
                                         reader_loop(
                                             r, w, &system, &served, &cache, &pool,
-                                            &shutdown, config,
+                                            &shutdown, config, local,
                                         )
                                     });
                                 if outcome.is_err() {
@@ -652,6 +510,7 @@ fn reader_loop(
     pool: &ServePool,
     shutdown: &AtomicBool,
     config: ServeConfig,
+    local: SocketAddr,
 ) -> std::io::Result<()> {
     let m = metrics();
     let mut reader = BufReader::new(reader);
@@ -711,7 +570,10 @@ fn reader_loop(
         // gets a server-minted root (0 disables sampling). Control ops
         // are never traced.
         let ctx = match &frame {
-            ParsedFrame::Stats | ParsedFrame::Trace | ParsedFrame::Metrics => None,
+            ParsedFrame::Stats
+            | ParsedFrame::Trace
+            | ParsedFrame::Metrics
+            | ParsedFrame::RouteTable => None,
             ParsedFrame::Enveloped(env) if env.trace.is_some() => {
                 env.trace.map(TraceContext::from)
             }
@@ -747,11 +609,35 @@ fn reader_loop(
             // overload.
             ParsedFrame::Stats => {
                 m.stats_requests.inc();
-                let out = format!(
-                    "{{\"status\":\"stats\",\"snapshot\":{}}}",
-                    pddl_telemetry::snapshot().to_json()
-                );
+                let out = match config.shard_id {
+                    Some(shard) => format!(
+                        "{{\"status\":\"stats\",\"shard\":{shard},\"snapshot\":{}}}",
+                        pddl_telemetry::snapshot().to_json()
+                    ),
+                    None => format!(
+                        "{{\"status\":\"stats\",\"snapshot\":{}}}",
+                        pddl_telemetry::snapshot().to_json()
+                    ),
+                };
                 write_shared(&writer, &out)?;
+            }
+            // A bare controller answers the route-table op with its own
+            // one-entry identity table at epoch 0: clients can always ask
+            // "who am I talking to", router or not.
+            ParsedFrame::RouteTable => {
+                m.route_table_requests.inc();
+                let id = config.shard_id.unwrap_or(0);
+                let table = RouteTable {
+                    epoch: 0,
+                    vnodes: 0,
+                    shard: config.shard_id,
+                    shards: vec![RouteShard {
+                        id,
+                        addr: local.to_string(),
+                        healthy: true,
+                    }],
+                };
+                write_shared(&writer, &table.to_line())?;
             }
             ParsedFrame::Trace => {
                 m.trace_requests.inc();
@@ -903,6 +789,7 @@ fn reader_loop(
                             client: env.client,
                             id: env.id,
                             trace: env.trace,
+                            shard: config.shard_id,
                             resp,
                         }) else {
                             return;
@@ -1061,6 +948,8 @@ struct ClientMetrics {
     reconnects: &'static Counter,
     mismatches: &'static Counter,
     overloads: &'static Counter,
+    shard_moved: &'static Counter,
+    route_refreshes: &'static Counter,
 }
 
 fn client_metrics() -> &'static ClientMetrics {
@@ -1072,6 +961,8 @@ fn client_metrics() -> &'static ClientMetrics {
         reconnects: pddl_telemetry::counter("controller_client.reconnects"),
         mismatches: pddl_telemetry::counter("controller_client.response_mismatches"),
         overloads: pddl_telemetry::counter("controller_client.overloads"),
+        shard_moved: pddl_telemetry::counter("controller_client.shard_moved"),
+        route_refreshes: pddl_telemetry::counter("controller_client.route_refreshes"),
     })
 }
 
@@ -1101,6 +992,8 @@ pub struct ControllerClient {
     retry: Option<RetryPolicy>,
     session: u64,
     next_id: u64,
+    last_shard: Option<u64>,
+    route: Option<RouteTable>,
 }
 
 impl ControllerClient {
@@ -1158,7 +1051,43 @@ impl ControllerClient {
         timeout: Option<Duration>,
         retry: Option<RetryPolicy>,
     ) -> Self {
-        Self { conn: None, addr, timeout, retry, session: session_token(), next_id: 1 }
+        Self {
+            conn: None,
+            addr,
+            timeout,
+            retry,
+            session: session_token(),
+            next_id: 1,
+            last_shard: None,
+            route: None,
+        }
+    }
+
+    /// The shard id echoed by the most recent enveloped response or
+    /// `{"op":"stats"}` reply, if the peer declared one. `None` against
+    /// unsharded controllers or before the first answered request —
+    /// previous client versions silently dropped this response field.
+    pub fn last_shard(&self) -> Option<u64> {
+        self.last_shard
+    }
+
+    /// The most recently fetched [`RouteTable`], if any — populated by
+    /// [`Self::route_table`] and refreshed automatically when a resilient
+    /// predict observes a typed `shard_moved` reply.
+    pub fn cached_route(&self) -> Option<&RouteTable> {
+        self.route.as_ref()
+    }
+
+    /// Fetches the peer's route table (`{"op":"route_table"}` on the
+    /// wire) and caches it ([`Self::cached_route`]). Against a router
+    /// this is the live fleet membership; against a bare controller it is
+    /// the one-entry identity table.
+    pub fn route_table(&mut self) -> std::io::Result<RouteTable> {
+        let resp = self.round_trip("{\"op\":\"route_table\"}")?;
+        let table = RouteTable::from_line(&resp).map_err(invalid_data)?;
+        client_metrics().route_refreshes.inc();
+        self.route = Some(table.clone());
+        Ok(table)
     }
 
     /// Opens the TCP connection if none is live.
@@ -1199,6 +1128,12 @@ impl ControllerClient {
             // The server shed the request (transient, retryable); the
             // connection stays open. Plain clients surface the error.
             client_metrics().overloads.inc();
+            return Err(e);
+        }
+        if let Some(e) = shard_moved_from_line(&resp) {
+            // Router re-route signal; plain clients surface it (resilient
+            // clients refresh the route table and retry).
+            client_metrics().shard_moved.inc();
             return Err(e);
         }
         let wire: WireResponse = serde_json::from_str(resp.trim_end())?;
@@ -1247,9 +1182,21 @@ impl ControllerClient {
                         // below) without reconnecting.
                         cm.overloads.inc();
                         last_err = e;
+                    } else if let Some(e) = shard_moved_from_line(&resp) {
+                        // The routed shard died before answering. The
+                        // router has already absorbed the death (the
+                        // reply carries the new epoch), so refresh the
+                        // cached route table — best effort; the retry
+                        // itself is what must land — and go again: the
+                        // retry routes to the replacement shard, whose
+                        // dedup cache keeps the result exactly-once.
+                        cm.shard_moved.inc();
+                        let _ = self.route_table();
+                        last_err = e;
                     } else {
                         match serde_json::from_str::<ResponseEnvelope>(resp.trim_end()) {
                             Ok(renv) if renv.client == self.session && renv.id == id => {
+                                self.last_shard = renv.shard.or(self.last_shard);
                                 return Ok(match renv.resp {
                                     WireResponse::Ok { prediction } => Ok(prediction),
                                     WireResponse::Err { error } => Err(error),
@@ -1286,6 +1233,7 @@ impl ControllerClient {
                     // jittered backoff, capped by the policy so a bogus
                     // hint cannot stall the client.
                     let floor = overload_retry_hint(&last_err)
+                        .or_else(|| shard_moved_retry_hint(&last_err))
                         .map(|h| h.min(policy.max_delay))
                         .unwrap_or(Duration::ZERO);
                     std::thread::sleep(delay.max(floor));
@@ -1351,6 +1299,10 @@ impl ControllerClient {
             cm.overloads.inc();
             return Err(e);
         }
+        if let Some(e) = shard_moved_from_line(&resp) {
+            cm.shard_moved.inc();
+            return Err(e);
+        }
         let renv: ResponseEnvelope = serde_json::from_str(resp.trim_end())?;
         if renv.client != self.session || renv.id != id {
             cm.mismatches.inc();
@@ -1359,6 +1311,7 @@ impl ControllerClient {
                 "response did not echo the request identity".to_string(),
             ));
         }
+        self.last_shard = renv.shard.or(self.last_shard);
         Ok(match renv.resp {
             WireResponse::Ok { prediction } => Ok(prediction),
             WireResponse::Err { error } => Err(error),
@@ -1401,6 +1354,11 @@ impl ControllerClient {
             .map_err(invalid_data)?;
         if doc.get("status").and_then(|s| s.as_str()) != Some("stats") {
             return Err(invalid_data("response is not a stats payload".to_string()));
+        }
+        // Sharded controllers stamp their id on the stats line; surface
+        // it instead of silently dropping the unknown field.
+        if let Some(shard) = doc.get("shard").and_then(|v| v.as_u64()) {
+            self.last_shard = Some(shard);
         }
         let snapshot = doc.get("snapshot").ok_or_else(|| {
             invalid_data("stats response missing 'snapshot'".to_string())

@@ -43,8 +43,10 @@
 //!
 //! ## Wire protocol
 //!
-//! The controller speaks newline-delimited JSON over TCP. Six request
-//! shapes share the stream:
+//! The controller speaks newline-delimited JSON over TCP. The wire
+//! shapes live in the [`protocol`] module and are documented op-by-op,
+//! with captured transcripts, in `PROTOCOL.md` at the repository root.
+//! Seven request shapes share the stream:
 //!
 //! * a single [`PredictionRequest`] object → one [`Prediction`] (or error)
 //!   response line;
@@ -66,11 +68,23 @@
 //!   [`pddl_telemetry::trace`] and `ARCHITECTURE.md`'s observability
 //!   section for the span model;
 //! * `{"op":"metrics"}` → the full metric registry rendered as Prometheus
-//!   text exposition, as `{"status":"metrics","exposition":"…"}`.
+//!   text exposition, as `{"status":"metrics","exposition":"…"}`;
+//! * `{"op":"route_table"}` → the serving plane's membership as a
+//!   [`RouteTable`] (`{"status":"route_table","epoch":…,"shards":[…]}`).
+//!   A bare controller answers with its one-entry identity table; the
+//!   `pddl-router` process answers with the live fleet membership.
 //!
-//! The three `op` frames are answered inline by the connection reader —
-//! they bypass the worker pool, so stats, traces, and metrics stay
-//! observable while the service is overloaded or draining.
+//! The `op` frames are answered inline by the connection reader — they
+//! bypass the worker pool, so stats, traces, metrics, and the route
+//! table stay observable while the service is overloaded or draining.
+//!
+//! When controllers serve as shards of a router-fronted fleet (see
+//! `crates/router` and `ARCHITECTURE.md` §7), responses additionally
+//! echo the computing shard's id, and the router may answer a request
+//! whose shard died with the typed
+//! `{"error":"shard_moved","epoch":…,"retry_after_ms":…}` line —
+//! transient, like the overload shed, so resilient clients refresh their
+//! route table and retry.
 //!
 //! Frames are bounded at [`pddl_cluster::MAX_FRAME_BYTES`]; malformed
 //! frames get typed error replies; and when `PDDL_FAULT_PLAN` is set the
@@ -89,15 +103,17 @@ pub mod embeddings;
 pub mod inference;
 pub mod offline;
 pub mod persist;
+pub mod protocol;
 pub mod registry;
 pub mod request;
 pub mod serve;
 pub mod task_checker;
 
 pub use batch::{compare_batch, compare_batch_serial, BatchComparison, BatchJob};
-pub use controller::{
-    parse_frame, Controller, ControllerClient, ParsedFrame, RequestEnvelope,
-    ResponseEnvelope, TraceHeader, WireResponse,
+pub use controller::{Controller, ControllerClient};
+pub use protocol::{
+    parse_frame, ParsedFrame, RequestEnvelope, ResponseEnvelope, RouteShard, RouteTable,
+    TraceHeader, WireResponse, WIRE_OPS,
 };
 pub use embeddings::{CacheStats, EmbeddingCache, EmbeddingsGenerator};
 pub use inference::{InferenceEngine, InferenceConfig};

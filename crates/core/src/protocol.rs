@@ -1,0 +1,432 @@
+//! The controller-plane wire protocol: every type that crosses the TCP
+//! boundary between clients, the router, and controller shards.
+//!
+//! The protocol is newline-delimited JSON over TCP, frames bounded at
+//! [`pddl_cluster::MAX_FRAME_BYTES`]. This module owns the *shapes* —
+//! request/response envelopes, control ops, typed error lines — while
+//! [`crate::controller`] owns the serving loop that speaks them and
+//! `pddl-router` forwards them between processes. `PROTOCOL.md` at the
+//! repository root is the operator-facing reference: it documents every
+//! op in [`WIRE_OPS`] with a captured transcript, and a grep-driven
+//! doc-coverage gate (`scripts/offline_check.sh gate-protocol-docs`)
+//! fails the build when an op listed here is missing from that file.
+//!
+//! ## Frame taxonomy
+//!
+//! A request line is classified by [`parse_frame`] into one of:
+//!
+//! * a bare [`PredictionRequest`] object (`predict`);
+//! * a JSON array of requests (`predict_batch`);
+//! * a [`RequestEnvelope`] with a `(client, id)` identity and optional
+//!   [`TraceHeader`] (`predict_envelope` — the idempotent-retry path);
+//! * a control op: `{"op":"stats"}`, `{"op":"trace"}`, `{"op":"metrics"}`
+//!   or `{"op":"route_table"}`, answered inline by the connection reader
+//!   so they stay available during overload.
+//!
+//! ## Typed error lines
+//!
+//! Two error replies are typed so resilient clients can classify them
+//! without string matching: the overload shed
+//! (`{"error":"overloaded","retry_after_ms":…,"reason":…}`, rendered by
+//! [`overload_line`] and recognised by [`overload_from_line`]) and the
+//! router's re-route signal
+//! (`{"error":"shard_moved","epoch":…,"retry_after_ms":…}`, rendered by
+//! [`shard_moved_line`] and recognised by [`shard_moved_from_line`]).
+//! Both map onto transient [`std::io::Error`]s that
+//! [`pddl_cluster::retry::is_transient`] approves for retry.
+
+use crate::request::PredictionRequest;
+use pddl_cluster::retry::{
+    overloaded_error_with_reason, shard_moved_error, ShedReason,
+};
+use pddl_telemetry::{push_json_string, JsonValue, TraceContext};
+use serde::{Deserialize, Serialize};
+
+/// Every operation the controller-plane wire protocol carries, in the
+/// order PROTOCOL.md documents them. The first three are the prediction
+/// frame shapes (no `"op"` tag on the wire — they are distinguished
+/// structurally); the middle four are the `{"op":…}` control frames; the
+/// last three are the Cluster Resource Collector's registration protocol
+/// (see [`pddl_cluster::protocol`]). The doc-coverage gate in
+/// `scripts/offline_check.sh` greps this list and requires a
+/// ``### `<op>` `` heading in PROTOCOL.md for each entry.
+pub const WIRE_OPS: &[&str] = &[
+    "predict",
+    "predict_batch",
+    "predict_envelope",
+    "stats",
+    "trace",
+    "metrics",
+    "route_table",
+    "register",
+    "heartbeat",
+    "leave",
+];
+
+/// Wire response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum WireResponse {
+    /// Successful prediction.
+    Ok {
+        /// The prediction payload.
+        prediction: crate::request::Prediction,
+    },
+    /// Rejected or failed request.
+    Err {
+        /// Why the request failed.
+        error: crate::request::RequestError,
+    },
+}
+
+/// A prediction request wrapped with a client-chosen identity, enabling
+/// idempotent retry: the controller caches the response under
+/// `(client, id)` and serves it again verbatim if the same identity
+/// reappears (e.g. after the original reply was lost in transit).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Client session token (unique per [`crate::ControllerClient`]
+    /// instance).
+    pub client: u64,
+    /// Request number within the session.
+    pub id: u64,
+    /// Client-minted trace context. When present the request is always
+    /// traced (sampling applies only to context-free requests) and the
+    /// same ids are echoed on the response. Absent on the wire for
+    /// clients that predate tracing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<TraceHeader>,
+    /// The wrapped request.
+    pub req: PredictionRequest,
+}
+
+/// The response to a [`RequestEnvelope`], echoing its identity so the
+/// client can match replies to requests across retries and reject frames
+/// corrupted in transit.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// Echo of the request's client token.
+    pub client: u64,
+    /// Echo of the request's id.
+    pub id: u64,
+    /// Echo of the request's trace context, if it carried one.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<TraceHeader>,
+    /// Id of the controller shard that computed this response. Absent
+    /// from unsharded controllers (no `--shard-id`) and from responses
+    /// predating the fleet protocol; surfaced by
+    /// [`crate::ControllerClient::last_shard`].
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard: Option<u64>,
+    /// The actual response.
+    pub resp: WireResponse,
+}
+
+/// Wire form of a [`TraceContext`], carried as the optional `trace` field
+/// of the request/response envelopes. Ids stay plain u64s here —
+/// serde_json round-trips them exactly; only the hand-rolled trace dump
+/// (parsed with the in-tree f64-backed [`pddl_telemetry::JsonValue`])
+/// needs hex strings.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TraceHeader {
+    /// Logical request id, stable across retries and reconnects.
+    pub trace_id: u64,
+    /// The client's root span id.
+    pub span_id: u64,
+    /// Enclosing span id (0 when the client's span is the root).
+    pub parent_id: u64,
+}
+
+impl From<TraceContext> for TraceHeader {
+    fn from(c: TraceContext) -> TraceHeader {
+        TraceHeader { trace_id: c.trace_id, span_id: c.span_id, parent_id: c.parent_id }
+    }
+}
+
+impl From<TraceHeader> for TraceContext {
+    fn from(h: TraceHeader) -> TraceContext {
+        TraceContext { trace_id: h.trace_id, span_id: h.span_id, parent_id: h.parent_id }
+    }
+}
+
+/// Control operations multiplexed onto the request stream. Tried before
+/// [`PredictionRequest`] parsing; the `op` tag cannot collide with a
+/// prediction request's fields.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+#[allow(dead_code)] // constructed only through the derived Deserialize
+enum ControlOp {
+    /// Return a JSON snapshot of the telemetry registry.
+    Stats,
+    /// Return the flight recorder's retained traces.
+    Trace,
+    /// Return the registry as Prometheus text exposition.
+    Metrics,
+    /// Return the serving plane's route table (see [`RouteTable`]). A
+    /// bare controller answers with its one-shard identity table; the
+    /// router answers with the live fleet membership.
+    RouteTable,
+}
+
+/// One classified request frame (see [`parse_frame`]).
+#[derive(Clone, Debug)]
+pub enum ParsedFrame {
+    /// `{"op":"stats"}` — telemetry snapshot request.
+    Stats,
+    /// `{"op":"trace"}` — retained-trace dump request.
+    Trace,
+    /// `{"op":"metrics"}` — Prometheus exposition request.
+    Metrics,
+    /// `{"op":"route_table"}` — serving-plane membership request.
+    RouteTable,
+    /// A JSON array of prediction requests (a batch).
+    Batch(Vec<PredictionRequest>),
+    /// An id-wrapped single request (idempotent-retry path).
+    Enveloped(RequestEnvelope),
+    /// A bare single request.
+    Single(Box<PredictionRequest>),
+}
+
+/// Classifies one request line into a [`ParsedFrame`]. This is the
+/// controller's entire peer-facing parser: it must return `Err` — never
+/// panic — for arbitrary bytes (enforced by `tests/wire_fuzz.rs`).
+pub fn parse_frame(line: &str) -> Result<ParsedFrame, String> {
+    if let Ok(op) = serde_json::from_str::<ControlOp>(line) {
+        return Ok(match op {
+            ControlOp::Stats => ParsedFrame::Stats,
+            ControlOp::Trace => ParsedFrame::Trace,
+            ControlOp::Metrics => ParsedFrame::Metrics,
+            ControlOp::RouteTable => ParsedFrame::RouteTable,
+        });
+    }
+    if line.trim_start().starts_with('[') {
+        return match serde_json::from_str::<Vec<PredictionRequest>>(line) {
+            Ok(reqs) => Ok(ParsedFrame::Batch(reqs)),
+            Err(e) => Err(format!("malformed batch request: {e}")),
+        };
+    }
+    if let Ok(env) = serde_json::from_str::<RequestEnvelope>(line) {
+        return Ok(ParsedFrame::Enveloped(env));
+    }
+    match serde_json::from_str::<PredictionRequest>(line) {
+        Ok(req) => Ok(ParsedFrame::Single(Box::new(req))),
+        Err(e) => Err(format!("malformed request: {e}")),
+    }
+}
+
+/// Renders the typed overload reply. Hand-rolled (no serde) so the exact
+/// wire shape is fixed and the in-process benchmark path stays free of
+/// JSON machinery; `reason` is one of `queue_full`, `deadline`,
+/// `connection_limit`, `draining`.
+pub fn overload_line(retry_after_ms: u64, reason: &str) -> String {
+    format!("{{\"error\":\"overloaded\",\"retry_after_ms\":{retry_after_ms},\"reason\":\"{reason}\"}}")
+}
+
+/// Classifies a response line as a typed overload reply, mapping it to
+/// the transient [`pddl_cluster::retry::Overloaded`] error the resilient
+/// retry loop understands.
+pub fn overload_from_line(resp: &str) -> Option<std::io::Error> {
+    let trimmed = resp.trim_end();
+    // Fast path: every overload reply carries this exact key/value.
+    if !trimmed.contains("\"error\":\"overloaded\"") {
+        return None;
+    }
+    let doc = JsonValue::parse(trimmed).ok()?;
+    if doc.get("error")?.as_str()? != "overloaded" {
+        return None;
+    }
+    let ms = doc.get("retry_after_ms").and_then(|v| v.as_u64()).unwrap_or(0);
+    let reason = doc
+        .get("reason")
+        .and_then(|v| v.as_str())
+        .map(ShedReason::parse)
+        .unwrap_or(ShedReason::Unknown);
+    Some(overloaded_error_with_reason(ms, reason))
+}
+
+/// Renders the typed re-route reply the router sends when the shard a
+/// request was routed to died before answering. `epoch` is the membership
+/// epoch *after* the death was absorbed, so a client that refreshes its
+/// route table can tell whether it already saw the new topology.
+pub fn shard_moved_line(epoch: u64, retry_after_ms: u64) -> String {
+    format!("{{\"error\":\"shard_moved\",\"epoch\":{epoch},\"retry_after_ms\":{retry_after_ms}}}")
+}
+
+/// Classifies a response line as a typed `shard_moved` reply, mapping it
+/// to the transient [`pddl_cluster::retry::ShardMoved`] error. Resilient
+/// clients react by refreshing their route table and retrying — the
+/// request itself was *not* executed twice (the reply is only sent when
+/// the routed shard died without answering, and the dedup cache on the
+/// replacement shard absorbs any replay the shard did answer).
+pub fn shard_moved_from_line(resp: &str) -> Option<std::io::Error> {
+    let trimmed = resp.trim_end();
+    if !trimmed.contains("\"error\":\"shard_moved\"") {
+        return None;
+    }
+    let doc = JsonValue::parse(trimmed).ok()?;
+    if doc.get("error")?.as_str()? != "shard_moved" {
+        return None;
+    }
+    let epoch = doc.get("epoch").and_then(|v| v.as_u64()).unwrap_or(0);
+    let ms = doc.get("retry_after_ms").and_then(|v| v.as_u64()).unwrap_or(0);
+    Some(shard_moved_error(epoch, ms))
+}
+
+/// One shard entry in a [`RouteTable`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteShard {
+    /// Stable shard id — what responses echo in their `shard` field.
+    pub id: u64,
+    /// The shard's listener address, `host:port`.
+    pub addr: String,
+    /// False once the health prober has marked the shard dead; unhealthy
+    /// shards stay listed (so operators see them) but own no ring keys.
+    pub healthy: bool,
+}
+
+/// The serving plane's membership, answered for `{"op":"route_table"}`.
+///
+/// Rendered and parsed by hand (no serde at runtime) so the route table
+/// stays introspectable from the offline benchmark harness and the CLI.
+/// The `epoch` increments on every membership change (shard added,
+/// removed, or marked unhealthy); in-flight requests finish against the
+/// shard they were routed to under their admission epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteTable {
+    /// Membership epoch — bumped on every shard add/remove/health flip.
+    pub epoch: u64,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: u32,
+    /// Set when a single controller shard answered for itself (its own
+    /// id); `None` when the router answered for the whole fleet.
+    pub shard: Option<u64>,
+    /// Every known shard, healthy or not, in id order.
+    pub shards: Vec<RouteShard>,
+}
+
+impl RouteTable {
+    /// Renders the `{"status":"route_table",…}` response line.
+    pub fn to_line(&self) -> String {
+        let mut out = String::with_capacity(64 + self.shards.len() * 48);
+        out.push_str("{\"status\":\"route_table\",\"epoch\":");
+        out.push_str(&self.epoch.to_string());
+        out.push_str(",\"vnodes\":");
+        out.push_str(&self.vnodes.to_string());
+        if let Some(shard) = self.shard {
+            out.push_str(",\"shard\":");
+            out.push_str(&shard.to_string());
+        }
+        out.push_str(",\"shards\":[");
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"id\":");
+            out.push_str(&s.id.to_string());
+            out.push_str(",\"addr\":");
+            push_json_string(&mut out, &s.addr);
+            out.push_str(",\"healthy\":");
+            out.push_str(if s.healthy { "true" } else { "false" });
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a `{"status":"route_table",…}` response line.
+    pub fn from_line(line: &str) -> Result<RouteTable, String> {
+        let doc = JsonValue::parse(line.trim_end()).map_err(|e| e.to_string())?;
+        if doc.get("status").and_then(|s| s.as_str()) != Some("route_table") {
+            return Err("response is not a route_table payload".to_string());
+        }
+        let epoch = doc
+            .get("epoch")
+            .and_then(|v| v.as_u64())
+            .ok_or("route_table missing 'epoch'")?;
+        let vnodes = doc
+            .get("vnodes")
+            .and_then(|v| v.as_u64())
+            .ok_or("route_table missing 'vnodes'")? as u32;
+        let shard = doc.get("shard").and_then(|v| v.as_u64());
+        let mut shards = Vec::new();
+        let list = doc
+            .get("shards")
+            .and_then(|v| v.as_array())
+            .ok_or("route_table missing 'shards'")?;
+        for entry in list {
+            let id = entry
+                .get("id")
+                .and_then(|v| v.as_u64())
+                .ok_or("route_table shard missing 'id'")?;
+            let addr = entry
+                .get("addr")
+                .and_then(|v| v.as_str())
+                .ok_or("route_table shard missing 'addr'")?
+                .to_string();
+            let healthy = entry
+                .get("healthy")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(true);
+            shards.push(RouteShard { id, addr, healthy });
+        }
+        Ok(RouteTable { epoch, vnodes, shard, shards })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_table_op_parses() {
+        assert!(matches!(
+            parse_frame("{\"op\":\"route_table\"}"),
+            Ok(ParsedFrame::RouteTable)
+        ));
+    }
+
+    #[test]
+    fn route_table_line_round_trips() {
+        let table = RouteTable {
+            epoch: 7,
+            vnodes: 64,
+            shard: Some(2),
+            shards: vec![
+                RouteShard { id: 0, addr: "127.0.0.1:7071".into(), healthy: true },
+                RouteShard { id: 2, addr: "127.0.0.1:7072".into(), healthy: false },
+            ],
+        };
+        let line = table.to_line();
+        assert_eq!(RouteTable::from_line(&line).unwrap(), table);
+
+        let fleet = RouteTable { shard: None, ..table };
+        assert_eq!(RouteTable::from_line(&fleet.to_line()).unwrap(), fleet);
+    }
+
+    #[test]
+    fn shard_moved_line_classifies() {
+        let line = shard_moved_line(9, 15);
+        let err = shard_moved_from_line(&line).expect("typed shard_moved");
+        assert!(pddl_cluster::retry::is_transient(&err));
+        assert_eq!(pddl_cluster::retry::shard_moved_epoch(&err), Some(9));
+        assert!(shard_moved_from_line("{\"status\":\"ok\"}").is_none());
+        assert!(overload_from_line(&line).is_none());
+    }
+
+    #[test]
+    fn overload_line_classifies() {
+        let line = overload_line(25, "queue_full");
+        let err = overload_from_line(&line).expect("typed overload");
+        assert!(pddl_cluster::retry::is_transient(&err));
+        assert!(shard_moved_from_line(&line).is_none());
+    }
+
+    #[test]
+    fn wire_ops_list_is_unique_and_nonempty() {
+        assert!(!WIRE_OPS.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for op in WIRE_OPS {
+            assert!(seen.insert(op), "duplicate wire op {op}");
+        }
+    }
+}

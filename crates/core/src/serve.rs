@@ -62,6 +62,12 @@ pub struct ServeConfig {
     /// end-to-end time exceeds this many milliseconds (0 disables the
     /// latency trigger; shed/error promotion is always on).
     pub trace_slow_ms: u64,
+    /// This controller's stable shard id when it serves as one shard of a
+    /// router-fronted fleet. A sharded controller echoes the id in
+    /// enveloped responses, `{"op":"stats"}` replies, and its identity
+    /// route table; `None` (the default) leaves the wire shapes exactly
+    /// as they were before sharding existed.
+    pub shard_id: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +80,7 @@ impl Default for ServeConfig {
             retry_after_ms: 25,
             trace_sample: 1,
             trace_slow_ms: 0,
+            shard_id: None,
         }
     }
 }

@@ -1,0 +1,29 @@
+//! `pddl-router` — the sharded serving plane's front door.
+//!
+//! A standalone router process that consistent-hashes prediction
+//! requests onto a fleet of controller shards, speaking the controller
+//! wire protocol on both sides (documented end to end in the repo's
+//! `PROTOCOL.md`). Three layers:
+//!
+//! * [`ring`] — the consistent-hash ring with virtual nodes: bounded
+//!   key movement on membership change, deterministic across processes.
+//! * [`key`] — the routing key: a stable hash of the paper's
+//!   `(architecture, dataset, training params, cluster spec)` tuple, so
+//!   repeats of a workload always land on the same cache-warm shard.
+//! * [`router`] — the process itself: accept loop, per-shard health
+//!   probes, epoch-stamped membership, typed `shard_moved` re-routing,
+//!   and pass-through of trace context (the router contributes a
+//!   `route` span to each traced request's waterfall).
+//!
+//! Run it with the `pddl-router` binary (`serve` / `inspect`), or embed
+//! a [`Router`] in tests to stand up an in-process fleet.
+
+#![warn(missing_docs)]
+
+pub mod key;
+pub mod ring;
+pub mod router;
+
+pub use key::{frame_key, line_key, routing_key};
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use router::{Router, RouterConfig};

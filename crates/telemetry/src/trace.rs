@@ -67,6 +67,10 @@ pub mod stages {
     pub const DEDUP_REPLAY: &str = "dedup_replay";
     /// One collector wire exchange (register or heartbeat).
     pub const COLLECT: &str = "collect";
+    /// Router-side handling of one request: ring lookup, forward to the
+    /// routed shard, and relay of its reply. Wraps the shard's own
+    /// `request` span in a fleet waterfall.
+    pub const ROUTE: &str = "route";
 }
 
 /// SplitMix64 finalizer: cheap, well-distributed id derivation.

@@ -18,10 +18,13 @@
 #   scripts/offline_check.sh test-bench       # run pddl-bench's tests (report schema)
 #   scripts/offline_check.sh test-tensor      # run the GEMM equivalence/determinism suite
 #   scripts/offline_check.sh test-trace       # trace unit tests + type-check the trace tier
+#   scripts/offline_check.sh test-shard       # router unit tests + type-check the shard tier
 #   scripts/offline_check.sh metrics-expo     # exposition + golden trace/metrics shape tests
 #   scripts/offline_check.sh bench-serve      # run the inproc serving benchmark
+#   scripts/offline_check.sh bench-shard      # run the in-proc sharded-fleet benchmark
 #   scripts/offline_check.sh bench-tensor     # run the GEMM benchmark (BENCH_tensor.json)
 #   scripts/offline_check.sh gate-unwrap      # no-unwrap grep gate on the wire parser
+#   scripts/offline_check.sh gate-protocol-docs # every WIRE_OPS op documented in PROTOCOL.md
 #   scripts/offline_check.sh <any cargo args> # e.g. "check -p predictddl --tests"
 #
 # test-telemetry / test-faults / test-par / test-golden / test-bench /
@@ -50,8 +53,34 @@ gate_unwrap() {
   echo "gate-unwrap: $file clean"
 }
 
+# Doc-coverage gate: every op named in the controller's WIRE_OPS registry
+# must have a `### `op`` section in PROTOCOL.md, so the wire reference
+# cannot silently fall behind the code.
+gate_protocol_docs() {
+  local src=crates/core/src/protocol.rs doc=PROTOCOL.md missing=0
+  local ops
+  ops=$(awk '/pub const WIRE_OPS/,/\];/' "$src" | grep -o '"[a-z_]*"' | tr -d '"')
+  if [ -z "$ops" ]; then
+    echo "error: could not extract WIRE_OPS from $src" >&2
+    return 1
+  fi
+  for op in $ops; do
+    if ! grep -q "^### \`$op\`" "$doc"; then
+      echo "error: wire op '$op' has no '### \`$op\`' section in $doc" >&2
+      missing=1
+    fi
+  done
+  [ "$missing" -eq 0 ] || return 1
+  echo "gate-protocol-docs: $doc covers $(echo "$ops" | wc -w) wire ops"
+}
+
 if [ "${1:-}" = "gate-unwrap" ]; then
   gate_unwrap
+  exit 0
+fi
+
+if [ "${1:-}" = "gate-protocol-docs" ]; then
+  gate_protocol_docs
   exit 0
 fi
 
@@ -93,11 +122,13 @@ NON_PROPTEST_TESTS=(
   --test load
   --test golden_traces
   --test trace
+  --test shard
 )
 
 case "${1:-check}" in
   check)
     gate_unwrap
+    gate_protocol_docs
     cargo check --workspace --offline --lib --bins --examples --benches
     cargo check -p predictddl --offline "${NON_PROPTEST_TESTS[@]}"
     cargo check -p pddl-bench --offline --tests
@@ -142,6 +173,14 @@ case "${1:-check}" in
     cargo test -p pddl-telemetry --offline trace
     cargo check -p predictddl --offline --test trace
     ;;
+  test-shard)
+    # The router's ring/key/membership unit tests run for real (the
+    # route table and routing key are hand-rolled, serde-free at
+    # runtime); the TCP fleet tier needs serde, so offline it is
+    # type-checked only and executes in networked CI.
+    cargo test -p pddl-router --offline
+    cargo check -p predictddl --offline --test shard
+    ;;
   metrics-expo)
     # Prometheus exposition renderer + the golden fixtures pinning the
     # exposition, trace-dump, and waterfall shapes byte-for-byte.
@@ -152,6 +191,14 @@ case "${1:-check}" in
     shift
     cargo run -p pddl-bench --offline --release --bin pddl-loadgen -- \
       --transport inproc "$@"
+    ;;
+  bench-shard)
+    # The sharded-fleet benchmark: in-process shard pools behind the
+    # real consistent-hash ring — scaling sweep, rebalance accounting,
+    # and the mid-load shard-kill phase (produces BENCH_shard.json).
+    shift
+    cargo run -p pddl-bench --offline --release --bin pddl-loadgen -- \
+      --transport fleet "$@"
     ;;
   bench-tensor)
     shift

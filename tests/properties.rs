@@ -317,3 +317,92 @@ proptest! {
         prop_assert!(q.peak() <= capacity, "high-water mark over capacity");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring (pddl-router): the fleet's placement invariants.
+// ---------------------------------------------------------------------------
+
+use pddl_router::{HashRing, DEFAULT_VNODES};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lookups are total (every key owned while any shard exists) and a
+    /// pure function of the membership *set* — the order shards were
+    /// added, and any interleaved add/remove churn that lands on the
+    /// same set, must not change a single placement.
+    #[test]
+    fn ring_lookup_total_and_order_independent(
+        seed in any::<u64>(),
+        mut shards in proptest::collection::vec(0u64..64, 1..8),
+    ) {
+        shards.sort_unstable();
+        shards.dedup();
+        let built = HashRing::with_shards(DEFAULT_VNODES, &shards);
+
+        // Same set, reversed insertion order, plus add/remove churn of a
+        // shard that is not in the final set.
+        let mut churned = HashRing::new(DEFAULT_VNODES);
+        let stranger = 1000;
+        churned.add_shard(stranger);
+        for &s in shards.iter().rev() {
+            churned.add_shard(s);
+        }
+        churned.remove_shard(stranger);
+
+        let mut key = seed;
+        for _ in 0..512 {
+            key = key.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let owner = built.lookup(key);
+            prop_assert!(owner.is_some(), "key {key} unowned on a non-empty ring");
+            prop_assert!(
+                shards.contains(&owner.unwrap()),
+                "key {key} owned by a shard outside the membership"
+            );
+            prop_assert_eq!(
+                owner, churned.lookup(key),
+                "placement depends on membership history, not just the set"
+            );
+        }
+    }
+
+    /// Resizing N -> N+1 moves at most ~K/(N+1) keys (the consistent-
+    /// hashing bound, with slack for vnode share variance), every moved
+    /// key lands on the new shard, and nothing else changes owner.
+    #[test]
+    fn ring_resize_moves_bounded_and_only_onto_new_shard(
+        seed in any::<u64>(),
+        n in 1usize..8,
+    ) {
+        let shards: Vec<u64> = (0..n as u64).collect();
+        let before = HashRing::with_shards(DEFAULT_VNODES, &shards);
+        let mut after = before.clone();
+        let new_shard = n as u64;
+        after.add_shard(new_shard);
+
+        const K: usize = 4096;
+        let mut key = seed;
+        let mut moved = 0usize;
+        for _ in 0..K {
+            key = key.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let (a, b) = (before.lookup(key).unwrap(), after.lookup(key).unwrap());
+            if a != b {
+                prop_assert_eq!(
+                    b, new_shard,
+                    "key {} moved {} -> {}: movement must only target the new shard",
+                    key, a, b
+                );
+                moved += 1;
+            }
+        }
+        // Expected movement is K * (new shard's ring share) ~= K/(n+1);
+        // allow 50% slack for vnode share variance plus sampling noise.
+        // A modulo rehash moves ~K*n/(n+1) and fails this immediately.
+        let bound = K * 3 / (2 * (n + 1)) + 32;
+        prop_assert!(
+            moved <= bound,
+            "resize {} -> {} moved {}/{} keys, bound {}",
+            n, n + 1, moved, K, bound
+        );
+    }
+}
