@@ -2,10 +2,13 @@
 //!
 //! ```text
 //! predictddl-cli train --out system.json [--datasets cifar10,tiny-imagenet]
+//! predictddl-cli train --registry ./registry [--label nightly]
 //! predictddl-cli predict --system system.json --model resnet50
 //!                        --dataset cifar10 --servers 8 [--gpu|--cpu]
 //!                        [--batch 128] [--epochs 10]
 //! predictddl-cli serve --system system.json --addr 127.0.0.1:7077
+//! predictddl-cli serve --registry ./registry [--watch-registry 2000]
+//! predictddl-cli reload --addr 127.0.0.1:7077 [--version N]
 //! predictddl-cli stats --addr 127.0.0.1:7077
 //! predictddl-cli trace --addr 127.0.0.1:7077 [--json]
 //! predictddl-cli metrics --addr 127.0.0.1:7077
@@ -19,12 +22,15 @@
 
 use pddl_cluster::{ClusterState, ServerClass};
 use pddl_ddlsim::{TraceConfig, Workload};
+use pddl_registry::Registry;
 use predictddl::{
-    Controller, ControllerClient, OfflineTrainer, PredictDdl, PredictionRequest, ServeConfig,
+    load_checkpoint, save_checkpoint, spawn_watcher, Controller, ControllerClient, LiveSystem,
+    OfflineTrainer, PredictDdl, PredictionRequest, ReloadManager, ServeConfig,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
@@ -42,6 +48,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "predict" => cmd_predict(&flags),
         "serve" => cmd_serve(&flags),
+        "reload" => cmd_reload(&flags),
         "stats" => cmd_stats(&flags),
         "trace" => cmd_trace(&flags),
         "metrics" => cmd_metrics(&flags),
@@ -64,14 +71,17 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  predictddl-cli train   --out <file> [--datasets cifar10,tiny-imagenet]
+  predictddl-cli train   --out <file> | --registry <dir> [--label <text>]
+                         [--datasets cifar10,tiny-imagenet] [--retain N]
   predictddl-cli predict --system <file> --model <name> --dataset <name>
                          --servers <n> [--gpu|--cpu] [--batch 128] [--epochs 10]
-  predictddl-cli serve   --system <file> [--addr 127.0.0.1:7077]
-                         [--workers N] [--queue-depth N] [--max-conns N]
-                         [--deadline-ms N] [--trace-sample N] [--trace-slow-ms N]
+  predictddl-cli serve   --system <file> | --registry <dir>
+                         [--addr 127.0.0.1:7077] [--watch-registry <ms>]
+                         [--retain N] [--workers N] [--queue-depth N]
+                         [--max-conns N] [--deadline-ms N] [--trace-sample N]
+                         [--trace-slow-ms N] [--shard-id N]
                          [--fault-plan 'seed=42,delay=0.05:5,reset=0.02']
-                         [--shard-id N]
+  predictddl-cli reload  [--addr 127.0.0.1:7077] [--version N] [--timeout-ms 5000]
   predictddl-cli stats   [--addr 127.0.0.1:7077] [--timeout-ms 5000]
   predictddl-cli trace   [--addr 127.0.0.1:7077] [--timeout-ms 5000] [--json]
   predictddl-cli metrics [--addr 127.0.0.1:7077] [--timeout-ms 5000]
@@ -79,6 +89,15 @@ const USAGE: &str = "usage:
   predictddl-cli help | --help | -h
 options:
   --metrics-dump   print the local telemetry snapshot (JSON) to stderr on exit
+  --registry       train: publish the trained system as a new checkpoint
+                   version; serve: serve the newest verifiable version and
+                   answer {\"op\":\"reload\"} with validated hot swaps
+  --label          train: operator label stamped into the version manifest
+  --retain         registry retention width: keep the newest N versions plus
+                   pinned/live ones (default 4; 0 keeps everything)
+  --watch-registry serve: poll the registry every <ms> and hot-swap to new
+                   versions automatically (requires --registry)
+  --version        reload: target version (default: the registry's latest)
   --workers        serve: worker threads in the request pool (default: cores)
   --queue-depth    serve: admission queue slots before load shedding (256)
   --max-conns      serve: simultaneous connection cap (1024)
@@ -122,8 +141,34 @@ fn required<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, String> {
         .ok_or_else(|| format!("missing required flag --{key}"))
 }
 
+/// Parses the `--retain` retention width (default 4).
+fn retain_from_flags(flags: &Flags) -> Result<usize, String> {
+    flags
+        .get("retain")
+        .map_or(Ok(4), |s| s.parse())
+        .map_err(|_| "--retain must be an integer".to_string())
+}
+
+/// Opens (creating if needed) the checkpoint registry at `root`, printing
+/// the recovery report when open() had to repair anything.
+fn open_registry(root: &str, retain: usize) -> Result<Registry, String> {
+    let (registry, report) = Registry::open(root, retain)
+        .map_err(|e| format!("open registry {root}: {e}"))?;
+    for (version, reason) in &report.quarantined {
+        eprintln!("registry: quarantined unverifiable v{version} ({reason})");
+    }
+    if report.swept_tmp > 0 {
+        eprintln!("registry: swept {} stray tempfile(s)", report.swept_tmp);
+    }
+    Ok(registry)
+}
+
 fn cmd_train(flags: &Flags) -> Result<(), String> {
-    let out = required(flags, "out")?;
+    let out = flags.get("out");
+    let registry_root = flags.get("registry");
+    if out.is_none() && registry_root.is_none() {
+        return Err("train needs --out <file> and/or --registry <dir>".to_string());
+    }
     let mut trainer = OfflineTrainer::default();
     if let Some(datasets) = flags.get("datasets") {
         let mut cfg = TraceConfig::default();
@@ -140,8 +185,17 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         "trained: GHN {:.1}s, embeddings {:.1}s, fit {:.2}s",
         system.train_cost.ghn_secs, system.train_cost.embed_secs, system.train_cost.fit_secs
     );
-    system.save(out).map_err(|e| e.to_string())?;
-    eprintln!("saved system to {out}");
+    if let Some(out) = out {
+        system.save(out).map_err(|e| e.to_string())?;
+        eprintln!("saved system to {out}");
+    }
+    if let Some(root) = registry_root {
+        let registry = open_registry(root, retain_from_flags(flags)?)?;
+        let label = flags.get("label").map_or("train", |s| s.as_str());
+        let version = save_checkpoint(&registry, &system, label).map_err(|e| e.to_string())?;
+        eprintln!("published checkpoint v{version} to {root}");
+        eprintln!("hot-swap a running controller with: predictddl-cli reload --version {version}");
+    }
     Ok(())
 }
 
@@ -207,7 +261,6 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         pddl_faults::FaultPlan::parse(spec)?;
         std::env::set_var(pddl_faults::FAULT_PLAN_ENV, spec);
     }
-    let system = PredictDdl::load(required(flags, "system")?).map_err(|e| e.to_string())?;
     let addr = flags.get("addr").map_or("127.0.0.1:7077", |s| s.as_str());
     let mut config = ServeConfig::default();
     if let Some(v) = flags.get("workers") {
@@ -232,7 +285,51 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     if let Some(v) = flags.get("shard-id") {
         config.shard_id = Some(v.parse().map_err(|_| "--shard-id must be an integer")?);
     }
-    let controller = Controller::serve_with(addr, system, config).map_err(|e| e.to_string())?;
+    // Resolve the initial system: from the checkpoint registry (newest
+    // verifiable version; a --system file is published as the first
+    // version when the registry is empty), or from a plain --system file.
+    let mut watcher = None;
+    let watcher_stop = Arc::new(AtomicBool::new(false));
+    let controller = if let Some(root) = flags.get("registry") {
+        let registry = open_registry(root, retain_from_flags(flags)?)?;
+        let (system, version) = match registry.latest() {
+            Some(v) => {
+                let sys = load_checkpoint(&registry, v).map_err(|e| e.to_string())?;
+                eprintln!("loaded checkpoint v{v} from {root}");
+                (sys, v)
+            }
+            None => {
+                let path = flags.get("system").ok_or_else(|| {
+                    format!("registry {root} is empty; seed it with --system <file> or `train --registry`")
+                })?;
+                let sys = PredictDdl::load(path).map_err(|e| e.to_string())?;
+                let v = save_checkpoint(&registry, &sys, "serve-seed")
+                    .map_err(|e| e.to_string())?;
+                eprintln!("seeded registry with {path} as v{v}");
+                (sys, v)
+            }
+        };
+        let live = Arc::new(LiveSystem::new(system, version));
+        let manager = ReloadManager::new(registry, Arc::clone(&live));
+        if let Some(ms) = flags.get("watch-registry") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| "--watch-registry must be an interval in ms")?;
+            watcher = Some(spawn_watcher(
+                Arc::clone(&manager),
+                Duration::from_millis(ms.max(1)),
+                Arc::clone(&watcher_stop),
+            ));
+            eprintln!("watching registry for new versions every {ms} ms");
+        }
+        Controller::serve_live(addr, live, config, Some(manager)).map_err(|e| e.to_string())?
+    } else {
+        if flags.contains_key("watch-registry") {
+            return Err("--watch-registry requires --registry".to_string());
+        }
+        let system = PredictDdl::load(required(flags, "system")?).map_err(|e| e.to_string())?;
+        Controller::serve_with(addr, system, config).map_err(|e| e.to_string())?
+    };
     println!(
         "PredictDDL controller listening on {} ({} workers, queue depth {})",
         controller.addr(),
@@ -241,12 +338,17 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     );
     println!(
         "protocol: one JSON PredictionRequest per line (a JSON array is a \
-         pooled batch); {{\"op\":\"stats\"}}, {{\"op\":\"trace\"}}, and \
-         {{\"op\":\"metrics\"}} for observability; Ctrl-C to stop"
+         pooled batch); {{\"op\":\"stats\"}}, {{\"op\":\"trace\"}}, \
+         {{\"op\":\"metrics\"}} for observability; {{\"op\":\"reload\"}} \
+         for validated hot swaps; Ctrl-C to stop"
     );
     install_shutdown_handler();
     while !SHUTDOWN.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(200));
+    }
+    watcher_stop.store(true, Ordering::SeqCst);
+    if let Some(handle) = watcher.take() {
+        let _ = handle.join();
     }
     eprintln!(
         "shutting down after {} requests; final metrics snapshot:",
@@ -276,6 +378,34 @@ fn control_client(flags: &Flags) -> Result<ControllerClient, String> {
         .map_err(|_| format!("--addr '{addr}' is not a socket address"))?;
     ControllerClient::connect_with_timeout(sock, Duration::from_millis(timeout_ms))
         .map_err(|e| format!("connect to {addr}: {e}"))
+}
+
+fn cmd_reload(flags: &Flags) -> Result<(), String> {
+    let version = flags
+        .get("version")
+        .map(|v| v.parse::<u64>())
+        .transpose()
+        .map_err(|_| "--version must be an integer")?;
+    let mut client = control_client(flags)?;
+    match client.reload(version).map_err(|e| e.to_string())? {
+        Ok(reply) if reply.version == reply.previous => {
+            println!(
+                "version {} already live (epoch {})",
+                reply.version, reply.epoch
+            );
+            Ok(())
+        }
+        Ok(reply) => {
+            println!(
+                "reloaded: v{} now live (was v{}, epoch {})",
+                reply.version, reply.previous, reply.epoch
+            );
+            Ok(())
+        }
+        Err(reason) => Err(format!(
+            "reload rejected: {reason} (the previous model keeps serving)"
+        )),
+    }
 }
 
 fn cmd_stats(flags: &Flags) -> Result<(), String> {

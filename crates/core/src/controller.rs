@@ -8,7 +8,7 @@
 //! a JSON *array* of prediction requests is a batch: the controller fans
 //! the batch out across the [`pddl_par`] work pool and answers with one
 //! JSON array of responses in request order. Besides prediction requests,
-//! the wire protocol carries four control ops, each answered inline by
+//! the wire protocol carries five control ops, each answered inline by
 //! the reader so they stay available during overload:
 //!
 //! * `{"op":"stats"}` — a live JSON snapshot of the telemetry registry
@@ -19,7 +19,25 @@
 //!   ([`pddl_telemetry::trace::FlightRecorder::retained_json`]);
 //! * `{"op":"route_table"}` — the shard's one-entry identity
 //!   [`RouteTable`] (the `pddl-router` process answers the same op with
-//!   the live fleet membership).
+//!   the live fleet membership);
+//! * `{"op":"reload"}` — hot-swap the serving model to a checkpoint-
+//!   registry version (see below).
+//!
+//! ## Hot reload
+//!
+//! The served system lives behind a [`LiveSystem`] slot. Every work frame
+//! *pins* the current system as it is read off the socket and uses that
+//! pin for its whole lifetime — queued, dispatched, and answered on the
+//! model that was live when it arrived, while later frames see the new
+//! one. A controller started with [`Controller::serve_live`] and a
+//! [`ReloadManager`] answers `{"op":"reload"}` (optional `"version"`,
+//! default latest) by loading the candidate from the registry, replaying
+//! the manifest's golden probes against it, and swapping only on a pass:
+//! `{"status":"reload","version":…,"previous":…,"epoch":…}`. A failed
+//! candidate earns the terminal typed line
+//! `{"error":"reload_rejected","reason":…}` and the old model keeps
+//! serving. Controllers without a registry reject with reason
+//! `no_registry`.
 //!
 //! The wire *shapes* themselves — envelopes, control ops, typed error
 //! lines — live in [`crate::protocol`]; `PROTOCOL.md` at the repository
@@ -86,8 +104,10 @@ pub use crate::protocol::{
 
 use crate::offline::PredictDdl;
 use crate::protocol::{
-    overload_from_line, overload_line, shard_moved_from_line, RouteShard, RouteTable,
+    overload_from_line, overload_line, reload_rejected_from_line, reload_rejected_line,
+    shard_moved_from_line, ReloadReply, RouteShard, RouteTable,
 };
+use crate::reload::{LiveSystem, ReloadManager, ReloadOutcome};
 use crate::request::{Prediction, PredictionRequest, RequestError};
 use crate::serve::{
     JobOutcome, Latch, OpenOnDrop, ServeConfig, ServePool, SubmitError, WaitGroup,
@@ -118,6 +138,7 @@ struct Metrics {
     trace_requests: &'static Counter,
     metrics_requests: &'static Counter,
     route_table_requests: &'static Counter,
+    reload_requests: &'static Counter,
     traced_requests: &'static Counter,
     shed_queue_full: &'static Counter,
     shed_deadline: &'static Counter,
@@ -144,6 +165,7 @@ fn metrics() -> &'static Metrics {
         trace_requests: pddl_telemetry::counter("controller.trace_requests"),
         metrics_requests: pddl_telemetry::counter("controller.metrics_requests"),
         route_table_requests: pddl_telemetry::counter("controller.route_table_requests"),
+        reload_requests: pddl_telemetry::counter("controller.reload_requests"),
         traced_requests: pddl_telemetry::counter("controller.traced_requests"),
         shed_queue_full: pddl_telemetry::counter("controller.shed.queue_full"),
         shed_deadline: pddl_telemetry::counter("controller.shed.deadline"),
@@ -233,6 +255,7 @@ pub struct Controller {
     accept_thread: Option<JoinHandle<()>>,
     readers: Arc<WaitGroup>,
     pool: Arc<ServePool>,
+    live: Arc<LiveSystem>,
 }
 
 impl Controller {
@@ -259,6 +282,21 @@ impl Controller {
         system: PredictDdl,
         config: ServeConfig,
     ) -> std::io::Result<Self> {
+        Self::serve_live(addr, Arc::new(LiveSystem::new(system, 0)), config, None)
+    }
+
+    /// [`Controller::serve_with`] over an explicit hot-swappable
+    /// [`LiveSystem`] slot, optionally answering `{"op":"reload"}` through
+    /// `reload` (a controller without a manager rejects the op with reason
+    /// `no_registry`). The slot may be shared — with a
+    /// [`crate::reload::spawn_watcher`] poller, with the manager, or with
+    /// tests asserting swap epochs.
+    pub fn serve_live(
+        addr: &str,
+        live: Arc<LiveSystem>,
+        config: ServeConfig,
+        reload: Option<Arc<ReloadManager>>,
+    ) -> std::io::Result<Self> {
         let fault_plan = FaultPlan::from_env()
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
         let listener = TcpListener::bind(addr)?;
@@ -266,7 +304,6 @@ impl Controller {
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let requests_served = Arc::new(AtomicU64::new(0));
-        let system = Arc::new(system);
         let cache = Arc::new(ResponseCache::default());
         let pool = Arc::new(ServePool::start(config));
         let readers = Arc::new(WaitGroup::new());
@@ -287,6 +324,8 @@ impl Controller {
             let served = Arc::clone(&requests_served);
             let pool = Arc::clone(&pool);
             let readers = Arc::clone(&readers);
+            let live = Arc::clone(&live);
+            let reload = reload.clone();
             std::thread::spawn(move || {
                 let m = metrics();
                 let mut next_conn: u64 = 0;
@@ -320,7 +359,8 @@ impl Controller {
                             );
                             let conn = next_conn;
                             next_conn += 1;
-                            let system = Arc::clone(&system);
+                            let live = Arc::clone(&live);
+                            let reload = reload.clone();
                             let served = Arc::clone(&served);
                             let cache = Arc::clone(&cache);
                             let pool = Arc::clone(&pool);
@@ -330,8 +370,8 @@ impl Controller {
                                 let outcome = split_stream(stream, fault_plan.as_ref(), conn)
                                     .and_then(|(r, w)| {
                                         reader_loop(
-                                            r, w, &system, &served, &cache, &pool,
-                                            &shutdown, config, local,
+                                            r, w, &live, reload.as_ref(), &served, &cache,
+                                            &pool, &shutdown, config, local,
                                         )
                                     });
                                 if outcome.is_err() {
@@ -360,12 +400,23 @@ impl Controller {
             accept_thread: Some(accept_thread),
             readers,
             pool,
+            live,
         })
     }
 
     /// The address the listener is bound to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Registry version currently serving (`0` when not registry-backed).
+    pub fn live_version(&self) -> u64 {
+        self.live.version()
+    }
+
+    /// Hot-swap epoch of the serving slot (number of reloads applied).
+    pub fn live_epoch(&self) -> u64 {
+        self.live.epoch()
     }
 
     /// Total requests answered by computation (deduplicated replays of a
@@ -504,7 +555,8 @@ fn submit_and_wait(
 fn reader_loop(
     reader: Box<dyn Read + Send>,
     writer: Box<dyn Write + Send>,
-    system: &Arc<PredictDdl>,
+    live: &Arc<LiveSystem>,
+    reload: Option<&Arc<ReloadManager>>,
     served: &Arc<AtomicU64>,
     cache: &Arc<ResponseCache>,
     pool: &ServePool,
@@ -573,7 +625,8 @@ fn reader_loop(
             ParsedFrame::Stats
             | ParsedFrame::Trace
             | ParsedFrame::Metrics
-            | ParsedFrame::RouteTable => None,
+            | ParsedFrame::RouteTable
+            | ParsedFrame::Reload { .. } => None,
             ParsedFrame::Enveloped(env) if env.trace.is_some() => {
                 env.trace.map(TraceContext::from)
             }
@@ -643,6 +696,26 @@ fn reader_loop(
                 m.trace_requests.inc();
                 write_shared(&writer, &rec.retained_json())?;
             }
+            // Reload: answered inline like the other control ops (an
+            // overloaded or draining pool cannot block a rollback). The
+            // manager serializes concurrent attempts; requests pinned
+            // before the swap finish on the old model.
+            ParsedFrame::Reload { version } => {
+                m.reload_requests.inc();
+                let out = match reload {
+                    Some(mgr) => match mgr.reload(version) {
+                        Ok(ReloadOutcome::Swapped { version, previous, epoch }) => {
+                            ReloadReply { version, previous, epoch }.to_line()
+                        }
+                        Ok(ReloadOutcome::AlreadyLive { version, epoch }) => {
+                            ReloadReply { version, previous: version, epoch }.to_line()
+                        }
+                        Err(rej) => reload_rejected_line(&rej.reason),
+                    },
+                    None => reload_rejected_line("no_registry"),
+                };
+                write_shared(&writer, &out)?;
+            }
             ParsedFrame::Metrics => {
                 m.metrics_requests.inc();
                 let expo = pddl_telemetry::expo::prometheus_global();
@@ -656,7 +729,7 @@ fn reader_loop(
             // queue slot per batch; the per-request work still fans out
             // across the work pool via [`PredictDdl::predict_many`].
             ParsedFrame::Batch(reqs) => {
-                let system = Arc::clone(system);
+                let system = live.pin();
                 let served = Arc::clone(served);
                 let writer_j = Arc::clone(&writer);
                 let slow_ms = config.trace_slow_ms;
@@ -759,7 +832,7 @@ fn reader_loop(
                     }
                     continue;
                 }
-                let system = Arc::clone(system);
+                let system = live.pin();
                 let served = Arc::clone(served);
                 let cache = Arc::clone(cache);
                 let writer_j = Arc::clone(&writer);
@@ -803,7 +876,7 @@ fn reader_loop(
                 )?;
             }
             ParsedFrame::Single(req) => {
-                let system = Arc::clone(system);
+                let system = live.pin();
                 let served = Arc::clone(served);
                 let writer_j = Arc::clone(&writer);
                 let slow_ms = config.trace_slow_ms;
@@ -1088,6 +1161,29 @@ impl ControllerClient {
         client_metrics().route_refreshes.inc();
         self.route = Some(table.clone());
         Ok(table)
+    }
+
+    /// Asks the controller to hot-swap to registry version `version`
+    /// (latest when `None`) — `{"op":"reload"}` on the wire. The outer
+    /// `Result` is transport failure; the inner one is the server's
+    /// verdict: `Ok(reply)` when the swap committed (or the target was
+    /// already live), `Err(reason)` when the candidate was rejected and
+    /// the old model kept serving.
+    pub fn reload(
+        &mut self,
+        version: Option<u64>,
+    ) -> std::io::Result<Result<ReloadReply, String>> {
+        let line = match version {
+            Some(v) => format!("{{\"op\":\"reload\",\"version\":{v}}}"),
+            None => "{\"op\":\"reload\"}".to_string(),
+        };
+        let resp = self.round_trip(&line)?;
+        if let Some(reason) = reload_rejected_from_line(&resp) {
+            return Ok(Err(reason));
+        }
+        ReloadReply::from_line(&resp)
+            .map(Ok)
+            .map_err(invalid_data)
     }
 
     /// Opens the TCP connection if none is live.

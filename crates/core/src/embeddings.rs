@@ -224,6 +224,66 @@ impl EmbeddingCache {
         }
     }
 
+    /// Exports every *completed* entry as `(dataset, fingerprint,
+    /// embedding)` triples, sorted by key for deterministic output —
+    /// the payload `PredictDdl::save_checkpoint` persists so a warm
+    /// restart starts with a hot cache. In-flight entries (a racer is
+    /// still computing) are skipped rather than waited on.
+    pub fn snapshot_entries(&self) -> Vec<(String, u64, Vec<f32>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let s = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for ((dataset, fp), entry) in &s.map {
+                if let Some(v) = entry.cell.get() {
+                    out.push((dataset.clone(), *fp, v.clone()));
+                }
+            }
+        }
+        out.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        out
+    }
+
+    /// Inserts a precomputed embedding (from a checkpoint's cache
+    /// snapshot) as a completed entry. A key already resident keeps its
+    /// current entry; LRU bounds apply as usual, so preloading more than
+    /// [`EmbeddingCache::capacity`] entries simply keeps the tail.
+    pub fn preload(&self, dataset: &str, fingerprint: u64, embedding: Vec<f32>) {
+        let key: CacheKey = (dataset.to_ascii_lowercase(), fingerprint);
+        let m = cache_metrics();
+        let shard = &self.shards[self.shard_index(&key)];
+        let mut s = shard.lock().unwrap_or_else(|e| e.into_inner());
+        s.tick += 1;
+        let tick = s.tick;
+        if s.map.contains_key(&key) {
+            return;
+        }
+        let cell = Arc::new(OnceLock::new());
+        let _ = cell.set(embedding);
+        s.map.insert(key, CacheEntry { cell, last_used: tick });
+        m.entries.inc();
+        if s.map.len() > self.shard_capacity {
+            if let Some(victim) =
+                s.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                s.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                m.evictions.inc();
+                m.entries.dec();
+            }
+        }
+    }
+
+    /// Shard index for `key` — the dataset is mixed into the fingerprint
+    /// so one dataset's keys do not pile onto the fingerprint's shard
+    /// distribution alone.
+    fn shard_index(&self, key: &CacheKey) -> usize {
+        let mut mix = key.1 ^ 0x9e3779b97f4a7c15;
+        for b in key.0.bytes() {
+            mix = (mix ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        (mix % self.shards.len() as u64) as usize
+    }
+
     /// Returns the dataset's embedding of `graph`, computing it with the
     /// dataset's GHN on a miss and reusing the cached vector on a hit.
     /// `None` if no GHN is trained for the dataset (never cached, so the
@@ -251,13 +311,7 @@ impl EmbeddingCache {
         let key: CacheKey = (dataset.to_ascii_lowercase(), graph.fingerprint());
         let m = cache_metrics();
 
-        // Mix the dataset into the shard choice so one dataset's keys do
-        // not pile onto the fingerprint's shard distribution alone.
-        let mut mix = key.1 ^ 0x9e3779b97f4a7c15;
-        for b in key.0.bytes() {
-            mix = (mix ^ b as u64).wrapping_mul(0x100000001b3);
-        }
-        let shard = &self.shards[(mix % self.shards.len() as u64) as usize];
+        let shard = &self.shards[self.shard_index(&key)];
 
         let (cell, hit) = {
             let mut s = shard.lock().unwrap();

@@ -46,7 +46,7 @@
 //! The controller speaks newline-delimited JSON over TCP. The wire
 //! shapes live in the [`protocol`] module and are documented op-by-op,
 //! with captured transcripts, in `PROTOCOL.md` at the repository root.
-//! Seven request shapes share the stream:
+//! Eight request shapes share the stream:
 //!
 //! * a single [`PredictionRequest`] object → one [`Prediction`] (or error)
 //!   response line;
@@ -72,7 +72,15 @@
 //! * `{"op":"route_table"}` → the serving plane's membership as a
 //!   [`RouteTable`] (`{"status":"route_table","epoch":…,"shards":[…]}`).
 //!   A bare controller answers with its one-entry identity table; the
-//!   `pddl-router` process answers with the live fleet membership.
+//!   `pddl-router` process answers with the live fleet membership;
+//! * `{"op":"reload"}` (optional `"version"`) → hot-swap the serving
+//!   model to a checkpoint-registry version (latest when unspecified)
+//!   after replaying the manifest's golden probes against the candidate.
+//!   Success answers `{"status":"reload","version":…,"previous":…,
+//!   "epoch":…}`; a refused candidate answers the typed
+//!   `{"error":"reload_rejected","reason":…}` line and the old model
+//!   keeps serving (see the [`reload`] and [`checkpoint`] modules and
+//!   the `pddl-registry` crate).
 //!
 //! The `op` frames are answered inline by the connection reader — they
 //! bypass the worker pool, so stats, traces, metrics, and the route
@@ -98,6 +106,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod checkpoint;
 pub mod controller;
 pub mod embeddings;
 pub mod inference;
@@ -105,16 +114,23 @@ pub mod offline;
 pub mod persist;
 pub mod protocol;
 pub mod registry;
+pub mod reload;
 pub mod request;
 pub mod serve;
 pub mod task_checker;
 
 pub use batch::{compare_batch, compare_batch_serial, BatchComparison, BatchJob};
+pub use checkpoint::{
+    load_checkpoint, probe_records, probe_requests, save_checkpoint, validate_probes,
+    CheckpointError, CACHE_ARTIFACT, SYSTEM_ARTIFACT,
+};
 pub use controller::{Controller, ControllerClient};
 pub use protocol::{
-    parse_frame, ParsedFrame, RequestEnvelope, ResponseEnvelope, RouteShard, RouteTable,
-    TraceHeader, WireResponse, WIRE_OPS,
+    parse_frame, reload_rejected_from_line, reload_rejected_line, ParsedFrame, ReloadReply,
+    RequestEnvelope, ResponseEnvelope, RouteShard, RouteTable, TraceHeader, WireResponse,
+    WIRE_OPS,
 };
+pub use reload::{spawn_watcher, LiveSystem, ReloadManager, ReloadOutcome, ReloadRejected};
 pub use embeddings::{CacheStats, EmbeddingCache, EmbeddingsGenerator};
 pub use inference::{InferenceEngine, InferenceConfig};
 pub use offline::{OfflineTrainer, PredictDdl};

@@ -48,11 +48,14 @@ impl PredictDdl {
         Ok(())
     }
 
-    /// Saves to a file path.
+    /// Saves to a file path atomically: the document is staged in a
+    /// sibling tempfile, fsynced, and renamed over `path`, so a crash
+    /// mid-save can never leave a torn system file behind — a reader sees
+    /// the old document or the new one, nothing in between.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        self.save_to(&mut f)?;
-        f.flush()?;
+        let mut buf = Vec::new();
+        self.save_to(&mut buf)?;
+        pddl_registry::atomic_write(path.as_ref(), &buf)?;
         Ok(())
     }
 
@@ -114,11 +117,26 @@ mod tests {
         assert!(r.is_err());
     }
 
+    /// Per-test scratch directory: unique per process *and* per call, so
+    /// parallel tests (and parallel `cargo test` invocations) never race
+    /// on a shared path.
+    fn unique_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pddl-persist-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn file_round_trip() {
         let system = OfflineTrainer::tiny().train_full();
-        let dir = std::env::temp_dir().join("pddl-persist-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = unique_dir("round-trip");
         let path = dir.join("system.json");
         system.save(&path).unwrap();
         let loaded = crate::offline::PredictDdl::load(&path).unwrap();
@@ -126,6 +144,25 @@ mod tests {
             loaded.registry.datasets().count(),
             system.registry.datasets().count()
         );
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_replaces_existing_file_atomically() {
+        let system = OfflineTrainer::tiny().train_full();
+        let dir = unique_dir("atomic");
+        let path = dir.join("system.json");
+        std::fs::write(&path, b"stale garbage from a previous run").unwrap();
+        system.save(&path).unwrap();
+        let loaded = crate::offline::PredictDdl::load(&path).unwrap();
+        assert_eq!(
+            loaded.registry.datasets().count(),
+            system.registry.datasets().count()
+        );
+        assert!(
+            !dir.join("system.json.tmp").exists(),
+            "staging tempfile renamed away"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -45,7 +45,7 @@ use serde::{Deserialize, Serialize};
 /// Every operation the controller-plane wire protocol carries, in the
 /// order PROTOCOL.md documents them. The first three are the prediction
 /// frame shapes (no `"op"` tag on the wire — they are distinguished
-/// structurally); the middle four are the `{"op":…}` control frames; the
+/// structurally); the middle five are the `{"op":…}` control frames; the
 /// last three are the Cluster Resource Collector's registration protocol
 /// (see [`pddl_cluster::protocol`]). The doc-coverage gate in
 /// `scripts/offline_check.sh` greps this list and requires a
@@ -58,6 +58,7 @@ pub const WIRE_OPS: &[&str] = &[
     "trace",
     "metrics",
     "route_table",
+    "reload",
     "register",
     "heartbeat",
     "leave",
@@ -166,6 +167,16 @@ enum ControlOp {
     /// bare controller answers with its one-shard identity table; the
     /// router answers with the live fleet membership.
     RouteTable,
+    /// Hot-swap the serving model from the checkpoint registry (to
+    /// `version`, or the registry's latest when absent). Success answers
+    /// with a [`ReloadReply`] line; a failed validation probe (or a
+    /// controller without a registry) answers with the typed
+    /// [`reload_rejected_line`] and keeps the old model live.
+    Reload {
+        /// Target registry version; `None` selects the latest.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        version: Option<u64>,
+    },
 }
 
 /// One classified request frame (see [`parse_frame`]).
@@ -179,6 +190,12 @@ pub enum ParsedFrame {
     Metrics,
     /// `{"op":"route_table"}` — serving-plane membership request.
     RouteTable,
+    /// `{"op":"reload"}` — hot-swap to a checkpoint-registry version
+    /// (latest when `version` is absent).
+    Reload {
+        /// Target registry version; `None` selects the latest.
+        version: Option<u64>,
+    },
     /// A JSON array of prediction requests (a batch).
     Batch(Vec<PredictionRequest>),
     /// An id-wrapped single request (idempotent-retry path).
@@ -197,6 +214,7 @@ pub fn parse_frame(line: &str) -> Result<ParsedFrame, String> {
             ControlOp::Trace => ParsedFrame::Trace,
             ControlOp::Metrics => ParsedFrame::Metrics,
             ControlOp::RouteTable => ParsedFrame::RouteTable,
+            ControlOp::Reload { version } => ParsedFrame::Reload { version },
         });
     }
     if line.trim_start().starts_with('[') {
@@ -270,6 +288,84 @@ pub fn shard_moved_from_line(resp: &str) -> Option<std::io::Error> {
     let epoch = doc.get("epoch").and_then(|v| v.as_u64()).unwrap_or(0);
     let ms = doc.get("retry_after_ms").and_then(|v| v.as_u64()).unwrap_or(0);
     Some(shard_moved_error(epoch, ms))
+}
+
+/// Reply to a successful `{"op":"reload"}`: the version now live, the
+/// version it replaced (equal when the target was already live — the
+/// reload was a no-op), and the live slot's swap epoch.
+///
+/// Rendered and parsed by hand (no serde at runtime) like the other
+/// control-plane lines, so the CLI and offline harness can speak it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReloadReply {
+    /// Registry version now live.
+    pub version: u64,
+    /// Registry version that was live before the swap.
+    pub previous: u64,
+    /// The live slot's epoch after the swap (increments once per swap;
+    /// unchanged when `version == previous`).
+    pub epoch: u64,
+}
+
+impl ReloadReply {
+    /// Renders the `{"status":"reload",…}` response line.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{{\"status\":\"reload\",\"version\":{},\"previous\":{},\"epoch\":{}}}",
+            self.version, self.previous, self.epoch
+        )
+    }
+
+    /// Parses a `{"status":"reload",…}` response line.
+    pub fn from_line(line: &str) -> Result<ReloadReply, String> {
+        let doc = JsonValue::parse(line.trim_end()).map_err(|e| e.to_string())?;
+        if doc.get("status").and_then(|s| s.as_str()) != Some("reload") {
+            return Err("response is not a reload payload".to_string());
+        }
+        let field = |k: &str| {
+            doc.get(k)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("reload reply missing '{k}'"))
+        };
+        Ok(ReloadReply {
+            version: field("version")?,
+            previous: field("previous")?,
+            epoch: field("epoch")?,
+        })
+    }
+}
+
+/// Renders the typed rejection reply for a `{"op":"reload"}` that did not
+/// swap: the candidate failed to load or failed its validation probe, the
+/// registry is empty, or the controller has no registry at all. The old
+/// model stays live — rejection is a *rollback*, not an outage — so the
+/// reply is terminal for the attempt, not transient like the overload
+/// shed.
+pub fn reload_rejected_line(reason: &str) -> String {
+    let mut out = String::with_capacity(40 + reason.len());
+    out.push_str("{\"error\":\"reload_rejected\",\"reason\":");
+    push_json_string(&mut out, reason);
+    out.push('}');
+    out
+}
+
+/// Classifies a response line as a typed `reload_rejected` reply,
+/// returning the rejection reason.
+pub fn reload_rejected_from_line(resp: &str) -> Option<String> {
+    let trimmed = resp.trim_end();
+    if !trimmed.contains("\"error\":\"reload_rejected\"") {
+        return None;
+    }
+    let doc = JsonValue::parse(trimmed).ok()?;
+    if doc.get("error")?.as_str()? != "reload_rejected" {
+        return None;
+    }
+    Some(
+        doc.get("reason")
+            .and_then(|v| v.as_str())
+            .unwrap_or("unknown")
+            .to_string(),
+    )
 }
 
 /// One shard entry in a [`RouteTable`].
@@ -418,6 +514,37 @@ mod tests {
         let line = overload_line(25, "queue_full");
         let err = overload_from_line(&line).expect("typed overload");
         assert!(pddl_cluster::retry::is_transient(&err));
+        assert!(shard_moved_from_line(&line).is_none());
+    }
+
+    #[test]
+    fn reload_op_parses_with_and_without_version() {
+        assert!(matches!(
+            parse_frame("{\"op\":\"reload\"}"),
+            Ok(ParsedFrame::Reload { version: None })
+        ));
+        assert!(matches!(
+            parse_frame("{\"op\":\"reload\",\"version\":7}"),
+            Ok(ParsedFrame::Reload { version: Some(7) })
+        ));
+    }
+
+    #[test]
+    fn reload_reply_round_trips() {
+        let reply = ReloadReply { version: 4, previous: 3, epoch: 9 };
+        assert_eq!(ReloadReply::from_line(&reply.to_line()).unwrap(), reply);
+        assert!(ReloadReply::from_line("{\"status\":\"ok\"}").is_err());
+    }
+
+    #[test]
+    fn reload_rejected_line_classifies() {
+        let line = reload_rejected_line("probe_mismatch: \"w0\" drifted");
+        assert_eq!(
+            reload_rejected_from_line(&line).as_deref(),
+            Some("probe_mismatch: \"w0\" drifted")
+        );
+        assert!(reload_rejected_from_line("{\"status\":\"reload\"}").is_none());
+        assert!(overload_from_line(&line).is_none());
         assert!(shard_moved_from_line(&line).is_none());
     }
 

@@ -50,7 +50,8 @@ pub fn frame_key(frame: &ParsedFrame) -> Option<u64> {
         ParsedFrame::Stats
         | ParsedFrame::Trace
         | ParsedFrame::Metrics
-        | ParsedFrame::RouteTable => None,
+        | ParsedFrame::RouteTable
+        | ParsedFrame::Reload { .. } => None,
     }
 }
 

@@ -51,7 +51,9 @@ use pddl_telemetry::trace::{flight_recorder, stages};
 use pddl_telemetry::{tlog, Counter, Gauge, Histogram, Level, SpanStatus, TraceContext};
 use predictddl::protocol::{overload_line, shard_moved_line, RouteShard, RouteTable};
 use predictddl::serve::WaitGroup;
-use predictddl::{parse_frame, ParsedFrame};
+use predictddl::{
+    parse_frame, reload_rejected_from_line, reload_rejected_line, ParsedFrame, ReloadReply,
+};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -112,6 +114,7 @@ struct Metrics {
     trace_requests: &'static Counter,
     metrics_requests: &'static Counter,
     route_table_requests: &'static Counter,
+    reload_fanouts: &'static Counter,
     connections_total: &'static Counter,
     connections_shed: &'static Counter,
     disconnects: &'static Counter,
@@ -138,6 +141,7 @@ fn metrics() -> &'static Metrics {
         trace_requests: pddl_telemetry::counter("router.trace_requests"),
         metrics_requests: pddl_telemetry::counter("router.metrics_requests"),
         route_table_requests: pddl_telemetry::counter("router.route_table_requests"),
+        reload_fanouts: pddl_telemetry::counter("router.reload_fanouts"),
         connections_total: pddl_telemetry::counter("router.connections_total"),
         connections_shed: pddl_telemetry::counter("router.connections_shed"),
         disconnects: pddl_telemetry::counter("router.disconnects"),
@@ -547,6 +551,11 @@ fn conn_loop(
                 m.route_table_requests.inc();
                 write_line(&mut client_writer, &membership.table().to_line())?;
             }
+            Ok(ParsedFrame::Reload { .. }) => {
+                m.reload_fanouts.inc();
+                let out = fan_reload(&line, membership, &mut conns, config);
+                write_line(&mut client_writer, &out)?;
+            }
             Ok(frame) => {
                 let key = frame_key(&frame).unwrap_or_else(|| line_key(&line));
                 let trace = match &frame {
@@ -669,6 +678,88 @@ fn forward(
                 );
             }
         }
+    }
+}
+
+/// Fans a `{"op":"reload"}` line out to every healthy shard and
+/// aggregates the replies into one answer for the client.
+///
+/// All shards accepting with a consistent version answers that
+/// [`ReloadReply`] (`previous`/`epoch` from the first shard to answer);
+/// any rejection, unreachable shard, or version divergence answers the
+/// typed rejection line, naming the shard. Shards that already accepted
+/// stay swapped — the registry is versioned, so re-issuing the reload
+/// after fixing the failed shard converges the fleet rather than
+/// ping-ponging it.
+fn fan_reload(
+    line: &str,
+    membership: &Membership,
+    conns: &mut HashMap<u64, ShardConn>,
+    config: RouterConfig,
+) -> String {
+    let targets: Vec<(u64, SocketAddr)> = membership
+        .probe_targets()
+        .into_iter()
+        .filter(|&(_, _, healthy)| healthy)
+        .map(|(id, addr, _)| (id, addr))
+        .collect();
+    if targets.is_empty() {
+        return reload_rejected_line("no_healthy_shards");
+    }
+    let mut agreed: Option<ReloadReply> = None;
+    for (sid, addr) in targets {
+        if let std::collections::hash_map::Entry::Vacant(slot) = conns.entry(sid) {
+            match connect_shard(addr, config) {
+                Ok(c) => {
+                    slot.insert(c);
+                }
+                Err(e) => {
+                    membership.mark(sid, false);
+                    return reload_rejected_line(&format!("shard {sid} unreachable: {e}"));
+                }
+            }
+        }
+        let Some(conn) = conns.get_mut(&sid) else { continue };
+        let exchange = write_line(&mut conn.writer, line).and_then(|()| {
+            let mut resp = String::new();
+            conn.reader.read_line(&mut resp)?;
+            if resp.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "shard closed connection",
+                ));
+            }
+            Ok(resp)
+        });
+        let resp = match exchange {
+            Ok(resp) => resp,
+            Err(e) => {
+                conns.remove(&sid);
+                membership.mark(sid, false);
+                return reload_rejected_line(&format!("shard {sid} unreachable: {e}"));
+            }
+        };
+        if let Some(reason) = reload_rejected_from_line(&resp) {
+            return reload_rejected_line(&format!("shard {sid}: {reason}"));
+        }
+        let reply = match ReloadReply::from_line(&resp) {
+            Ok(reply) => reply,
+            Err(e) => return reload_rejected_line(&format!("shard {sid}: {e}")),
+        };
+        match &agreed {
+            None => agreed = Some(reply),
+            Some(first) if first.version != reply.version => {
+                return reload_rejected_line(&format!(
+                    "fanout_diverged: shards report versions {} and {}",
+                    first.version, reply.version
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    match agreed {
+        Some(reply) => reply.to_line(),
+        None => reload_rejected_line("no_healthy_shards"),
     }
 }
 

@@ -71,6 +71,9 @@ pub mod stages {
     /// routed shard, and relay of its reply. Wraps the shard's own
     /// `request` span in a fleet waterfall.
     pub const ROUTE: &str = "route";
+    /// One hot-reload attempt: candidate load, probe validation, and the
+    /// live-slot swap (or rejection).
+    pub const RELOAD: &str = "reload";
 }
 
 /// SplitMix64 finalizer: cheap, well-distributed id derivation.

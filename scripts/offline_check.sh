@@ -123,6 +123,7 @@ NON_PROPTEST_TESTS=(
   --test golden_traces
   --test trace
   --test shard
+  --test registry
 )
 
 case "${1:-check}" in
@@ -180,6 +181,19 @@ case "${1:-check}" in
     # type-checked only and executes in networked CI.
     cargo test -p pddl-router --offline
     cargo check -p predictddl --offline --test shard
+    ;;
+  test-registry)
+    # The crash-safe store is plain std, so its seeded torn-write /
+    # recovery / retention unit suite runs for real offline, as do the
+    # tier's serde-free tests (the seeded crash sweep over raw artifacts
+    # and the golden manifest fixture). The checkpoint/TCP-reload tests
+    # need serde at runtime, so offline they are type-checked only and
+    # execute in networked CI.
+    cargo test -p pddl-registry --offline
+    cargo test -p predictddl --offline --test registry -- \
+      open_recovers_newest_verifiable_version_for_every_seed \
+      manifest_format_matches_golden_fixture
+    cargo check -p predictddl --offline --test registry
     ;;
   metrics-expo)
     # Prometheus exposition renderer + the golden fixtures pinning the

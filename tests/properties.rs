@@ -406,3 +406,152 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint registry (pddl-registry): the on-disk format and store
+// invariants the reload path depends on.
+// ---------------------------------------------------------------------------
+
+use pddl_registry::{ArtifactEntry, Manifest, ProbeRecord, Registry, FORMAT_VERSION};
+use std::path::PathBuf;
+
+fn prop_root(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "pddl-prop-registry-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn arb_manifest() -> impl Strategy<Value = Manifest> {
+    let artifact = ("[a-z._-]{1,24}", any::<u64>(), any::<u64>())
+        .prop_map(|(name, len, fnv1a)| ArtifactEntry { name, len, fnv1a });
+    let probe = (".{0,32}", any::<u64>())
+        .prop_map(|(key, bits)| ProbeRecord { key, seconds_bits: bits });
+    (
+        any::<u64>(),
+        any::<u64>(),
+        ".{0,40}",
+        proptest::collection::vec(artifact, 0..5),
+        proptest::collection::vec(probe, 0..5),
+    )
+        .prop_map(|(version, created_unix, label, artifacts, probes)| Manifest {
+            format: FORMAT_VERSION,
+            version,
+            created_unix,
+            label,
+            artifacts,
+            probes,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The manifest renderer and parser are exact inverses for any
+    /// manifest — arbitrary labels (quotes, backslashes, control chars,
+    /// non-ASCII), full-range u64 hashes, and any f64 bit pattern in the
+    /// probes survive the JSON round trip bit-for-bit.
+    #[test]
+    fn manifest_json_round_trips_exactly(manifest in arb_manifest()) {
+        let rendered = manifest.to_json();
+        let parsed = Manifest::from_json(&rendered)
+            .map_err(|e| TestCaseError::fail(format!("rendered manifest rejected: {e}")))?;
+        prop_assert_eq!(&parsed, &manifest);
+        // Rendering is deterministic: parse → render is a fixed point.
+        prop_assert_eq!(parsed.to_json(), rendered);
+    }
+
+    /// Retention keeps exactly the newest `retain` versions plus every
+    /// pinned one, and the survivors stay fully readable. The pinned
+    /// version is never collected no matter how many publishes follow.
+    #[test]
+    fn retention_never_collects_pinned_or_live(
+        publishes in 1usize..10,
+        retain in 1usize..4,
+        pin_after in 0usize..4,
+    ) {
+        let root = prop_root("retain");
+        let (reg, _) = Registry::open(&root, retain)
+            .map_err(|e| TestCaseError::fail(format!("open: {e}")))?;
+        let art = [("system.json".to_string(), b"{\"p\":1}".to_vec())];
+        let mut published = Vec::new();
+        let mut pinned = None;
+        for i in 0..publishes {
+            let v = reg.publish(&format!("p{i}"), &art, &[])
+                .map_err(|e| TestCaseError::fail(format!("publish: {e}")))?;
+            published.push(v);
+            if i == pin_after.min(publishes - 1) {
+                reg.pin(v).map_err(|e| TestCaseError::fail(format!("pin: {e}")))?;
+                pinned = Some(v);
+            }
+        }
+        let live = reg.versions();
+        let pinned = pinned.expect("one version was pinned");
+        prop_assert!(live.contains(&pinned), "pinned version was collected");
+        let newest: Vec<u64> =
+            published.iter().rev().take(retain).copied().collect();
+        for v in &newest {
+            prop_assert!(live.contains(v), "version {} in the retention window was collected", v);
+        }
+        // Nothing outside the window survives except the pinned version.
+        for v in &live {
+            prop_assert!(
+                newest.contains(v) || *v == pinned,
+                "version {} survived outside the retention window unpinned", v
+            );
+        }
+        // Survivors stay readable and content-verified.
+        for v in &live {
+            prop_assert_eq!(
+                reg.read_artifact(*v, "system.json")
+                    .map_err(|e| TestCaseError::fail(format!("read: {e}")))?,
+                art[0].1.clone()
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Concurrent publishers over one root never collide: every publish
+    /// gets a unique version number, numbering is gapless across the
+    /// union, and each writer's own sequence is strictly monotonic.
+    #[test]
+    fn concurrent_publishes_are_unique_and_monotonic(
+        writers in 2usize..5,
+        per_writer in 1usize..5,
+    ) {
+        let root = prop_root("concurrent");
+        let (reg, _) = Registry::open(&root, 0)
+            .map_err(|e| TestCaseError::fail(format!("open: {e}")))?;
+        let reg = Arc::new(reg);
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || -> Vec<u64> {
+                    (0..per_writer)
+                        .map(|i| {
+                            reg.publish(
+                                &format!("w{w}-{i}"),
+                                &[(format!("a{w}.json"), vec![w as u8; 64])],
+                                &[],
+                            )
+                            .expect("publish")
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        let per_thread: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for seq in &per_thread {
+            prop_assert!(seq.windows(2).all(|w| w[0] < w[1]), "a writer saw non-monotonic versions");
+        }
+        let mut all: Vec<u64> = per_thread.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (1..=(writers * per_writer) as u64).collect();
+        prop_assert_eq!(all, expected, "version numbers must be unique and gapless");
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
