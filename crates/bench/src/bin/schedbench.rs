@@ -1,0 +1,185 @@
+//! `pddl-schedbench` — the prediction-driven-scheduling benchmark.
+//!
+//! Writes `BENCH_sched.json`: two seeded, **bit-deterministic** scenarios
+//! on the `pddl-sched` engine (no wall-clock measurement anywhere, so
+//! re-running the binary reproduces the committed file exactly):
+//!
+//! 1. **burst** — bursty arrivals with deadline SLOs, every policy run on
+//!    the identical job stream. The committed floor: the prediction-driven
+//!    deadline-aware policy misses fewer deadlines than FIFO.
+//! 2. **shift** — a mid-run 2.5× cost-model shift under FIFO. The live
+//!    predictor detects the drift (exactly one Page–Hinkley fire),
+//!    truncates its window, refits, and recovers; the frozen fit-once
+//!    clone keeps predicting the old regime. Committed floors:
+//!    `recovery_ratio ≤ 1.5`, `frozen_vs_online ≥ 3`.
+//!
+//! ```text
+//! pddl-schedbench [--out BENCH_sched.json] [--jobs 100000] [--servers 64]
+//!                 [--seed 91]
+//! ```
+
+use pddl_bench::report::{AccuracyPoint, PolicyRow, SchedReport, ShiftScenario};
+use pddl_sched::{
+    run_engine, ArrivalSpec, CostShift, EngineConfig, EngineMetrics, EngineTrace, PolicyKind,
+};
+use std::collections::HashMap;
+
+fn burst_config(policy: PolicyKind, jobs: usize, servers: usize, seed: u64) -> EngineConfig {
+    let mut cfg = EngineConfig::new(policy, jobs, seed);
+    cfg.servers = servers;
+    cfg.arrivals = ArrivalSpec::BurstLoad {
+        rho_base: 0.5,
+        rho_burst: 2.5,
+        period_runtimes: 4.0,
+        burst_fraction: 0.25,
+    };
+    cfg.deadline_fraction = 0.7;
+    cfg
+}
+
+fn shift_config(jobs: usize, servers: usize, seed: u64) -> EngineConfig {
+    let mut cfg = EngineConfig::new(PolicyKind::Fifo, jobs, seed);
+    cfg.servers = servers;
+    cfg.arrivals = ArrivalSpec::PoissonLoad { rho: 0.45 };
+    cfg.shifts = vec![CostShift { at_fraction: 0.5, factor: 2.5 }];
+    cfg.post_shift_skip = jobs / 40;
+    cfg
+}
+
+fn policy_row(policy: PolicyKind, m: &EngineMetrics) -> PolicyRow {
+    PolicyRow {
+        policy: policy.name().to_string(),
+        submitted: m.submitted,
+        completed: m.completed,
+        deadlines_total: m.deadlines_total,
+        deadlines_missed: m.deadlines_missed,
+        missed_pct: m.missed_pct(),
+        utilization: m.utilization,
+        mean_wait_secs: m.mean_wait,
+        p99_wait_secs: m.p99_wait,
+        peak_queue: m.peak_queue,
+    }
+}
+
+fn shift_scenario(cfg: &EngineConfig, t: &EngineTrace) -> ShiftScenario {
+    let a = &t.accuracy;
+    ShiftScenario {
+        policy: cfg.policy.name().to_string(),
+        factor: cfg.shifts[0].factor,
+        at_fraction: cfg.shifts[0].at_fraction,
+        drift_events: t.metrics.drift_events,
+        refits: t.metrics.refits,
+        updates: t.metrics.updates,
+        pre_shift_online: a.pre_shift_online,
+        pre_shift_frozen: a.pre_shift_frozen,
+        post_shift_online: a.post_shift_online,
+        post_shift_frozen: a.post_shift_frozen,
+        recovery_ratio: a.recovery_ratio,
+        frozen_vs_online: a.frozen_vs_online,
+        curve: a
+            .curve
+            .iter()
+            .map(|b| AccuracyPoint {
+                t_end_secs: b.t_end,
+                online_err: b.online_err,
+                frozen_err: b.frozen_err,
+                jobs: b.jobs,
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = parse_flags(&args);
+    let out = flags.get("out").cloned().unwrap_or_else(|| "BENCH_sched.json".to_string());
+    let jobs: usize = flags.get("jobs").map_or(Ok(100_000), |s| s.parse()).unwrap_or_else(|_| {
+        eprintln!("error: --jobs must be an integer");
+        std::process::exit(2);
+    });
+    let servers: usize =
+        flags.get("servers").map_or(Ok(64), |s| s.parse()).unwrap_or_else(|_| {
+            eprintln!("error: --servers must be an integer");
+            std::process::exit(2);
+        });
+    let seed: u64 = flags.get("seed").map_or(Ok(91), |s| s.parse()).unwrap_or_else(|_| {
+        eprintln!("error: --seed must be an integer");
+        std::process::exit(2);
+    });
+
+    // Burst scenario: the same arrival stream (same seed) under every
+    // policy, so the policy comparison is paired, not sampled.
+    let policies = [
+        PolicyKind::Fifo,
+        PolicyKind::SjfPredicted,
+        PolicyKind::DeadlineAware,
+        PolicyKind::AutoscalePredicted,
+    ];
+    let mut burst = Vec::with_capacity(policies.len());
+    for policy in policies {
+        let t = run_engine(&burst_config(policy, jobs, servers, seed));
+        eprintln!(
+            "burst/{}: {} jobs, missed {:.2}% of {} deadlines, utilization {:.3}",
+            policy.name(),
+            t.metrics.completed,
+            t.metrics.missed_pct(),
+            t.metrics.deadlines_total,
+            t.metrics.utilization,
+        );
+        burst.push(policy_row(policy, &t.metrics));
+    }
+
+    // Shift scenario: frozen-vs-online through a mid-run cost shift.
+    let shift_cfg = shift_config(jobs, servers, seed);
+    let t = run_engine(&shift_cfg);
+    eprintln!(
+        "shift/fifo: drift fires {}, refits {}, recovery {:.3}, frozen/online {:.1}",
+        t.metrics.drift_events,
+        t.metrics.refits,
+        t.accuracy.recovery_ratio,
+        t.accuracy.frozen_vs_online,
+    );
+    let shift = shift_scenario(&shift_cfg, &t);
+
+    let snapshot = pddl_telemetry::snapshot();
+    let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
+    let report = SchedReport {
+        jobs,
+        servers,
+        seed,
+        burst,
+        shift,
+        telemetry: vec![
+            ("sched.jobs_launched".to_string(), counter("sched.jobs_launched")),
+            ("refit.updates".to_string(), counter("refit.updates")),
+            ("refit.refits".to_string(), counter("refit.refits")),
+            ("refit.drift_events".to_string(), counter("refit.drift_events")),
+        ],
+    };
+    std::fs::write(&out, report.render()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut flags = Flags::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}

@@ -9,6 +9,8 @@
 //! predictddl-cli serve --system system.json --addr 127.0.0.1:7077
 //! predictddl-cli serve --registry ./registry [--watch-registry 2000]
 //! predictddl-cli reload --addr 127.0.0.1:7077 [--version N]
+//! predictddl-cli observe --addr 127.0.0.1:7077 --model resnet50
+//!                        --dataset cifar10 --servers 8 --actual-secs 812.5
 //! predictddl-cli stats --addr 127.0.0.1:7077
 //! predictddl-cli trace --addr 127.0.0.1:7077 [--json]
 //! predictddl-cli metrics --addr 127.0.0.1:7077
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
         "predict" => cmd_predict(&flags),
         "serve" => cmd_serve(&flags),
         "reload" => cmd_reload(&flags),
+        "observe" => cmd_observe(&flags),
         "stats" => cmd_stats(&flags),
         "trace" => cmd_trace(&flags),
         "metrics" => cmd_metrics(&flags),
@@ -82,6 +85,9 @@ const USAGE: &str = "usage:
                          [--trace-slow-ms N] [--shard-id N]
                          [--fault-plan 'seed=42,delay=0.05:5,reset=0.02']
   predictddl-cli reload  [--addr 127.0.0.1:7077] [--version N] [--timeout-ms 5000]
+  predictddl-cli observe [--addr 127.0.0.1:7077] --model <name> --dataset <name>
+                         --servers <n> --actual-secs <secs> [--gpu|--cpu]
+                         [--batch 128] [--epochs 10] [--timeout-ms 5000]
   predictddl-cli stats   [--addr 127.0.0.1:7077] [--timeout-ms 5000]
   predictddl-cli trace   [--addr 127.0.0.1:7077] [--timeout-ms 5000] [--json]
   predictddl-cli metrics [--addr 127.0.0.1:7077] [--timeout-ms 5000]
@@ -98,6 +104,8 @@ options:
   --watch-registry serve: poll the registry every <ms> and hot-swap to new
                    versions automatically (requires --registry)
   --version        reload: target version (default: the registry's latest)
+  --actual-secs    observe: the measured wall-clock training time being fed
+                   back into the controller's drift detector
   --workers        serve: worker threads in the request pool (default: cores)
   --queue-depth    serve: admission queue slots before load shedding (256)
   --max-conns      serve: simultaneous connection cap (1024)
@@ -340,7 +348,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         "protocol: one JSON PredictionRequest per line (a JSON array is a \
          pooled batch); {{\"op\":\"stats\"}}, {{\"op\":\"trace\"}}, \
          {{\"op\":\"metrics\"}} for observability; {{\"op\":\"reload\"}} \
-         for validated hot swaps; Ctrl-C to stop"
+         for validated hot swaps; {{\"op\":\"observe\"}} to feed measured \
+         runtimes back into drift detection; Ctrl-C to stop"
     );
     install_shutdown_handler();
     while !SHUTDOWN.load(Ordering::SeqCst) {
@@ -405,6 +414,34 @@ fn cmd_reload(flags: &Flags) -> Result<(), String> {
         Err(reason) => Err(format!(
             "reload rejected: {reason} (the previous model keeps serving)"
         )),
+    }
+}
+
+fn cmd_observe(flags: &Flags) -> Result<(), String> {
+    let model = required(flags, "model")?;
+    let dataset = required(flags, "dataset")?;
+    let batch: usize = flags.get("batch").map_or(Ok(128), |s| s.parse()).map_err(|_| "--batch must be an integer")?;
+    let epochs: usize = flags.get("epochs").map_or(Ok(10), |s| s.parse()).map_err(|_| "--epochs must be an integer")?;
+    let actual_secs: f64 = required(flags, "actual-secs")?
+        .parse()
+        .map_err(|_| "--actual-secs must be a number")?;
+    let cluster = cluster_from_flags(flags)?;
+    let req = PredictionRequest::zoo(Workload::new(model, dataset, batch, epochs), cluster);
+    let mut client = control_client(flags)?;
+    match client.observe(&req, actual_secs).map_err(|e| e.to_string())? {
+        Ok(reply) => {
+            println!(
+                "observed: {} observation(s) total, residual z = {:+.2}{}",
+                reply.observations,
+                reply.residual_z,
+                if reply.drifted { " — DRIFT detected, model refit" } else { "" },
+            );
+            if reply.drift_events > 0 && !reply.drifted {
+                println!("{} drift event(s) fired so far", reply.drift_events);
+            }
+            Ok(())
+        }
+        Err(reason) => Err(format!("observation rejected: {reason}")),
     }
 }
 

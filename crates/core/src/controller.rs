@@ -102,10 +102,12 @@ pub use crate::protocol::{
     parse_frame, ParsedFrame, RequestEnvelope, ResponseEnvelope, TraceHeader, WireResponse,
 };
 
+use crate::observe::ObservationSink;
 use crate::offline::PredictDdl;
 use crate::protocol::{
-    overload_from_line, overload_line, reload_rejected_from_line, reload_rejected_line,
-    shard_moved_from_line, ReloadReply, RouteShard, RouteTable,
+    observe_rejected_from_line, observe_rejected_line, overload_from_line, overload_line,
+    reload_rejected_from_line, reload_rejected_line, shard_moved_from_line, ObserveReply,
+    ReloadReply, RouteShard, RouteTable,
 };
 use crate::reload::{LiveSystem, ReloadManager, ReloadOutcome};
 use crate::request::{Prediction, PredictionRequest, RequestError};
@@ -139,6 +141,7 @@ struct Metrics {
     metrics_requests: &'static Counter,
     route_table_requests: &'static Counter,
     reload_requests: &'static Counter,
+    observe_requests: &'static Counter,
     traced_requests: &'static Counter,
     shed_queue_full: &'static Counter,
     shed_deadline: &'static Counter,
@@ -166,6 +169,7 @@ fn metrics() -> &'static Metrics {
         metrics_requests: pddl_telemetry::counter("controller.metrics_requests"),
         route_table_requests: pddl_telemetry::counter("controller.route_table_requests"),
         reload_requests: pddl_telemetry::counter("controller.reload_requests"),
+        observe_requests: pddl_telemetry::counter("controller.observe_requests"),
         traced_requests: pddl_telemetry::counter("controller.traced_requests"),
         shed_queue_full: pddl_telemetry::counter("controller.shed.queue_full"),
         shed_deadline: pddl_telemetry::counter("controller.shed.deadline"),
@@ -256,6 +260,7 @@ pub struct Controller {
     readers: Arc<WaitGroup>,
     pool: Arc<ServePool>,
     live: Arc<LiveSystem>,
+    sink: Arc<ObservationSink>,
 }
 
 impl Controller {
@@ -305,6 +310,7 @@ impl Controller {
         let shutdown = Arc::new(AtomicBool::new(false));
         let requests_served = Arc::new(AtomicU64::new(0));
         let cache = Arc::new(ResponseCache::default());
+        let sink = Arc::new(ObservationSink::new());
         let pool = Arc::new(ServePool::start(config));
         let readers = Arc::new(WaitGroup::new());
         tlog!(
@@ -326,6 +332,7 @@ impl Controller {
             let readers = Arc::clone(&readers);
             let live = Arc::clone(&live);
             let reload = reload.clone();
+            let sink = Arc::clone(&sink);
             std::thread::spawn(move || {
                 let m = metrics();
                 let mut next_conn: u64 = 0;
@@ -361,6 +368,7 @@ impl Controller {
                             next_conn += 1;
                             let live = Arc::clone(&live);
                             let reload = reload.clone();
+                            let sink = Arc::clone(&sink);
                             let served = Arc::clone(&served);
                             let cache = Arc::clone(&cache);
                             let pool = Arc::clone(&pool);
@@ -370,8 +378,8 @@ impl Controller {
                                 let outcome = split_stream(stream, fault_plan.as_ref(), conn)
                                     .and_then(|(r, w)| {
                                         reader_loop(
-                                            r, w, &live, reload.as_ref(), &served, &cache,
-                                            &pool, &shutdown, config, local,
+                                            r, w, &live, reload.as_ref(), &sink, &served,
+                                            &cache, &pool, &shutdown, config, local,
                                         )
                                     });
                                 if outcome.is_err() {
@@ -401,6 +409,7 @@ impl Controller {
             readers,
             pool,
             live,
+            sink,
         })
     }
 
@@ -431,6 +440,14 @@ impl Controller {
     /// zero once every client disconnects, with no accept traffic needed.
     pub fn live_connections(&self) -> usize {
         self.readers.count()
+    }
+
+    /// The feedback inlet behind `{"op":"observe"}` — runtime
+    /// observations accepted and drift events fired so far. Shared with
+    /// every reader thread; useful for tests and for embedding callers
+    /// that want [`ObservationSink::calibrate`] on top of raw predictions.
+    pub fn observation_sink(&self) -> &Arc<ObservationSink> {
+        &self.sink
     }
 
     /// High-water mark of the admission queue since startup.
@@ -557,6 +574,7 @@ fn reader_loop(
     writer: Box<dyn Write + Send>,
     live: &Arc<LiveSystem>,
     reload: Option<&Arc<ReloadManager>>,
+    sink: &Arc<ObservationSink>,
     served: &Arc<AtomicU64>,
     cache: &Arc<ResponseCache>,
     pool: &ServePool,
@@ -626,7 +644,8 @@ fn reader_loop(
             | ParsedFrame::Trace
             | ParsedFrame::Metrics
             | ParsedFrame::RouteTable
-            | ParsedFrame::Reload { .. } => None,
+            | ParsedFrame::Reload { .. }
+            | ParsedFrame::Observe { .. } => None,
             ParsedFrame::Enveloped(env) if env.trace.is_some() => {
                 env.trace.map(TraceContext::from)
             }
@@ -713,6 +732,27 @@ fn reader_loop(
                         Err(rej) => reload_rejected_line(&rej.reason),
                     },
                     None => reload_rejected_line("no_registry"),
+                };
+                write_shared(&writer, &out)?;
+            }
+            // Observe: the continual-refit feedback inlet, answered inline
+            // like the other control ops (drift detection must keep
+            // working while the pool is saturated — that is exactly when
+            // the cost model is most likely to be wrong). The live model
+            // re-predicts the request; the residual drives the sink.
+            ParsedFrame::Observe { req, actual_secs } => {
+                m.observe_requests.inc();
+                let out = if !(actual_secs.is_finite() && actual_secs > 0.0) {
+                    observe_rejected_line("non_positive_runtime")
+                } else {
+                    match live.pin().predict(&req) {
+                        Ok(pred) if pred.seconds > 0.0 => {
+                            let servers = req.cluster.servers.len();
+                            sink.record(pred.seconds, actual_secs, servers).to_line()
+                        }
+                        Ok(_) => observe_rejected_line("non_positive_prediction"),
+                        Err(e) => observe_rejected_line(&format!("prediction_failed: {e}")),
+                    }
                 };
                 write_shared(&writer, &out)?;
             }
@@ -1184,6 +1224,27 @@ impl ControllerClient {
         ReloadReply::from_line(&resp)
             .map(Ok)
             .map_err(invalid_data)
+    }
+
+    /// Reports a completed job's measured runtime for the request it was
+    /// predicted from — `{"op":"observe"}` on the wire. The outer `Result`
+    /// is transport failure; the inner one is the server's verdict:
+    /// `Ok(reply)` when the observation was folded into the controller's
+    /// [`ObservationSink`], `Err(reason)` when it was rejected (non-finite
+    /// runtime, or the live model could not re-predict the request).
+    pub fn observe(
+        &mut self,
+        req: &PredictionRequest,
+        actual_secs: f64,
+    ) -> std::io::Result<Result<ObserveReply, String>> {
+        let mut line = String::from("{\"op\":\"observe\",\"req\":");
+        line.push_str(&serde_json::to_string(req)?);
+        line.push_str(&format!(",\"actual_secs\":{actual_secs:?}}}"));
+        let resp = self.round_trip(&line)?;
+        if let Some(reason) = observe_rejected_from_line(&resp) {
+            return Ok(Err(reason));
+        }
+        ObserveReply::from_line(&resp).map(Ok).map_err(invalid_data)
     }
 
     /// Opens the TCP connection if none is live.

@@ -46,7 +46,7 @@
 //! The controller speaks newline-delimited JSON over TCP. The wire
 //! shapes live in the [`protocol`] module and are documented op-by-op,
 //! with captured transcripts, in `PROTOCOL.md` at the repository root.
-//! Eight request shapes share the stream:
+//! Nine request shapes share the stream:
 //!
 //! * a single [`PredictionRequest`] object → one [`Prediction`] (or error)
 //!   response line;
@@ -73,6 +73,16 @@
 //!   [`RouteTable`] (`{"status":"route_table","epoch":…,"shards":[…]}`).
 //!   A bare controller answers with its one-entry identity table; the
 //!   `pddl-router` process answers with the live fleet membership;
+//! * `{"op":"observe"}` (`{"op":"observe","req":{…},"actual_secs":…}`) →
+//!   feed a completed job's measured runtime back into the controller's
+//!   [`observe::ObservationSink`]: the live model re-predicts the request,
+//!   the log-space residual drives Page–Hinkley drift detection and the
+//!   online calibration model, and the reply
+//!   (`{"status":"observe","observations":…,"drift_events":…,
+//!   "residual_z":…,"drifted":…}`) reports the standardized residual and
+//!   whether this observation fired a drift event. Non-finite or
+//!   non-positive runtimes get the typed
+//!   `{"error":"observe_rejected","reason":…}` line;
 //! * `{"op":"reload"}` (optional `"version"`) → hot-swap the serving
 //!   model to a checkpoint-registry version (latest when unspecified)
 //!   after replaying the manifest's golden probes against the candidate.
@@ -110,6 +120,7 @@ pub mod checkpoint;
 pub mod controller;
 pub mod embeddings;
 pub mod inference;
+pub mod observe;
 pub mod offline;
 pub mod persist;
 pub mod protocol;
@@ -125,10 +136,11 @@ pub use checkpoint::{
     CheckpointError, CACHE_ARTIFACT, SYSTEM_ARTIFACT,
 };
 pub use controller::{Controller, ControllerClient};
+pub use observe::ObservationSink;
 pub use protocol::{
-    parse_frame, reload_rejected_from_line, reload_rejected_line, ParsedFrame, ReloadReply,
-    RequestEnvelope, ResponseEnvelope, RouteShard, RouteTable, TraceHeader, WireResponse,
-    WIRE_OPS,
+    observe_rejected_from_line, observe_rejected_line, parse_frame, reload_rejected_from_line,
+    reload_rejected_line, ObserveReply, ParsedFrame, ReloadReply, RequestEnvelope,
+    ResponseEnvelope, RouteShard, RouteTable, TraceHeader, WireResponse, WIRE_OPS,
 };
 pub use reload::{spawn_watcher, LiveSystem, ReloadManager, ReloadOutcome, ReloadRejected};
 pub use embeddings::{CacheStats, EmbeddingCache, EmbeddingsGenerator};

@@ -59,6 +59,7 @@ pub const WIRE_OPS: &[&str] = &[
     "metrics",
     "route_table",
     "reload",
+    "observe",
     "register",
     "heartbeat",
     "leave",
@@ -153,7 +154,7 @@ impl From<TraceHeader> for TraceContext {
 /// Control operations multiplexed onto the request stream. Tried before
 /// [`PredictionRequest`] parsing; the `op` tag cannot collide with a
 /// prediction request's fields.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 #[serde(tag = "op", rename_all = "snake_case")]
 #[allow(dead_code)] // constructed only through the derived Deserialize
 enum ControlOp {
@@ -177,6 +178,19 @@ enum ControlOp {
         #[serde(default, skip_serializing_if = "Option::is_none")]
         version: Option<u64>,
     },
+    /// Feed one completed job back into the continual-refit loop: the
+    /// workload/cluster it ran as (`req`) and the wall-clock seconds it
+    /// actually took. The controller re-predicts against the live model,
+    /// folds the residual into the observation sink's online calibration
+    /// and drift detector, and answers with an [`ObserveReply`] line (or
+    /// the typed [`observe_rejected_line`] if the request cannot be
+    /// predicted).
+    Observe {
+        /// The workload + cluster the observation was measured on.
+        req: Box<PredictionRequest>,
+        /// Measured training time, seconds. Must be positive and finite.
+        actual_secs: f64,
+    },
 }
 
 /// One classified request frame (see [`parse_frame`]).
@@ -195,6 +209,14 @@ pub enum ParsedFrame {
     Reload {
         /// Target registry version; `None` selects the latest.
         version: Option<u64>,
+    },
+    /// `{"op":"observe"}` — feed a completed job's measured runtime back
+    /// into the continual-refit loop.
+    Observe {
+        /// The workload + cluster the observation was measured on.
+        req: Box<PredictionRequest>,
+        /// Measured training time, seconds.
+        actual_secs: f64,
     },
     /// A JSON array of prediction requests (a batch).
     Batch(Vec<PredictionRequest>),
@@ -215,6 +237,9 @@ pub fn parse_frame(line: &str) -> Result<ParsedFrame, String> {
             ControlOp::Metrics => ParsedFrame::Metrics,
             ControlOp::RouteTable => ParsedFrame::RouteTable,
             ControlOp::Reload { version } => ParsedFrame::Reload { version },
+            ControlOp::Observe { req, actual_secs } => {
+                ParsedFrame::Observe { req, actual_secs }
+            }
         });
     }
     if line.trim_start().starts_with('[') {
@@ -358,6 +383,95 @@ pub fn reload_rejected_from_line(resp: &str) -> Option<String> {
     }
     let doc = JsonValue::parse(trimmed).ok()?;
     if doc.get("error")?.as_str()? != "reload_rejected" {
+        return None;
+    }
+    Some(
+        doc.get("reason")
+            .and_then(|v| v.as_str())
+            .unwrap_or("unknown")
+            .to_string(),
+    )
+}
+
+/// Reply to a successful `{"op":"observe"}`: the sink's lifetime
+/// observation count, how many drift events have fired, the standardized
+/// residual of *this* observation against the live model, and whether it
+/// tripped the drift detector.
+///
+/// Rendered and parsed by hand (no serde at runtime) like the other
+/// control-plane lines, so the CLI and offline harness can speak it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ObserveReply {
+    /// Observations accepted by this controller's sink (lifetime).
+    pub observations: u64,
+    /// Drift events fired by the sink's detector (lifetime).
+    pub drift_events: u64,
+    /// This observation's log-space residual, standardized against the
+    /// sink's healthy-noise scale estimate.
+    pub residual_z: f64,
+    /// True when this observation fired the drift detector.
+    pub drifted: bool,
+}
+
+impl ObserveReply {
+    /// Renders the `{"status":"observe",…}` response line. The residual
+    /// uses the shortest round-trip f64 form, so `from_line` recovers the
+    /// exact value.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{{\"status\":\"observe\",\"observations\":{},\"drift_events\":{},\"residual_z\":{:?},\"drifted\":{}}}",
+            self.observations, self.drift_events, self.residual_z, self.drifted
+        )
+    }
+
+    /// Parses a `{"status":"observe",…}` response line.
+    pub fn from_line(line: &str) -> Result<ObserveReply, String> {
+        let doc = JsonValue::parse(line.trim_end()).map_err(|e| e.to_string())?;
+        if doc.get("status").and_then(|s| s.as_str()) != Some("observe") {
+            return Err("response is not an observe payload".to_string());
+        }
+        let int = |k: &str| {
+            doc.get(k)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("observe reply missing '{k}'"))
+        };
+        Ok(ObserveReply {
+            observations: int("observations")?,
+            drift_events: int("drift_events")?,
+            residual_z: doc
+                .get("residual_z")
+                .and_then(|v| v.as_f64())
+                .ok_or("observe reply missing 'residual_z'")?,
+            drifted: doc
+                .get("drifted")
+                .and_then(|v| v.as_bool())
+                .ok_or("observe reply missing 'drifted'")?,
+        })
+    }
+}
+
+/// Renders the typed rejection reply for an `{"op":"observe"}` the
+/// controller could not absorb: the measured runtime was non-positive or
+/// non-finite, or the live model could not predict the request (unknown
+/// dataset, infeasible cluster). The observation is dropped; the model is
+/// unchanged. Terminal for the attempt, not transient.
+pub fn observe_rejected_line(reason: &str) -> String {
+    let mut out = String::with_capacity(42 + reason.len());
+    out.push_str("{\"error\":\"observe_rejected\",\"reason\":");
+    push_json_string(&mut out, reason);
+    out.push('}');
+    out
+}
+
+/// Classifies a response line as a typed `observe_rejected` reply,
+/// returning the rejection reason.
+pub fn observe_rejected_from_line(resp: &str) -> Option<String> {
+    let trimmed = resp.trim_end();
+    if !trimmed.contains("\"error\":\"observe_rejected\"") {
+        return None;
+    }
+    let doc = JsonValue::parse(trimmed).ok()?;
+    if doc.get("error")?.as_str()? != "observe_rejected" {
         return None;
     }
     Some(
@@ -546,6 +660,49 @@ mod tests {
         assert!(reload_rejected_from_line("{\"status\":\"reload\"}").is_none());
         assert!(overload_from_line(&line).is_none());
         assert!(shard_moved_from_line(&line).is_none());
+    }
+
+    #[test]
+    fn observe_op_parses() {
+        let req = PredictionRequest::zoo(
+            pddl_ddlsim::Workload::standard("resnet18", "cifar10"),
+            pddl_cluster::ClusterState::homogeneous(pddl_cluster::ServerClass::GpuP100, 4),
+        );
+        let line = format!(
+            "{{\"op\":\"observe\",\"actual_secs\":123.5,\"req\":{}}}",
+            serde_json::to_string(&req).unwrap()
+        );
+        match parse_frame(&line) {
+            Ok(ParsedFrame::Observe { req, actual_secs }) => {
+                assert_eq!(req.dataset, "cifar10");
+                assert_eq!(actual_secs, 123.5);
+            }
+            other => panic!("expected observe frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observe_reply_round_trips() {
+        let reply = ObserveReply {
+            observations: 41,
+            drift_events: 2,
+            residual_z: -0.037_251,
+            drifted: false,
+        };
+        assert_eq!(ObserveReply::from_line(&reply.to_line()).unwrap(), reply);
+        assert!(ObserveReply::from_line("{\"status\":\"reload\"}").is_err());
+    }
+
+    #[test]
+    fn observe_rejected_line_classifies() {
+        let line = observe_rejected_line("actual_secs must be positive");
+        assert_eq!(
+            observe_rejected_from_line(&line).as_deref(),
+            Some("actual_secs must be positive")
+        );
+        assert!(observe_rejected_from_line("{\"status\":\"observe\"}").is_none());
+        assert!(reload_rejected_from_line(&line).is_none());
+        assert!(overload_from_line(&line).is_none());
     }
 
     #[test]

@@ -17,18 +17,28 @@
 //! Plus the supporting cast: standardization, train/test splitting, k-fold
 //! cross-validation, grid search (the paper grid-searches SVR over
 //! C ∈ [1, 10³], γ ∈ [0.05, 0.5], ε ∈ [0.05, 0.2]), and error metrics.
+//!
+//! Beyond the paper's one-shot offline fit, the crate also carries the
+//! continual-refit loop (§VI future work): [`online::OnlineRidge`] applies
+//! rank-1 Sherman–Morrison updates per completed job with a sliding-window
+//! full-refit fallback, and [`drift::PageHinkley`] watches standardized
+//! residuals for cluster cost-model shifts.
 
+pub mod drift;
 pub mod gridsearch;
 pub mod knn;
 pub mod linear;
 pub mod metrics;
 pub mod mlp;
+pub mod online;
 pub mod poly;
 pub mod scale;
 pub mod split;
 pub mod svr;
 
+pub use drift::{DriftConfig, DriftEvent, PageHinkley, ResidualScale};
 pub use knn::{Distance, KnnRegressor};
+pub use online::{batch_ridge, OnlineRidge};
 pub use linear::{LinearRegression, Ridge};
 pub use metrics::{mean_relative_error, rmse};
 pub use mlp::MlpRegressor;

@@ -41,12 +41,15 @@ pub fn routing_key(req: &PredictionRequest) -> u64 {
 /// The routing key of one classified wire frame, when it has one.
 /// Control ops have no key (they are answered by whoever receives
 /// them); batches route on their first request so a homogeneous batch
-/// lands on its cache-warm shard.
+/// lands on its cache-warm shard. Observations route on the request
+/// they report, so a workload's feedback reaches the same shard that
+/// serves its predictions and that shard's calibration stays coherent.
 pub fn frame_key(frame: &ParsedFrame) -> Option<u64> {
     match frame {
         ParsedFrame::Single(req) => Some(routing_key(req)),
         ParsedFrame::Enveloped(env) => Some(routing_key(&env.req)),
         ParsedFrame::Batch(reqs) => reqs.first().map(routing_key),
+        ParsedFrame::Observe { req, .. } => Some(routing_key(req)),
         ParsedFrame::Stats
         | ParsedFrame::Trace
         | ParsedFrame::Metrics

@@ -7,6 +7,7 @@
 //! deadlines, queue buildup, or wasted width, exactly as in a real
 //! deployment.
 
+use crate::engine::sched_telemetry;
 use crate::estimator::RuntimeEstimator;
 use crate::job::{JobId, SchedJob};
 use crate::policy::Policy;
@@ -101,6 +102,13 @@ impl<'a> QueueSimulator<'a> {
                 let runtime = self.actual_runtime(&job, servers);
                 let finish = now + runtime;
                 free -= servers;
+                // Per-job queue wait lands in the shared telemetry
+                // histogram, so sched runs expose p50/p95/p99 waits in
+                // `{"op":"metrics"}` exposition, not just the aggregate
+                // mean below.
+                let t = sched_telemetry();
+                t.queue_wait.record(((now - job.submit_time) * 1e6) as u64);
+                t.launched.inc();
                 outcomes.push(JobOutcome {
                     id: job.id,
                     start: now,

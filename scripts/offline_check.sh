@@ -124,6 +124,7 @@ NON_PROPTEST_TESTS=(
   --test trace
   --test shard
   --test registry
+  --test sched
 )
 
 case "${1:-check}" in
@@ -195,6 +196,14 @@ case "${1:-check}" in
       manifest_format_matches_golden_fixture
     cargo check -p predictddl --offline --test registry
     ;;
+  test-sched)
+    # The whole sched tier is serde-free at runtime (engine, live
+    # predictor, and golden trace fixtures are pure std), so it runs for
+    # real offline — in release, because it drives a 10⁵-job engine run.
+    # The crate's proptest target is excluded (stubbed offline).
+    cargo test -p pddl-sched --offline --release --lib
+    cargo test -p predictddl --offline --release --test sched
+    ;;
   metrics-expo)
     # Prometheus exposition renderer + the golden fixtures pinning the
     # exposition, trace-dump, and waterfall shapes byte-for-byte.
@@ -217,6 +226,13 @@ case "${1:-check}" in
   bench-tensor)
     shift
     cargo run -p pddl-bench --offline --release --bin pddl-tensorbench -- "$@"
+    ;;
+  bench-sched)
+    # The scheduling/continual-refit benchmark: burst-load policy
+    # comparison plus the mid-run cost-shift frozen-vs-online scenario
+    # (produces BENCH_sched.json).
+    shift
+    cargo run -p pddl-bench --offline --release --bin pddl-schedbench -- "$@"
     ;;
   *)
     cargo --offline "$@"
