@@ -25,6 +25,7 @@
 use pddl_cluster::{ClusterState, ServerClass};
 use pddl_ddlsim::{TraceConfig, Workload};
 use pddl_registry::Registry;
+use pddl_tensor::Precision;
 use predictddl::{
     load_checkpoint, save_checkpoint, spawn_watcher, Controller, ControllerClient, LiveSystem,
     OfflineTrainer, PredictDdl, PredictionRequest, ReloadManager, ServeConfig,
@@ -80,9 +81,9 @@ const USAGE: &str = "usage:
                          --servers <n> [--gpu|--cpu] [--batch 128] [--epochs 10]
   predictddl-cli serve   --system <file> | --registry <dir>
                          [--addr 127.0.0.1:7077] [--watch-registry <ms>]
-                         [--retain N] [--workers N] [--queue-depth N]
-                         [--max-conns N] [--deadline-ms N] [--trace-sample N]
-                         [--trace-slow-ms N] [--shard-id N]
+                         [--precision f32|bf16] [--retain N] [--workers N]
+                         [--queue-depth N] [--max-conns N] [--deadline-ms N]
+                         [--trace-sample N] [--trace-slow-ms N] [--shard-id N]
                          [--fault-plan 'seed=42,delay=0.05:5,reset=0.02']
   predictddl-cli reload  [--addr 127.0.0.1:7077] [--version N] [--timeout-ms 5000]
   predictddl-cli observe [--addr 127.0.0.1:7077] --model <name> --dataset <name>
@@ -103,6 +104,10 @@ options:
                    pinned/live ones (default 4; 0 keeps everything)
   --watch-registry serve: poll the registry every <ms> and hot-swap to new
                    versions automatically (requires --registry)
+  --precision      serve: inference weight storage — f32 (default) or bf16
+                   (frozen bf16 panels on the GHN embed path; training and
+                   checkpoints always keep f32 masters). Applied to the
+                   initial system and to every hot-reloaded candidate
   --version        reload: target version (default: the registry's latest)
   --actual-secs    observe: the measured wall-clock training time being fed
                    back into the controller's drift detector
@@ -293,6 +298,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     if let Some(v) = flags.get("shard-id") {
         config.shard_id = Some(v.parse().map_err(|_| "--shard-id must be an integer")?);
     }
+    let precision = match flags.get("precision") {
+        None => Precision::F32,
+        Some(s) => Precision::parse(s)
+            .ok_or_else(|| format!("--precision must be f32 or bf16, got '{s}'"))?,
+    };
     // Resolve the initial system: from the checkpoint registry (newest
     // verifiable version; a --system file is published as the first
     // version when the registry is empty), or from a plain --system file.
@@ -300,7 +310,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let watcher_stop = Arc::new(AtomicBool::new(false));
     let controller = if let Some(root) = flags.get("registry") {
         let registry = open_registry(root, retain_from_flags(flags)?)?;
-        let (system, version) = match registry.latest() {
+        let (mut system, version) = match registry.latest() {
             Some(v) => {
                 let sys = load_checkpoint(&registry, v).map_err(|e| e.to_string())?;
                 eprintln!("loaded checkpoint v{v} from {root}");
@@ -317,8 +327,14 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
                 (sys, v)
             }
         };
+        system.set_precision(precision);
         let live = Arc::new(LiveSystem::new(system, version));
-        let manager = ReloadManager::new(registry, Arc::clone(&live));
+        let manager = ReloadManager::with_precision(
+            registry,
+            Arc::clone(&live),
+            predictddl::reload::DEFAULT_PROBE_TOLERANCE,
+            precision,
+        );
         if let Some(ms) = flags.get("watch-registry") {
             let ms: u64 = ms
                 .parse()
@@ -335,14 +351,18 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         if flags.contains_key("watch-registry") {
             return Err("--watch-registry requires --registry".to_string());
         }
-        let system = PredictDdl::load(required(flags, "system")?).map_err(|e| e.to_string())?;
+        let mut system = PredictDdl::load(required(flags, "system")?).map_err(|e| e.to_string())?;
+        system.set_precision(precision);
         Controller::serve_with(addr, system, config).map_err(|e| e.to_string())?
     };
     println!(
-        "PredictDDL controller listening on {} ({} workers, queue depth {})",
+        "PredictDDL controller listening on {} ({} workers, queue depth {}, \
+         kernels {}, precision {})",
         controller.addr(),
         config.workers.max(1),
         config.queue_depth.max(1),
+        pddl_tensor::backend().name(),
+        precision.as_str(),
     );
     println!(
         "protocol: one JSON PredictionRequest per line (a JSON array is a \

@@ -68,6 +68,10 @@ pub struct Manifest {
     pub created_unix: u64,
     /// Free-form operator label (e.g. `"nightly-retrain"`).
     pub label: String,
+    /// Inference storage precision the system was published for
+    /// (`"f32"` or `"bf16"`). Manifests written before the field existed
+    /// parse as `"f32"`.
+    pub precision: String,
     /// Every artifact in the version directory, with length + hash.
     pub artifacts: Vec<ArtifactEntry>,
     /// Golden probe set for reload validation (may be empty).
@@ -93,6 +97,8 @@ impl Manifest {
         out.push_str(&format!("  \"created_unix\": {},\n", self.created_unix));
         out.push_str("  \"label\": ");
         push_json_string(&mut out, &self.label);
+        out.push_str(",\n  \"precision\": ");
+        push_json_string(&mut out, &self.precision);
         out.push_str(",\n  \"artifacts\": [");
         for (i, a) in self.artifacts.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -131,6 +137,13 @@ impl Manifest {
             .and_then(|l| l.as_str())
             .ok_or("manifest: missing string field `label`")?
             .to_string();
+        // Absent in pre-precision manifests: those systems were published
+        // (and must be served) at full precision.
+        let precision = v
+            .get("precision")
+            .and_then(|p| p.as_str())
+            .unwrap_or("f32")
+            .to_string();
         let mut artifacts = Vec::new();
         for a in array_field(&v, "artifacts")? {
             let name = a
@@ -157,6 +170,7 @@ impl Manifest {
             version,
             created_unix,
             label,
+            precision,
             artifacts,
             probes,
         })
@@ -193,6 +207,7 @@ mod tests {
             version: 7,
             created_unix: 1_722_470_400,
             label: "nightly \"retrain\"".to_string(),
+            precision: "bf16".to_string(),
             artifacts: vec![
                 ArtifactEntry {
                     name: "system.json".into(),
@@ -231,6 +246,7 @@ mod tests {
             version: 1,
             created_unix: 0,
             label: String::new(),
+            precision: "f32".to_string(),
             artifacts: vec![],
             probes: vec![],
         };
@@ -252,6 +268,16 @@ mod tests {
                 "cut at {cut} should not parse"
             );
         }
+    }
+
+    #[test]
+    fn missing_precision_parses_as_f32() {
+        // A manifest written before the precision field existed.
+        let mut m = sample();
+        m.precision = "f32".to_string();
+        let legacy = m.to_json().replace("  \"precision\": \"f32\",\n", "");
+        assert!(!legacy.contains("precision"));
+        assert_eq!(Manifest::from_json(&legacy).unwrap(), m);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! bf16 storage for frozen inference weights.
+//!
+//! bfloat16 keeps f32's 8-bit exponent and truncates the mantissa to
+//! 7 bits — the top 16 bits of the f32 pattern. That makes widening
+//! *exact* (shift left 16) and quantization a single round-to-nearest-
+//! even on the mantissa boundary, with a worst-case relative error of
+//! 2⁻⁸ ≈ 0.39% per weight. Trained f32 weights are quantized once at
+//! checkpoint-load time into [`PackedBf16`] panels; the kernel layer
+//! widens rows back to f32 on the fly inside its packing/axpy inner
+//! loops, so there is a single f32 microkernel regardless of storage
+//! precision. Training never sees bf16.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Quantizes one f32 to bf16 with round-to-nearest-even.
+///
+/// NaN payloads that would round to infinity are clamped to a quiet
+/// NaN instead, so NaN stays NaN through the round trip.
+#[inline]
+pub fn quantize_bf16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    if v.is_nan() {
+        // Preserve NaN-ness: force a mantissa bit that survives truncation.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let rounded = bits.wrapping_add(0x7fff + ((bits >> 16) & 1));
+    (rounded >> 16) as u16
+}
+
+/// Widens one bf16 to f32 — exact, by construction.
+#[inline]
+pub fn widen_bf16(v: u16) -> f32 {
+    f32::from_bits((v as u32) << 16)
+}
+
+/// Storage precision for frozen serving-path weights.
+///
+/// Training is always f32; this only selects how a loaded checkpoint's
+/// weights are stored (and therefore which kernel entry points the
+/// embed path takes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full-precision weights — the default, and the only training mode.
+    #[default]
+    F32,
+    /// bf16-packed frozen weights, widened to f32 inside the kernels.
+    Bf16,
+}
+
+impl Precision {
+    /// Manifest / CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Bf16 => "bf16",
+        }
+    }
+
+    /// Parses the manifest / CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "f32" => Some(Precision::F32),
+            "bf16" => Some(Precision::Bf16),
+            _ => None,
+        }
+    }
+}
+
+/// Mirrors the active precision into 0/1 info-gauges
+/// (`tensor.precision.f32` / `tensor.precision.bf16`) so stats and the
+/// Prometheus exposition show what a live shard is serving with.
+pub fn report_precision(p: Precision) {
+    pddl_telemetry::gauge("tensor.precision.f32").set(i64::from(p == Precision::F32));
+    pddl_telemetry::gauge("tensor.precision.bf16").set(i64::from(p == Precision::Bf16));
+}
+
+/// A row-major bf16 weight panel, quantized once from a trained f32
+/// [`Matrix`]. Row slices feed the kernel layer's bf16 entry points
+/// directly; [`PackedBf16::to_matrix`] widens back for debugging and
+/// equivalence tests.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PackedBf16 {
+    rows: usize,
+    cols: usize,
+    data: Vec<u16>,
+}
+
+impl PackedBf16 {
+    /// Quantizes an f32 matrix (round-to-nearest-even per element).
+    pub fn from_matrix(m: &Matrix) -> Self {
+        PackedBf16 {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().iter().copied().map(quantize_bf16).collect(),
+        }
+    }
+
+    /// Widens back to f32 — exact on every element.
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().copied().map(widen_bf16).collect(),
+        )
+    }
+
+    /// Row count of the original matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count of the original matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The packed element buffer, row-major.
+    pub fn data(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// One row as a bf16 slice.
+    pub fn row(&self, r: usize) -> &[u16] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widen_is_exact_on_representable_values() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1.5, -3.25] {
+            assert_eq!(widen_bf16(quantize_bf16(v)), v);
+        }
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded() {
+        // Worst-case bf16 relative error is 2^-8 for normal values.
+        let mut v = 1.0e-30f32;
+        while v < 1.0e30 {
+            for s in [v, -v, v * 1.3337, v * 2.6251] {
+                let rt = widen_bf16(quantize_bf16(s));
+                assert!(
+                    (rt - s).abs() <= s.abs() * (1.0 / 256.0),
+                    "{s} -> {rt}"
+                );
+            }
+            v *= 9.7;
+        }
+    }
+
+    #[test]
+    fn rounds_to_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between bf16(1.0) and the next
+        // representable; ties go to the even mantissa (1.0).
+        let halfway = f32::from_bits(0x3f80_8000);
+        assert_eq!(quantize_bf16(halfway), 0x3f80);
+        // Just above halfway rounds up.
+        let above = f32::from_bits(0x3f80_8001);
+        assert_eq!(quantize_bf16(above), 0x3f81);
+    }
+
+    #[test]
+    fn specials_survive() {
+        assert_eq!(widen_bf16(quantize_bf16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(widen_bf16(quantize_bf16(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+        assert!(widen_bf16(quantize_bf16(f32::NAN)).is_nan());
+        // Large-but-finite values must not round to infinity unless f32
+        // itself overflows bf16's (identical) exponent range.
+        assert!(widen_bf16(quantize_bf16(f32::MAX)).is_infinite()); // MAX rounds up
+        assert!(widen_bf16(quantize_bf16(1.0e38)).is_finite());
+    }
+
+    #[test]
+    fn packed_matrix_round_trips_shape_and_bounds() {
+        let data: Vec<f32> =
+            (0..35).map(|i| ((i / 7) as f32 - 2.0) * 0.31 + (i % 7) as f32 * 0.077).collect();
+        let m = Matrix::from_vec(5, 7, data);
+        let p = PackedBf16::from_matrix(&m);
+        assert_eq!(p.rows(), 5);
+        assert_eq!(p.cols(), 7);
+        let back = p.to_matrix();
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= a.abs() * (1.0 / 256.0) + 1e-30);
+        }
+        assert_eq!(p.row(2).len(), 7);
+    }
+}

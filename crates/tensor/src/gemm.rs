@@ -6,17 +6,21 @@
 //! sized for the workspace's shapes (GHN node states are 1×32 … 128×128,
 //! training batches a few hundred rows):
 //!
-//! * an `MR×NR` **microkernel** whose accumulator tile lives in registers
-//!   and whose unrolled inner loop the autovectorizer lifts to SIMD
-//!   multiply-adds;
+//! * an `MR×NR` **microkernel** whose accumulator tile lives in registers,
+//!   dispatched at runtime to an explicit AVX2/FMA or NEON implementation
+//!   (scalar fallback otherwise) via [`crate::kernels`];
 //! * `MC/KC` **cache blocking** with both operands packed into contiguous
 //!   panels, so the microkernel streams unit-stride regardless of the
 //!   logical orientation of the inputs;
 //! * **layout-aware packing**: `A·B`, `A·Bᵀ` and `Aᵀ·B` share one kernel —
 //!   the pack routines absorb the transpose, so no caller ever
-//!   materializes a transposed matrix again;
+//!   materializes a transposed matrix again — and bf16 `B` operands
+//!   (`BOperand::Bf16`) widen to f32 inside the pack/axpy inner loops,
+//!   so storage precision never forks the compute path;
 //! * a reusable [`PackBuffer`] so repeated products (training loops,
-//!   per-request embeddings) stop allocating per call;
+//!   per-request embeddings) stop allocating per call — including the
+//!   pool workers, which keep a thread-local tile workspace instead of
+//!   allocating per macro-tile;
 //! * parallel **macro-tiles** dispatched over the `pddl_par` work pool
 //!   above [`PAR_MADDS`] multiply-adds, each worker writing a disjoint
 //!   region of the output;
@@ -33,12 +37,16 @@
 //! bit-identical to [`Matrix::matmul_reference`] — blocking changes the
 //! f32 summation order — so equivalence tests assert relative error
 //! ≤ 1e-5 against the reference kernel instead of exact bits
-//! (`crates/tensor/tests/gemm_equivalence.rs`).
+//! (`crates/tensor/tests/gemm_equivalence.rs`). Across *backends* the
+//! same policy applies: the scalar backend reproduces the pre-dispatch
+//! kernel bit-for-bit, while the FMA backends fuse each multiply-add
+//! into a single rounding and are held to the same ≤ 1e-5 relative
+//! bound by the dispatch-matrix tests.
 //!
 //! [`Matrix::matmul_bias_act`]: crate::Matrix::matmul_bias_act
 //! [`Matrix::matmul_reference`]: crate::Matrix::matmul_reference
 
-use crate::matrix::dot;
+use crate::kernels::{self, Kernels};
 use pddl_par::WorkPool;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -118,9 +126,13 @@ impl Activation {
 ///
 /// Holds the packed `A` panel and packed `B` slabs between calls; the
 /// buffers only grow (tracked by [`PackBuffer::allocations`]), so steady
-/// shapes — a training loop, repeated embeddings — hit zero allocations
-/// after the first product. [`Matrix::matmul`] keeps one per thread;
-/// [`Matrix::matmul_with`] lets callers pin their own.
+/// shapes — a training loop, repeated embeddings, mixed batch sizes that
+/// alternate between a large and a small slab — hit zero allocations
+/// after the largest shape has been seen once. [`Matrix::matmul`] keeps
+/// one per thread; [`Matrix::matmul_with`] lets callers pin their own.
+/// Pool workers reuse a thread-local tile workspace the same way, and
+/// every growth event is counted on the `tensor.pack_allocs` telemetry
+/// counter so reallocation churn is visible on a live shard.
 ///
 /// [`Matrix::matmul`]: crate::Matrix::matmul
 /// [`Matrix::matmul_with`]: crate::Matrix::matmul_with
@@ -149,6 +161,7 @@ fn ensure(buf: &mut Vec<f32>, len: usize, allocations: &mut usize) {
     if buf.len() < len {
         if buf.capacity() < len {
             *allocations += 1;
+            gemm_metrics().pack_allocs.inc();
         }
         buf.resize(len, 0.0);
     }
@@ -156,6 +169,10 @@ fn ensure(buf: &mut Vec<f32>, len: usize, allocations: &mut usize) {
 
 thread_local! {
     static TL_PACK: RefCell<PackBuffer> = RefCell::new(PackBuffer::new());
+    // Pool workers' per-macro-tile workspace. Separate from TL_PACK so a
+    // caller thread that participates in its own fan-out never borrows
+    // the same RefCell twice.
+    static TL_TILE_PACK: RefCell<PackBuffer> = RefCell::new(PackBuffer::new());
 }
 
 /// Runs `f` with this thread's pack workspace (what the `Matrix`
@@ -176,9 +193,22 @@ pub(crate) enum Layout {
     Tn,
 }
 
+/// The `B` operand as handed to [`gemm`]: full-precision, or a bf16
+/// frozen-weight panel widened to f32 inside the pack/axpy inner loops.
+/// bf16 is inference-only and restricted to [`Layout::Nn`] — every
+/// serving-path product is `x·W` with `W` row-major.
+#[derive(Clone, Copy)]
+pub(crate) enum BOperand<'a> {
+    /// Row-major f32, any layout.
+    F32(&'a [f32]),
+    /// Row-major bf16 (`Layout::Nn` only).
+    Bf16(&'a [u16]),
+}
+
 struct GemmMetrics {
     calls: &'static pddl_telemetry::Counter,
     flops: &'static pddl_telemetry::Counter,
+    pack_allocs: &'static pddl_telemetry::Counter,
 }
 
 fn gemm_metrics() -> &'static GemmMetrics {
@@ -186,12 +216,15 @@ fn gemm_metrics() -> &'static GemmMetrics {
     METRICS.get_or_init(|| GemmMetrics {
         calls: pddl_telemetry::counter("tensor.gemm_calls"),
         flops: pddl_telemetry::counter("tensor.gemm_flops"),
+        pack_allocs: pddl_telemetry::counter("tensor.pack_allocs"),
     })
 }
 
 /// Core dispatch: `out (m×n) (+)= op(A)·op(B)`, then `+ bias`, then
 /// `act`, choosing between the direct small-product kernels, the serial
-/// blocked path, and pool-parallel macro-tiles.
+/// blocked path, and pool-parallel macro-tiles. The kernel set (scalar /
+/// AVX2+FMA / NEON) is resolved once per call and threaded through every
+/// inner loop, so all macro-tiles of one product use the same backend.
 ///
 /// `out` must hold exactly `m*n` elements. When `accumulate` is false the
 /// output is overwritten; when true the products are added to the
@@ -203,7 +236,7 @@ pub(crate) fn gemm(
     n: usize,
     k: usize,
     a: &[f32],
-    b: &[f32],
+    b: BOperand<'_>,
     bias: Option<&[f32]>,
     act: Activation,
     accumulate: bool,
@@ -212,94 +245,132 @@ pub(crate) fn gemm(
     pool: Option<&WorkPool>,
 ) {
     debug_assert_eq!(out.len(), m * n);
+    debug_assert!(
+        matches!(b, BOperand::F32(_)) || layout == Layout::Nn,
+        "bf16 operands are Nn-only (serving-path x·W products)"
+    );
     let metrics = gemm_metrics();
     metrics.calls.inc();
     metrics.flops.add((2 * m * n * k) as u64);
     if m == 0 || n == 0 {
         return;
     }
+    let kern = kernels::active();
     if !accumulate {
         out.fill(0.0);
     }
     if k > 0 {
         let madds = m * n * k;
         if madds < SMALL_MADDS {
-            small_product(layout, m, n, k, a, b, out);
+            small_product(kern, layout, m, n, k, a, b, out);
         } else {
-            blocked_product(layout, m, n, k, a, b, out, pack, pool.filter(|_| madds >= PAR_MADDS));
+            blocked_product(
+                kern,
+                layout,
+                m,
+                n,
+                k,
+                a,
+                b,
+                out,
+                pack,
+                pool.filter(|_| madds >= PAR_MADDS),
+            );
         }
     }
-    epilogue(out, m, n, bias, act);
+    epilogue(kern, out, m, n, bias, act);
 }
 
-/// Fused `+bias` / activation pass over the finished output.
-fn epilogue(out: &mut [f32], m: usize, n: usize, bias: Option<&[f32]>, act: Activation) {
+/// Fused `+bias` / activation pass over the finished output. Bias add
+/// and ReLU go through the dispatched kernels (both are exact elementwise
+/// ops, so every backend produces identical bits); the transcendental
+/// activations stay scalar.
+fn epilogue(
+    kern: &'static Kernels,
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    bias: Option<&[f32]>,
+    act: Activation,
+) {
     if bias.is_none() && act == Activation::Identity {
         return;
     }
     for row in out.chunks_mut(n).take(m) {
         if let Some(bias) = bias {
-            for (x, &bv) in row.iter_mut().zip(bias) {
-                *x += bv;
-            }
+            (kern.bias_add)(row, bias);
         }
-        if act != Activation::Identity {
-            for x in row.iter_mut() {
-                *x = act.apply(*x);
+        match act {
+            Activation::Identity => {}
+            Activation::Relu => (kern.relu)(row),
+            _ => {
+                for x in row.iter_mut() {
+                    *x = act.apply(*x);
+                }
             }
         }
     }
 }
 
 /// Direct kernels for products too small to amortize packing. All three
-/// run unit-stride in their inner loop without touching a transpose.
-fn small_product(layout: Layout, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
-    match layout {
-        Layout::Nn => {
+/// run unit-stride in their inner loop without touching a transpose;
+/// bf16 `B` rows widen inside the dispatched axpy.
+#[allow(clippy::too_many_arguments)]
+fn small_product(
+    kern: &'static Kernels,
+    layout: Layout,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: BOperand<'_>,
+    out: &mut [f32],
+) {
+    match (layout, b) {
+        (Layout::Nn, BOperand::F32(b)) => {
             for i in 0..m {
-                let a_row = &a[i * k..(i + 1) * k];
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (p, &av) in a_row.iter().enumerate() {
-                    let b_row = &b[p * n..(p + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += av * bv;
-                    }
-                }
+                // Whole row product in one dispatched call — the axpy
+                // sweep runs inside the backend (see `Kernels::vecmat`).
+                (kern.vecmat)(&a[i * k..(i + 1) * k], b, &mut out[i * n..(i + 1) * n]);
             }
         }
-        Layout::Nt => {
+        (Layout::Nn, BOperand::Bf16(b)) => {
+            for i in 0..m {
+                (kern.vecmat_bf16)(&a[i * k..(i + 1) * k], b, &mut out[i * n..(i + 1) * n]);
+            }
+        }
+        (Layout::Nt, BOperand::F32(b)) => {
             for i in 0..m {
                 let a_row = &a[i * k..(i + 1) * k];
                 let out_row = &mut out[i * n..(i + 1) * n];
                 for (j, o) in out_row.iter_mut().enumerate() {
-                    *o += dot(a_row, &b[j * k..(j + 1) * k]);
+                    *o += (kern.dot)(a_row, &b[j * k..(j + 1) * k]);
                 }
             }
         }
-        Layout::Tn => {
+        (Layout::Tn, BOperand::F32(b)) => {
             for p in 0..k {
                 let a_col = &a[p * m..(p + 1) * m];
                 let b_row = &b[p * n..(p + 1) * n];
                 for (i, &av) in a_col.iter().enumerate() {
-                    let out_row = &mut out[i * n..(i + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += av * bv;
-                    }
+                    (kern.axpy)(av, b_row, &mut out[i * n..(i + 1) * n]);
                 }
             }
         }
+        (_, BOperand::Bf16(_)) => unreachable!("bf16 operands are Nn-only"),
     }
 }
 
 /// Packed blocked path, optionally fanned out over the pool.
 #[allow(clippy::too_many_arguments)]
 fn blocked_product(
+    kern: &'static Kernels,
     layout: Layout,
     m: usize,
     n: usize,
     k: usize,
     a: &[f32],
-    b: &[f32],
+    b: BOperand<'_>,
     out: &mut [f32],
     pack: &mut PackBuffer,
     pool: Option<&WorkPool>,
@@ -315,13 +386,33 @@ fn blocked_product(
     let workers = pool.map_or(1, WorkPool::threads);
     if workers > 1 && row_tiles >= col_tiles && row_tiles > 1 {
         // Row macro-tiles: each worker owns a disjoint block of output
-        // rows (a contiguous chunk of the row-major buffer).
+        // rows (a contiguous chunk of the row-major buffer) and packs A
+        // into its thread-local tile workspace, so steady-state fan-outs
+        // allocate nothing.
         let pool = pool.expect("workers > 1 implies a pool");
         pool.for_each_chunk_mut(&mut out[..m * n], PAR_MC * n, |tile, chunk| {
             let r0 = tile * PAR_MC;
             let r1 = r0 + chunk.len() / n;
-            let mut local = PackBuffer::new();
-            gemm_rows(layout, r0, r1, 0, n, m, k, a, pb, npad, chunk, n, &mut local.a, &mut local.allocations);
+            TL_TILE_PACK.with(|p| {
+                let local = &mut *p.borrow_mut();
+                gemm_rows(
+                    kern,
+                    layout,
+                    r0,
+                    r1,
+                    0,
+                    n,
+                    m,
+                    k,
+                    a,
+                    pb,
+                    npad,
+                    chunk,
+                    n,
+                    &mut local.a,
+                    &mut local.allocations,
+                );
+            });
         });
     } else if workers > 1 && col_tiles > 1 {
         // Column macro-tiles (row-vector GEMMs): workers compute disjoint
@@ -334,8 +425,26 @@ fn blocked_product(
             let c0 = tile * PAR_NC;
             let c1 = (c0 + PAR_NC).min(n);
             let mut stripe = vec![0.0f32; m * (c1 - c0)];
-            let mut local = PackBuffer::new();
-            gemm_rows(layout, 0, m, c0, c1, m, k, a, pb, npad, &mut stripe, c1 - c0, &mut local.a, &mut local.allocations);
+            TL_TILE_PACK.with(|p| {
+                let local = &mut *p.borrow_mut();
+                gemm_rows(
+                    kern,
+                    layout,
+                    0,
+                    m,
+                    c0,
+                    c1,
+                    m,
+                    k,
+                    a,
+                    pb,
+                    npad,
+                    &mut stripe,
+                    c1 - c0,
+                    &mut local.a,
+                    &mut local.allocations,
+                );
+            });
             stripe
         });
         for (tile, stripe) in results.iter().enumerate() {
@@ -349,7 +458,7 @@ fn blocked_product(
             }
         }
     } else {
-        gemm_rows(layout, 0, m, 0, n, m, k, a, pb, npad, &mut out[..m * n], n, pa, allocations);
+        gemm_rows(kern, layout, 0, m, 0, n, m, k, a, pb, npad, &mut out[..m * n], n, pa, allocations);
     }
 }
 
@@ -358,6 +467,7 @@ fn blocked_product(
 /// window with row stride `ostride`; products are *added* into it.
 #[allow(clippy::too_many_arguments)]
 fn gemm_rows(
+    kern: &'static Kernels,
     layout: Layout,
     r0: usize,
     r1: usize,
@@ -388,7 +498,7 @@ fn gemm_rows(
                 let jlim = NR.min(c1 - jcol);
                 for is in 0..mcpad / MR {
                     let pas = &pa[is * kc * MR..(is + 1) * kc * MR];
-                    let acc = microkernel(pas, pbs);
+                    let acc = (kern.microkernel)(pas, pbs);
                     let ilim = MR.min(mc - is * MR);
                     let row0 = ic - r0 + is * MR;
                     for (i, acc_row) in acc.iter().enumerate().take(ilim) {
@@ -401,23 +511,6 @@ fn gemm_rows(
             }
         }
     }
-}
-
-/// The register tile: `MR×NR` accumulators updated by `kc` rank-1 steps.
-/// Both panels are packed contiguous, so every load is unit-stride and
-/// the inner `NR` loop vectorizes to SIMD multiply-adds.
-#[inline(always)]
-fn microkernel(pa: &[f32], pb: &[f32]) -> [[f32; NR]; MR] {
-    let mut acc = [[0.0f32; NR]; MR];
-    for (av, bv) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)) {
-        for (i, acc_row) in acc.iter_mut().enumerate() {
-            let ai = av[i];
-            for (j, c) in acc_row.iter_mut().enumerate() {
-                *c += ai * bv[j];
-            }
-        }
-    }
-    acc
 }
 
 /// Packs logical `A[ic..ic+mc, pc..pc+kc]` into `MR`-row slivers, zero
@@ -444,8 +537,10 @@ fn pack_a(layout: Layout, ic: usize, mc: usize, pc: usize, kc: usize, m: usize, 
 }
 
 /// Packs all of logical `B` into per-`KC` slabs of `NR`-column slivers,
-/// zero padding the column remainder. Absorbs the `Nt` transpose.
-fn pack_b(layout: Layout, n: usize, k: usize, b: &[f32], pb: &mut [f32]) {
+/// zero padding the column remainder. Absorbs the `Nt` transpose; bf16
+/// operands widen to f32 here, so the packed panel — and everything
+/// downstream of it — is precision-agnostic.
+fn pack_b(layout: Layout, n: usize, k: usize, b: BOperand<'_>, pb: &mut [f32]) {
     let npad = n.div_ceil(NR) * NR;
     for pc in (0..k).step_by(KC) {
         let kc = KC.min(k - pc);
@@ -456,16 +551,23 @@ fn pack_b(layout: Layout, n: usize, k: usize, b: &[f32], pb: &mut [f32]) {
             let sliver = &mut slab[js * kc * NR..(js + 1) * kc * NR];
             for p in 0..kc {
                 let dst = &mut sliver[p * NR..(p + 1) * NR];
-                match layout {
-                    Layout::Nn | Layout::Tn => {
+                match (layout, b) {
+                    (Layout::Nn | Layout::Tn, BOperand::F32(b)) => {
                         let src = &b[(pc + p) * n + jcol..(pc + p) * n + jcol + jlim];
                         dst[..jlim].copy_from_slice(src);
                     }
-                    Layout::Nt => {
+                    (Layout::Nn, BOperand::Bf16(b)) => {
+                        let src = &b[(pc + p) * n + jcol..(pc + p) * n + jcol + jlim];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d = crate::bf16::widen_bf16(s);
+                        }
+                    }
+                    (Layout::Nt, BOperand::F32(b)) => {
                         for (j, d) in dst.iter_mut().enumerate().take(jlim) {
                             *d = b[(jcol + j) * k + pc + p];
                         }
                     }
+                    (_, BOperand::Bf16(_)) => unreachable!("bf16 operands are Nn-only"),
                 }
                 for d in &mut dst[jlim..] {
                     *d = 0.0;

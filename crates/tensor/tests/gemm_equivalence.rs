@@ -11,7 +11,31 @@
 //! in exact bits: same inputs, any pool size, same output.
 
 use pddl_par::WorkPool;
-use pddl_tensor::{Activation, Matrix, PackBuffer, Rng};
+use pddl_tensor::{Activation, KernelBackend, Matrix, PackBuffer, PackedBf16, Rng};
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-global kernel backend (or that
+/// assert bit-identity across several products, which a concurrent flip
+/// would break).
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII force-scalar override that restores the previous state even when
+/// the assertion inside panics.
+struct ScalarGuard(bool);
+
+impl ScalarGuard {
+    fn engage() -> Self {
+        let prev = pddl_tensor::kernels::force_scalar();
+        pddl_tensor::set_force_scalar(true);
+        Self(prev)
+    }
+}
+
+impl Drop for ScalarGuard {
+    fn drop(&mut self) {
+        pddl_tensor::set_force_scalar(self.0);
+    }
+}
 
 /// max |a-b| / max(1, |a|, |b|), elementwise.
 fn rel_err(a: &Matrix, b: &Matrix) -> f32 {
@@ -131,8 +155,128 @@ fn accumulate_computes_two_operand_affine() {
     }
 }
 
+/// The dispatch matrix of the kernel layer: every backend available on
+/// this host × every layout (`Nn`/`Nt`/`Tn`) × every fused epilogue.
+/// Policy (see `crates/tensor/src/kernels.rs`): two runs on the *same*
+/// backend are bit-identical; the SIMD backends match scalar at ≤ 1e-5
+/// relative (FMA fuses the multiply-add rounding, so exact bits are not
+/// promised across backends).
+#[test]
+fn dispatch_matrix_backends_agree_across_layouts_and_epilogues() {
+    let _lock = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let native = pddl_tensor::backend();
+    let mut rng = Rng::new(0xD15);
+    for &(m, k, n) in &[(1usize, 32usize, 64usize), (13, 7, 5), (33, 65, 17), (128, 128, 128)] {
+        let a = Matrix::rand_normal(m, k, 1.0, &mut rng);
+        let b = Matrix::rand_normal(k, n, 1.0, &mut rng);
+        let bt = b.transpose();
+        let at = a.transpose();
+        let bias = Matrix::rand_normal(1, n, 1.0, &mut rng);
+        type Product<'a> = (&'a str, Box<dyn Fn() -> Matrix + 'a>);
+        let products: Vec<Product> = vec![
+            ("Nn", Box::new(|| a.matmul(&b))),
+            ("Nt", Box::new(|| a.matmul_nt(&bt))),
+            ("Tn", Box::new(|| at.t_matmul(&b))),
+            ("Nn+bias+relu", Box::new(|| a.matmul_bias_act(&b, &bias, Activation::Relu))),
+            ("Nn+bias+tanh", Box::new(|| a.matmul_bias_act(&b, &bias, Activation::Tanh))),
+            ("Nn+bias+sigmoid", Box::new(|| a.matmul_bias_act(&b, &bias, Activation::Sigmoid))),
+        ];
+        for (label, run) in &products {
+            let on_native = run();
+            assert_eq!(
+                bits(&on_native),
+                bits(&run()),
+                "{m}x{k}x{n} {label}: same backend must be deterministic"
+            );
+            let on_scalar = {
+                let _guard = ScalarGuard::engage();
+                assert_eq!(pddl_tensor::backend(), KernelBackend::Scalar);
+                run()
+            };
+            if native == KernelBackend::Scalar {
+                assert_eq!(
+                    bits(&on_native),
+                    bits(&on_scalar),
+                    "{m}x{k}x{n} {label}: scalar fallback must be bit-exact"
+                );
+            } else {
+                let err = rel_err(&on_native, &on_scalar);
+                assert!(
+                    err <= 1e-5,
+                    "{m}x{k}x{n} {label}: {native:?} vs scalar rel err {err}"
+                );
+            }
+        }
+    }
+}
+
+/// bf16 storage is a *pure storage* change: widening the quantized panel
+/// back to f32 and running the f32 path produces bit-identical results to
+/// the bf16 entry points, because the kernel layer widens to f32 before
+/// any arithmetic. Against the original f32 weights the drift is bounded
+/// by bf16's 2⁻⁸ relative quantization step.
+#[test]
+fn bf16_matmul_is_exactly_widened_f32_and_tracks_original() {
+    let _lock = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = Rng::new(0xBF16);
+    // Shapes crossing the small/vecmat and blocked dispatch boundaries.
+    for &(m, k, n) in &[(1usize, 24usize, 48usize), (5, 33, 17), (64, 64, 64), (96, 128, 80)] {
+        let a = Matrix::rand_normal(m, k, 1.0, &mut rng);
+        let w = Matrix::rand_normal(k, n, 1.0, &mut rng);
+        let bias = Matrix::rand_normal(1, n, 1.0, &mut rng);
+        let packed = PackedBf16::from_matrix(&w);
+        let widened = packed.to_matrix();
+        for act in [Activation::Identity, Activation::Relu, Activation::Sigmoid] {
+            let via_bf16 = a.matmul_bias_act_bf16(&packed, &bias, act);
+            let via_widened = a.matmul_bias_act(&widened, &bias, act);
+            assert_eq!(
+                bits(&via_bf16),
+                bits(&via_widened),
+                "{m}x{k}x{n} {act:?}: bf16 path must equal widened-f32 path exactly"
+            );
+            let vs_f32 = a.matmul_bias_act(&w, &bias, act);
+            let err = rel_err(&via_bf16, &vs_f32);
+            // k accumulated terms each perturbed ≤2⁻⁹ on average (RNE):
+            // for unit-normal factors the absolute drift is bounded by
+            // Σ|aᵢwᵢ|·2⁻⁹ ≈ 0.64·k/512, so gate at k/512 with the
+            // rel_err scale floor of 1.0 absorbing small outputs.
+            let bound = k as f32 / 512.0;
+            assert!(
+                err <= bound,
+                "{m}x{k}x{n} {act:?}: bf16 drift {err} vs f32 (bound {bound})"
+            );
+        }
+        // Accumulating entry point (the GRU gate form).
+        let mut acc_bf16 = a.matmul_bias_bf16(&packed, &bias);
+        let mut acc_f32 = a.matmul_bias(&widened, &bias);
+        assert_eq!(bits(&acc_bf16), bits(&acc_f32));
+        a.matmul_acc_act_bf16(&packed, &mut acc_bf16, Activation::Sigmoid);
+        a.matmul_acc_act(&widened, &mut acc_f32, Activation::Sigmoid);
+        assert_eq!(bits(&acc_bf16), bits(&acc_f32), "{m}x{k}x{n}: accumulate path");
+    }
+}
+
+#[test]
+fn vecmat_acc_bf16_matches_widened_f32_exactly() {
+    let _lock = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = Rng::new(0x7EC2);
+    let w = Matrix::rand_normal(37, 19, 1.0, &mut rng);
+    let packed = PackedBf16::from_matrix(&w);
+    let widened = packed.to_matrix();
+    let v: Vec<f32> = (0..37).map(|_| rng.normal()).collect();
+    let mut via_bf16 = vec![0.25f32; 19];
+    let mut via_widened = via_bf16.clone();
+    pddl_tensor::vecmat_acc_bf16(&v, &packed, &mut via_bf16);
+    pddl_tensor::vecmat_acc(&v, &widened, &mut via_widened);
+    assert_eq!(
+        via_bf16.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        via_widened.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+    );
+}
+
 #[test]
 fn results_are_bit_identical_across_runs_and_pool_sizes() {
+    let _lock = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let mut rng = Rng::new(0xD37);
     for &(m, k, n) in &[(1usize, 300usize, 300usize), (64, 64, 64), (128, 128, 128), (33, 65, 17)] {
         let (a, b) = random_pair(m, k, n, &mut rng);
@@ -177,6 +321,42 @@ fn pack_buffer_reuse_stops_allocating() {
     let (c, d) = random_pair(40, 50, 60, &mut rng);
     let _ = c.matmul_with(&d, &mut pack);
     assert_eq!(pack.allocations(), after_first, "smaller shapes reuse the buffers");
+}
+
+/// Regression test for the pack-workspace reuse fix: alternating between
+/// *mismatched* shapes — none larger than the first in any packed
+/// dimension — must never grow the workspace again, and every growth
+/// event lands on the `tensor.pack_allocs` telemetry counter.
+#[test]
+fn mismatched_smaller_shapes_never_reallocate() {
+    let mut rng = Rng::new(0x51A3);
+    let before = pddl_telemetry::snapshot().counter("tensor.pack_allocs").unwrap_or(0);
+    let mut pack = PackBuffer::new();
+    // Largest shape first: warms both the A panel and the B slab.
+    let (a, b) = random_pair(128, 128, 128, &mut rng);
+    let _ = a.matmul_with(&b, &mut pack);
+    let warm = pack.allocations();
+    assert!(warm >= 1);
+    // Mismatched smaller shapes, cycling so consecutive calls never agree
+    // on m, k, or n — the pre-fix behavior reallocated on every change.
+    for &(m, k, n) in &[(96usize, 64usize, 32usize), (17, 128, 90), (128, 33, 65), (5, 100, 128)] {
+        let (c, d) = random_pair(m, k, n, &mut rng);
+        let _ = c.matmul_with(&d, &mut pack);
+        assert_eq!(
+            pack.allocations(),
+            warm,
+            "{m}x{k}x{n}: smaller mismatched shape must reuse capacity"
+        );
+    }
+    // A genuinely larger shape is allowed (and required) to grow.
+    let (e, f) = random_pair(160, 160, 160, &mut rng);
+    let _ = e.matmul_with(&f, &mut pack);
+    assert!(pack.allocations() > warm, "larger shape must grow the workspace");
+    let after = pddl_telemetry::snapshot().counter("tensor.pack_allocs").unwrap_or(0);
+    assert!(
+        after >= before + pack.allocations() as u64,
+        "every growth event must be counted on tensor.pack_allocs ({before} -> {after})"
+    );
 }
 
 #[test]

@@ -100,4 +100,29 @@ proptest! {
             prop_assert_eq!(g.row(i), a.row(r));
         }
     }
+
+    #[test]
+    fn bf16_round_trip_is_monotone_and_sign_preserving(a in any::<f32>(), b in any::<f32>()) {
+        use pddl_tensor::{quantize_bf16, widen_bf16};
+        prop_assume!(a.is_finite() && b.is_finite());
+        let (ra, rb) = (widen_bf16(quantize_bf16(a)), widen_bf16(quantize_bf16(b)));
+        // Sign-preserving: rounding never crosses zero (round-to-nearest
+        // of a nonzero value may reach ±0 but never the opposite sign).
+        if a > 0.0 {
+            prop_assert!(ra >= 0.0, "{a} -> {ra}");
+        }
+        if a < 0.0 {
+            prop_assert!(ra <= 0.0, "{a} -> {ra}");
+        }
+        // Monotone: quantize→widen never reorders two finite inputs.
+        if a <= b {
+            prop_assert!(ra <= rb, "{a} <= {b} but {ra} > {rb}");
+        } else {
+            prop_assert!(ra >= rb, "{a} > {b} but {ra} < {rb}");
+        }
+        // Relative error bound for normal values.
+        if a != 0.0 && a.is_normal() && ra.is_finite() {
+            prop_assert!((ra - a).abs() <= a.abs() * (1.0 / 256.0), "{a} -> {ra}");
+        }
+    }
 }

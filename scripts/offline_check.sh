@@ -17,6 +17,7 @@
 #   scripts/offline_check.sh test-golden      # run the golden-trace fixture test
 #   scripts/offline_check.sh test-bench       # run pddl-bench's tests (report schema)
 #   scripts/offline_check.sh test-tensor      # run the GEMM equivalence/determinism suite
+#   scripts/offline_check.sh test-simd        # tensor suite twice: native kernels + forced scalar
 #   scripts/offline_check.sh test-trace       # trace unit tests + type-check the trace tier
 #   scripts/offline_check.sh test-shard       # router unit tests + type-check the shard tier
 #   scripts/offline_check.sh metrics-expo     # exposition + golden trace/metrics shape tests
@@ -167,6 +168,14 @@ case "${1:-check}" in
     # Lib tests plus the equivalence/determinism/pack-reuse suite; the
     # proptest target is excluded (stubbed offline).
     cargo test -p pddl-tensor --offline --lib --test gemm_equivalence
+    ;;
+  test-simd)
+    # The dispatch-layer gate: the whole tensor suite on whatever
+    # microkernel the host dispatches to, then again pinned to the
+    # portable scalar fallback via PDDL_FORCE_SCALAR=1 — so a kernel bug
+    # that only one backend exhibits cannot hide behind the other.
+    cargo test -p pddl-tensor --offline --lib --test gemm_equivalence
+    PDDL_FORCE_SCALAR=1 cargo test -p pddl-tensor --offline --lib --test gemm_equivalence
     ;;
   test-trace)
     # The flight-recorder/span/waterfall unit tests run for real (pure

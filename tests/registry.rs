@@ -322,6 +322,7 @@ fn golden_manifest() -> Manifest {
         version: 42,
         created_unix: 1_722_470_400,
         label: "nightly \"retrain\" #7".to_string(),
+        precision: "bf16".to_string(),
         artifacts: vec![
             ArtifactEntry { name: "system.json".into(), len: 8192, fnv1a: 0xcbf2_9ce4_8422_2325 },
             ArtifactEntry { name: "embed_cache.json".into(), len: 517, fnv1a: 0x0100_0000_01b3_0000 },
